@@ -1,0 +1,92 @@
+// Command gengar-bench regenerates the evaluation tables and figures
+// (E1–E12, see DESIGN.md). Each experiment prints an aligned table to
+// stdout; -csv switches to CSV for plotting.
+//
+// Usage:
+//
+//	gengar-bench            # run everything at full scale
+//	gengar-bench -exp E7    # one experiment
+//	gengar-bench -quick     # fast, reduced scale
+//	gengar-bench -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gengar/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengar-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick  = flag.Bool("quick", false, "reduced scale for a fast pass")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outdir = flag.String("outdir", "", "also write one CSV per experiment into this directory")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e.ID)
+		}
+		return nil
+	}
+	scale := bench.Full()
+	if *quick {
+		scale = bench.Quick()
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	runOne := func(id string, r bench.Runner) error {
+		start := time.Now()
+		t, err := r(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(wall %.1fs)\n\n", time.Since(start).Seconds())
+		}
+		if *outdir != "" {
+			path := filepath.Join(*outdir, strings.ToLower(id)+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				return fmt.Errorf("%s: write %s: %w", id, path, err)
+			}
+		}
+		return nil
+	}
+
+	if *exp != "" {
+		for _, e := range bench.Experiments() {
+			if e.ID == *exp {
+				return runOne(e.ID, e.Run)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+	}
+	for _, e := range bench.Experiments() {
+		if err := runOne(e.ID, e.Run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command gengar-mr runs a MapReduce job on the simulated pool and
+// reports simulated phase timings — the standalone version of
+// experiment E11.
+//
+// Examples:
+//
+//	gengar-mr -job wordcount
+//	gengar-mr -job grep -pattern w01 -docs 64
+//	gengar-mr -job sort -system dram-pool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/hmem"
+	"gengar/internal/mapreduce"
+	"gengar/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengar-mr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		job      = flag.String("job", "wordcount", "wordcount | grep | sort")
+		pattern  = flag.String("pattern", "w00", "substring for grep")
+		system   = flag.String("system", "gengar", "gengar | nvm-direct | dram-pool")
+		docs     = flag.Int("docs", 32, "corpus documents")
+		docWords = flag.Int("doc-words", 600, "words per document")
+		vocab    = flag.Int("vocab", 200, "vocabulary size")
+		mappers  = flag.Int("mappers", 4, "map tasks")
+		reducers = flag.Int("reducers", 2, "reduce tasks")
+		seed     = flag.Int64("seed", 41, "corpus seed")
+		top      = flag.Int("top", 5, "result rows to print")
+	)
+	flag.Parse()
+
+	var (
+		mapf mapreduce.MapFunc
+		redf mapreduce.ReduceFunc
+		part mapreduce.Partitioner
+	)
+	switch *job {
+	case "wordcount":
+		mapf, redf = mapreduce.WordCount()
+	case "grep":
+		mapf, redf = mapreduce.Grep(*pattern)
+	case "sort":
+		mapf, redf = mapreduce.Sort()
+		part = mapreduce.RangePartition
+	default:
+		return fmt.Errorf("unknown job %q", *job)
+	}
+
+	cfg := config.Default()
+	switch *system {
+	case "gengar":
+	case "nvm-direct":
+		cfg.Features = config.Features{}
+	case "dram-pool":
+		cfg.Features = config.Features{}
+		cfg.PoolMedia = hmem.DRAMProfile()
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	driver, err := core.Connect(cl, "driver")
+	if err != nil {
+		return err
+	}
+	defer driver.Close()
+
+	corpus := mapreduce.Corpus(*seed, *docs, *docWords, *vocab)
+	inputs, err := mapreduce.StoreInputs(driver, corpus)
+	if err != nil {
+		return err
+	}
+
+	n := *mappers
+	if *reducers > n {
+		n = *reducers
+	}
+	workers := make([]*core.Client, n)
+	for i := range workers {
+		w, err := core.Connect(cl, fmt.Sprintf("worker%d", i))
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		workers[i] = w
+	}
+	j, err := mapreduce.NewJob(mapreduce.Config{
+		Mappers: *mappers, Reducers: *reducers, Partitioner: part,
+	}, workers, mapf, redf)
+	if err != nil {
+		return err
+	}
+	out, stats, err := j.Run(inputs)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s on %s: %d keys\n", *job, *system, len(out))
+	for i, k := range keys {
+		if i >= *top {
+			fmt.Printf("  ... %d more\n", len(keys)-*top)
+			break
+		}
+		fmt.Printf("  %-10s %s\n", k, out[k])
+	}
+	fmt.Printf("job %v (map %v, reduce %v) — %d pairs, %d B shuffled [simulated]\n",
+		stats.JobTime, stats.MapTime, stats.ReduceTime, stats.Pairs, stats.BytesShuffled)
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command gengar-trace synthesizes and replays pool operation traces:
+// capture a representative workload once, replay it against any system
+// variant, and compare simulated timings apples-to-apples.
+//
+// Examples:
+//
+//	gengar-trace synth -out w.trace -objects 1024 -ops 20000
+//	gengar-trace replay -in w.trace -system gengar
+//	gengar-trace replay -in w.trace -system nvm-direct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/hmem"
+	"gengar/internal/server"
+	"gengar/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengar-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: gengar-trace synth|replay [flags]")
+	}
+	switch os.Args[1] {
+	case "synth":
+		return synth(os.Args[2:])
+	case "replay":
+		return replay(os.Args[2:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "workload.trace", "output file")
+		objects  = fs.Int("objects", 1024, "working-set objects")
+		objSize  = fs.Int64("obj-size", 1024, "object size in bytes")
+		ops      = fs.Int("ops", 20000, "operations after the load phase")
+		readFrac = fs.Float64("read-frac", 0.7, "fraction of ops that read")
+		lockFrac = fs.Float64("lock-frac", 0.1, "fraction of writes under locks")
+		seed     = fs.Int64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for _, op := range trace.Synthesize(*seed, *objects, *objSize, *ops, *readFrac, *lockFrac) {
+		if err := w.Append(op); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d ops to %s\n", w.Len(), *out)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "workload.trace", "trace file")
+		system  = fs.String("system", "gengar", "gengar | nvm-direct | dram-pool")
+		servers = fs.Int("servers", 4, "memory servers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	ops, err := trace.Read(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+
+	cfg := config.Default()
+	switch *system {
+	case "gengar":
+	case "nvm-direct":
+		cfg.Features = config.Features{}
+	case "dram-pool":
+		cfg.Features = config.Features{}
+		cfg.PoolMedia = hmem.DRAMProfile()
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	cfg.Servers = *servers
+
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "replayer")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	res, err := trace.Replay(client, ops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d ops in %v simulated (%.0f ops/s)\n",
+		*system, res.Ops, res.SimDuration, res.Throughput)
+	kinds := make([]trace.Kind, 0, len(res.PerKind))
+	for k := range res.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		s := res.PerKind[k]
+		fmt.Printf("  %-8s n=%-7d mean=%-10v p99=%v\n", k, s.Count, s.Mean, s.P99)
+	}
+	st := client.Stats()
+	fmt.Printf("  cache hit rate %.1f%%\n", 100*st.HitRate())
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command gengar-ycsb drives YCSB core workloads against the simulated
+// pool and prints simulated throughput and latency — the standalone
+// version of experiment E7 with every knob exposed.
+//
+// Examples:
+//
+//	gengar-ycsb -workload A -clients 8
+//	gengar-ycsb -workload C -system nvm-direct -records 8192 -theta 1.2
+//	gengar-ycsb -workload all -system all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/hmem"
+	"gengar/internal/server"
+	"gengar/internal/ycsb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengar-ycsb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload   = flag.String("workload", "A", "YCSB workload A-F, or 'all'")
+		system     = flag.String("system", "gengar", "gengar | nvm-direct | dram-pool | all")
+		clients    = flag.Int("clients", 8, "concurrent closed-loop clients")
+		records    = flag.Int("records", 4096, "table size")
+		recordSize = flag.Int("record-size", 1024, "record bytes")
+		ops        = flag.Int("ops", 2000, "operations per client")
+		theta      = flag.Float64("theta", 0, "override zipfian skew (0 = workload default)")
+		servers    = flag.Int("servers", 4, "memory servers")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	var workloads []ycsb.Workload
+	if strings.EqualFold(*workload, "all") {
+		workloads = ycsb.Core()
+	} else {
+		for _, w := range ycsb.Core() {
+			if strings.EqualFold(w.Name, *workload) {
+				workloads = []ycsb.Workload{w}
+			}
+		}
+		if len(workloads) == 0 {
+			return fmt.Errorf("unknown workload %q", *workload)
+		}
+	}
+
+	var systems []string
+	if strings.EqualFold(*system, "all") {
+		systems = []string{"gengar", "nvm-direct", "dram-pool"}
+	} else {
+		systems = []string{strings.ToLower(*system)}
+	}
+
+	fmt.Printf("%-9s %-11s %10s %10s %10s %8s\n",
+		"workload", "system", "kops/s", "read_us", "write_us", "hit")
+	for _, w := range workloads {
+		if *theta > 0 {
+			w.Theta = *theta
+		}
+		w.RecordSize = *recordSize
+		for _, sysName := range systems {
+			cfg, err := systemConfig(sysName, *servers, *records, *recordSize)
+			if err != nil {
+				return err
+			}
+			res, err := runOne(cfg, w, *clients, *records, *ops, *seed)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.Name, sysName, err)
+			}
+			read := res.PerKind[ycsb.OpRead].Mean
+			write := res.PerKind[ycsb.OpUpdate].Mean
+			if write == 0 {
+				write = res.PerKind[ycsb.OpReadModifyWrite].Mean
+			}
+			fmt.Printf("%-9s %-11s %10.1f %10.2f %10.2f %7.1f%%\n",
+				w.Name, sysName, res.Throughput/1e3,
+				float64(read.Nanoseconds())/1e3, float64(write.Nanoseconds())/1e3,
+				100*res.HitRate)
+		}
+	}
+	return nil
+}
+
+func systemConfig(name string, servers, records, recordSize int) (config.Cluster, error) {
+	cfg := config.Default()
+	switch name {
+	case "gengar":
+	case "nvm-direct":
+		cfg.Features = config.Features{}
+	case "dram-pool":
+		cfg.Features = config.Features{}
+		cfg.PoolMedia = hmem.DRAMProfile()
+	default:
+		return cfg, fmt.Errorf("unknown system %q", name)
+	}
+	cfg.Servers = servers
+	dataset := int64(records) * int64(recordSize)
+	for cfg.NVMBytes < dataset*4 {
+		cfg.NVMBytes *= 2
+	}
+	return cfg, nil
+}
+
+func runOne(cfg config.Cluster, w ycsb.Workload, clients, records, ops int, seed int64) (ycsb.Result, error) {
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return ycsb.Result{}, err
+	}
+	defer cl.Close()
+	loader, err := core.Connect(cl, "loader")
+	if err != nil {
+		return ycsb.Result{}, err
+	}
+	defer loader.Close()
+	table, err := ycsb.Load(loader, records, w.RecordSize)
+	if err != nil {
+		return ycsb.Result{}, err
+	}
+	var cs []*core.Client
+	for i := 0; i < clients; i++ {
+		c, err := core.Connect(cl, fmt.Sprintf("c%d", i))
+		if err != nil {
+			return ycsb.Result{}, err
+		}
+		defer c.Close()
+		cs = append(cs, c)
+	}
+	// Warm up, settle, sync views — steady state, as in the harness.
+	if _, err := ycsb.Run(cs, table, w, ops/3+1, seed+7777); err != nil {
+		return ycsb.Result{}, err
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range cl.Registry().Servers() {
+			if err := s.Engine().Barrier(); err != nil {
+				return ycsb.Result{}, err
+			}
+		}
+		for _, c := range cs {
+			if err := c.SyncAllViews(); err != nil {
+				return ycsb.Result{}, err
+			}
+		}
+	}
+	return ycsb.Run(cs, table, w, ops, seed)
+}

@@ -1,0 +1,88 @@
+// Command gengard is a Gengar pool daemon for the real-network
+// deployment mode: it exports a share of this machine's memory as the
+// home of one server ID in the global address space, serving allocation,
+// data access and leased locks over TCP (see internal/tcpnet).
+//
+// A three-server pool on one machine:
+//
+//	gengard -id 1 -listen :7001 &
+//	gengard -id 2 -listen :7002 &
+//	gengard -id 3 -listen :7003 &
+//	gengar-cli -servers localhost:7001,localhost:7002,localhost:7003 demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gengar/internal/tcpnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.Uint("id", 1, "server ID (nonzero; high 16 bits of homed addresses)")
+		listen    = flag.String("listen", ":7001", "TCP listen address")
+		poolBytes = flag.Int64("pool-bytes", 256<<20, "exported pool capacity (power of two)")
+		lease     = flag.Duration("lease", 5*time.Second, "default lock lease")
+		lockWait  = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
+		dataFile  = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
+	)
+	flag.Parse()
+
+	srv, err := tcpnet.NewPoolServer(tcpnet.ServerConfig{
+		ID:             uint16(*id),
+		PoolBytes:      *poolBytes,
+		DefaultLease:   *lease,
+		AcquireTimeout: *lockWait,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataFile != "" {
+		switch err := srv.RestoreSnapshot(*dataFile); {
+		case err == nil:
+			log.Printf("gengard: restored pool from %s", *dataFile)
+		case os.IsNotExist(err):
+			log.Printf("gengard: no snapshot at %s; starting empty", *dataFile)
+		default:
+			return fmt.Errorf("restore %s: %w", *dataFile, err)
+		}
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gengard: server %d exporting %d MiB on %s", *id, *poolBytes>>20, lis.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("gengard: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(lis); err != nil {
+		return err
+	}
+	if *dataFile != "" {
+		if err := srv.WriteSnapshot(*dataFile); err != nil {
+			return fmt.Errorf("snapshot %s: %w", *dataFile, err)
+		}
+		log.Printf("gengard: pool snapshotted to %s", *dataFile)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package gengar_test
+
+import (
+	"fmt"
+	"log"
+
+	"gengar"
+)
+
+// Example shows the minimal lifecycle: open a pool, join as a user,
+// allocate global memory, write and read it back.
+func Example() {
+	pool, err := gengar.Open(gengar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	c, err := pool.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	addr, err := c.Malloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Write(addr, []byte("global memory")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 13)
+	if err := c.Read(addr, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", buf)
+	// Output: global memory
+}
+
+// Example_sharing shows multi-user consistency: a producer publishes
+// under the exclusive lock, and a consumer observes the committed value
+// under a shared lock.
+func Example_sharing() {
+	pool, err := gengar.Open(gengar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	producer, err := pool.NewClient("producer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+	consumer, err := pool.NewClient("consumer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer consumer.Close()
+
+	addr, _ := producer.Malloc(16)
+	if err := producer.LockExclusive(addr); err != nil {
+		log.Fatal(err)
+	}
+	if err := producer.Write(addr, []byte("published value!")); err != nil {
+		log.Fatal(err)
+	}
+	if err := producer.UnlockExclusive(addr); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := consumer.LockShared(addr); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := consumer.Read(addr, got); err != nil {
+		log.Fatal(err)
+	}
+	if err := consumer.UnlockShared(addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", got)
+	// Output: published value!
+}
+
+// Example_optimisticRead shows the lock-free consistent read path:
+// seqlock-validated reads that never touch the lock table.
+func Example_optimisticRead() {
+	pool, err := gengar.Open(gengar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	w, _ := pool.NewClient("writer")
+	defer w.Close()
+	r, _ := pool.NewClient("reader")
+	defer r.Close()
+
+	addr, _ := w.Malloc(8)
+	if err := w.LockExclusive(addr); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Write(addr, []byte("seqlock!")); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.UnlockExclusive(addr); err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, 8)
+	if err := r.ReadOptimistic(addr, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", buf)
+	// Output: seqlock!
+}

@@ -1,0 +1,79 @@
+// mapreduce runs a word-count job whose inputs, shuffle partitions and
+// outputs all live in the Gengar pool — the application benchmark the
+// paper evaluates. Run with:
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gengar"
+	"gengar/internal/mapreduce"
+)
+
+func main() {
+	pool, err := gengar.Open(gengar.DefaultConfig())
+	if err != nil {
+		log.Fatalf("open pool: %v", err)
+	}
+	defer pool.Close()
+
+	// The driver stores a synthetic skewed corpus into the pool.
+	driver, err := pool.NewClient("driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer driver.Close()
+	docs := mapreduce.Corpus(2026, 24, 400, 150)
+	inputs, err := mapreduce.StoreInputs(driver, docs)
+	if err != nil {
+		log.Fatalf("store inputs: %v", err)
+	}
+	fmt.Printf("stored %d documents (%d words each) in the pool\n", len(docs), 400)
+
+	// Four workers, each a pool client.
+	workers := make([]*gengar.Client, 4)
+	for i := range workers {
+		w, err := pool.NewClient(fmt.Sprintf("worker-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+	}
+
+	mapf, reducef := mapreduce.WordCount()
+	job, err := mapreduce.NewJob(mapreduce.Config{Mappers: 4, Reducers: 2}, workers, mapf, reducef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, stats, err := job.Run(inputs)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	// Top five words.
+	type wc struct {
+		word  string
+		count string
+	}
+	var top []wc
+	for w, c := range counts {
+		top = append(top, wc{w, c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if len(top[i].count) != len(top[j].count) {
+			return len(top[i].count) > len(top[j].count)
+		}
+		return top[i].count > top[j].count
+	})
+	fmt.Printf("%d distinct words; top five:\n", len(counts))
+	for _, t := range top[:5] {
+		fmt.Printf("  %-8s %s\n", t.word, t.count)
+	}
+	fmt.Printf("job time %v (map %v + reduce %v, simulated), %d pairs, %d B shuffled through the pool\n",
+		stats.JobTime, stats.MapTime, stats.ReduceTime, stats.Pairs, stats.BytesShuffled)
+}

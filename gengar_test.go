@@ -1,0 +1,121 @@
+package gengar_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gengar"
+)
+
+func openPool(t *testing.T, cfg gengar.Config) *gengar.Pool {
+	t.Helper()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 20
+	cfg.DRAMBufferBytes = 1 << 16
+	cfg.RingBytes = 1 << 23
+	p, err := gengar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	cfg := gengar.DefaultConfig()
+	cfg.Servers = 0
+	if _, err := gengar.Open(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestPublicAPIRoundtrip(t *testing.T) {
+	for _, cfg := range []gengar.Config{
+		gengar.DefaultConfig(),
+		gengar.NVMDirectConfig(),
+		gengar.DRAMPoolConfig(),
+	} {
+		p := openPool(t, cfg)
+		if p.Servers() != 2 {
+			t.Fatalf("Servers = %d", p.Servers())
+		}
+		c, err := p.NewClient("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := c.Malloc(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == gengar.NilGAddr {
+			t.Fatal("nil address")
+		}
+		want := bytes.Repeat([]byte("pool"), 256)
+		if err := c.Write(addr, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if err := c.Read(addr, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("roundtrip mismatch")
+		}
+		if err := c.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		st := p.ServerStats()
+		if len(st) != 2 {
+			t.Fatalf("ServerStats len = %d", len(st))
+		}
+		if st[0].Mallocs+st[1].Mallocs != 1 {
+			t.Fatalf("mallocs = %d+%d", st[0].Mallocs, st[1].Mallocs)
+		}
+		c.Close()
+	}
+}
+
+func TestSharingAcrossClients(t *testing.T) {
+	p := openPool(t, gengar.DefaultConfig())
+	producer, err := p.NewClient("producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	consumer, err := p.NewClient("consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	addr, err := producer.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.LockExclusive(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Write(addr, []byte("shared!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.UnlockExclusive(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := consumer.LockShared(addr); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	if err := consumer.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.UnlockShared(addr); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared!" {
+		t.Fatalf("consumer read %q", got)
+	}
+}

@@ -1,0 +1,3 @@
+module gengar
+
+go 1.22

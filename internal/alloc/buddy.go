@@ -1,0 +1,232 @@
+// Package alloc provides the buddy allocator each Gengar server uses to
+// carve objects out of its NVM pool and DRAM buffer arena.
+//
+// A buddy allocator is a good fit for a remotely-accessed pool: blocks
+// are power-of-two sized and naturally aligned, so every allocation is a
+// valid RDMA target with predictable alignment, and coalescing keeps
+// long-running pools from fragmenting.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Allocator errors.
+var (
+	// ErrOutOfMemory is returned when no free block can satisfy a request.
+	ErrOutOfMemory = errors.New("alloc: out of memory")
+	// ErrBadFree is returned when freeing an address that is not an
+	// allocated block start.
+	ErrBadFree = errors.New("alloc: free of unallocated address")
+)
+
+// MinBlock is the smallest allocatable block size in bytes.
+const MinBlock = 64
+
+const minOrder = 6 // log2(MinBlock)
+
+// Buddy is a binary-buddy allocator over a contiguous arena of
+// power-of-two size. The zero value is not usable; construct with New.
+// It is safe for concurrent use.
+type Buddy struct {
+	mu        sync.Mutex
+	arenaSize int64
+	maxOrder  uint
+	free      []map[int64]struct{} // free[i]: free blocks of order minOrder+i
+	allocated map[int64]uint       // block start -> order
+	allocB    int64                // bytes currently allocated (rounded)
+}
+
+// New returns an allocator over an arena of the given size, which must be
+// a power of two and at least MinBlock.
+func New(arenaSize int64) (*Buddy, error) {
+	if arenaSize < MinBlock || arenaSize&(arenaSize-1) != 0 {
+		return nil, fmt.Errorf("alloc: arena size %d not a power of two >= %d", arenaSize, MinBlock)
+	}
+	maxOrder := uint(bits.Len64(uint64(arenaSize)) - 1)
+	b := &Buddy{
+		arenaSize: arenaSize,
+		maxOrder:  maxOrder,
+		free:      make([]map[int64]struct{}, maxOrder-minOrder+1),
+		allocated: make(map[int64]uint),
+	}
+	for i := range b.free {
+		b.free[i] = make(map[int64]struct{})
+	}
+	b.free[maxOrder-minOrder][0] = struct{}{}
+	return b, nil
+}
+
+// orderFor returns the smallest order whose block size holds size bytes.
+func orderFor(size int64) uint {
+	if size <= MinBlock {
+		return minOrder
+	}
+	return uint(bits.Len64(uint64(size - 1)))
+}
+
+// BlockSize returns the rounded (power-of-two) size an allocation of the
+// given request size actually occupies.
+func BlockSize(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return 1 << orderFor(size)
+}
+
+// Alloc reserves a block of at least size bytes and returns its offset,
+// which is aligned to the rounded block size.
+func (b *Buddy) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("alloc: non-positive size %d", size)
+	}
+	order := orderFor(size)
+	if order > b.maxOrder {
+		return 0, fmt.Errorf("%w: request %d exceeds arena %d", ErrOutOfMemory, size, b.arenaSize)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Find the smallest order with a free block, splitting downward.
+	from := order
+	for from <= b.maxOrder && len(b.free[from-minOrder]) == 0 {
+		from++
+	}
+	if from > b.maxOrder {
+		return 0, fmt.Errorf("%w: no free block for %d bytes", ErrOutOfMemory, size)
+	}
+	var off int64
+	for k := range b.free[from-minOrder] {
+		off = k
+		break
+	}
+	delete(b.free[from-minOrder], off)
+	for from > order {
+		from--
+		// Keep the upper half free, allocate from the lower.
+		b.free[from-minOrder][off+(1<<from)] = struct{}{}
+	}
+	b.allocated[off] = order
+	b.allocB += 1 << order
+	return off, nil
+}
+
+// Free releases a block previously returned by Alloc, coalescing buddies.
+func (b *Buddy) Free(off int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	order, ok := b.allocated[off]
+	if !ok {
+		return fmt.Errorf("%w: offset %d", ErrBadFree, off)
+	}
+	delete(b.allocated, off)
+	b.allocB -= 1 << order
+
+	for order < b.maxOrder {
+		buddy := off ^ (1 << order)
+		if _, free := b.free[order-minOrder][buddy]; !free {
+			break
+		}
+		delete(b.free[order-minOrder], buddy)
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	b.free[order-minOrder][off] = struct{}{}
+	return nil
+}
+
+// SizeOf returns the rounded size of the allocated block at off, or an
+// error if off is not an allocated block start.
+func (b *Buddy) SizeOf(off int64) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	order, ok := b.allocated[off]
+	if !ok {
+		return 0, fmt.Errorf("%w: offset %d", ErrBadFree, off)
+	}
+	return 1 << order, nil
+}
+
+// AllocatedBytes returns the total rounded bytes currently allocated.
+func (b *Buddy) AllocatedBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allocB
+}
+
+// ArenaSize returns the arena capacity in bytes.
+func (b *Buddy) ArenaSize() int64 { return b.arenaSize }
+
+// Allocation describes one live block: its offset and rounded size.
+type Allocation struct {
+	Off  int64
+	Size int64
+}
+
+// Live returns the current allocations sorted by offset — the inventory
+// a snapshot persists.
+func (b *Buddy) Live() []Allocation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Allocation, 0, len(b.allocated))
+	for off, order := range b.allocated {
+		out = append(out, Allocation{Off: off, Size: 1 << order})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+// Reserve allocates the specific block [off, off+BlockSize(size)),
+// splitting free blocks as needed — the restore-path counterpart of
+// Alloc. It fails if the block is not entirely free or off is not
+// aligned to the rounded size.
+func (b *Buddy) Reserve(off, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("alloc: reserve of %d bytes", size)
+	}
+	order := orderFor(size)
+	blk := int64(1) << order
+	if off < 0 || off%blk != 0 || off+blk > b.arenaSize {
+		return fmt.Errorf("alloc: reserve [%d,+%d) misaligned or out of arena", off, blk)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Find the free block that contains off, at this order or above.
+	found := -1
+	var container int64
+	for o := order; o <= b.maxOrder; o++ {
+		cand := off &^ (int64(1)<<o - 1)
+		if _, ok := b.free[o-minOrder][cand]; ok {
+			found, container = int(o), cand
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("%w: [%d,+%d) overlaps a live allocation", ErrBadFree, off, blk)
+	}
+	delete(b.free[found-minOrder], container)
+	// Split down, freeing the halves that do not contain off.
+	cur := container
+	for o := uint(found); o > order; o-- {
+		half := int64(1) << (o - 1)
+		if off < cur+half {
+			b.free[o-1-minOrder][cur+half] = struct{}{}
+		} else {
+			b.free[o-1-minOrder][cur] = struct{}{}
+			cur += half
+		}
+	}
+	b.allocated[off] = order
+	b.allocB += blk
+	return nil
+}

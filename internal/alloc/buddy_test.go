@@ -1,0 +1,317 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int64{0, -64, 63, 100, MinBlock - 1} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%d) accepted", bad)
+		}
+	}
+	b, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ArenaSize() != 1<<20 {
+		t.Fatalf("ArenaSize = %d", b.ArenaSize())
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {-5, 0}, {1, 64}, {64, 64}, {65, 128}, {100, 128},
+		{128, 128}, {4096, 4096}, {4097, 8192},
+	}
+	for _, c := range cases {
+		if got := BlockSize(c.in); got != c.want {
+			t.Errorf("BlockSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	b, _ := New(1 << 16)
+	for _, size := range []int64{1, 64, 100, 1000, 4096} {
+		off, err := b.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off%BlockSize(size) != 0 {
+			t.Errorf("Alloc(%d) at %d not aligned to %d", size, off, BlockSize(size))
+		}
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	b, _ := New(1 << 12)
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := b.Alloc(-1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := b.Alloc(1 << 13); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("oversized request not OOM")
+	}
+	if _, err := b.Alloc(1 << 12); err != nil {
+		t.Fatalf("whole-arena alloc failed: %v", err)
+	}
+	if _, err := b.Alloc(64); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("alloc from full arena not OOM")
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	b, _ := New(1 << 12)
+	if err := b.Free(0); !errors.Is(err, ErrBadFree) {
+		t.Fatal("free of never-allocated accepted")
+	}
+	off, _ := b.Alloc(64)
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(off); !errors.Is(err, ErrBadFree) {
+		t.Fatal("double free accepted")
+	}
+	if err := b.Free(off + 1); !errors.Is(err, ErrBadFree) {
+		t.Fatal("interior free accepted")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	b, _ := New(1 << 12)
+	off, _ := b.Alloc(100)
+	sz, err := b.SizeOf(off)
+	if err != nil || sz != 128 {
+		t.Fatalf("SizeOf = %d, %v", sz, err)
+	}
+	if _, err := b.SizeOf(12345); !errors.Is(err, ErrBadFree) {
+		t.Fatal("SizeOf of bogus offset succeeded")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	// Fill the arena with min blocks, free them all, then the whole arena
+	// must again be allocatable as one block.
+	const arena = 1 << 12
+	b, _ := New(arena)
+	var offs []int64
+	for {
+		off, err := b.Alloc(MinBlock)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) != arena/MinBlock {
+		t.Fatalf("filled %d blocks, want %d", len(offs), arena/MinBlock)
+	}
+	for _, off := range offs {
+		if err := b.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.AllocatedBytes() != 0 {
+		t.Fatalf("AllocatedBytes = %d after freeing all", b.AllocatedBytes())
+	}
+	if _, err := b.Alloc(arena); err != nil {
+		t.Fatalf("arena did not coalesce: %v", err)
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	// Property: live allocations never overlap and stay in the arena,
+	// across random alloc/free sequences.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const arena = 1 << 16
+		b, err := New(arena)
+		if err != nil {
+			return false
+		}
+		live := make(map[int64]int64) // off -> rounded size
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				for off := range live {
+					if b.Free(off) != nil {
+						return false
+					}
+					delete(live, off)
+					break
+				}
+				continue
+			}
+			size := int64(1 + rng.Intn(2048))
+			off, err := b.Alloc(size)
+			if errors.Is(err, ErrOutOfMemory) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			rounded := BlockSize(size)
+			if off < 0 || off+rounded > arena {
+				return false
+			}
+			for o, s := range live {
+				if off < o+s && o < off+rounded {
+					return false // overlap
+				}
+			}
+			live[off] = rounded
+		}
+		var sum int64
+		for _, s := range live {
+			sum += s
+		}
+		return sum == b.AllocatedBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	b, _ := New(1 << 20)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var mine []int64
+			for i := 0; i < 200; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					off := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := b.Free(off); err != nil {
+						t.Errorf("Free: %v", err)
+						return
+					}
+					continue
+				}
+				off, err := b.Alloc(int64(64 + rng.Intn(1024)))
+				if errors.Is(err, ErrOutOfMemory) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("Alloc: %v", err)
+					return
+				}
+				mine = append(mine, off)
+			}
+			for _, off := range mine {
+				if err := b.Free(off); err != nil {
+					t.Errorf("final Free: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.AllocatedBytes() != 0 {
+		t.Fatalf("leaked %d bytes", b.AllocatedBytes())
+	}
+}
+
+func TestLiveInventory(t *testing.T) {
+	b, _ := New(1 << 12)
+	if len(b.Live()) != 0 {
+		t.Fatal("fresh arena has live blocks")
+	}
+	o1, _ := b.Alloc(100) // 128
+	o2, _ := b.Alloc(600) // 1024
+	live := b.Live()
+	if len(live) != 2 {
+		t.Fatalf("live = %v", live)
+	}
+	want := map[int64]int64{o1: 128, o2: 1024}
+	for _, a := range live {
+		if want[a.Off] != a.Size {
+			t.Fatalf("live entry %+v", a)
+		}
+	}
+	if live[0].Off > live[1].Off {
+		t.Fatal("live not sorted")
+	}
+}
+
+func TestReserveRestoresExactLayout(t *testing.T) {
+	// Allocate a random layout, snapshot it, rebuild via Reserve, and
+	// check the allocators agree byte-for-byte on free space.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const arena = 1 << 14
+		orig, err := New(arena)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := orig.Alloc(int64(64 + rng.Intn(1024))); errors.Is(err, ErrOutOfMemory) {
+				break
+			}
+		}
+		live := orig.Live()
+
+		restored, err := New(arena)
+		if err != nil {
+			return false
+		}
+		for _, a := range live {
+			if err := restored.Reserve(a.Off, a.Size); err != nil {
+				return false
+			}
+		}
+		if restored.AllocatedBytes() != orig.AllocatedBytes() {
+			return false
+		}
+		// Every restored block frees cleanly and the arena coalesces.
+		for _, a := range live {
+			if restored.Free(a.Off) != nil {
+				return false
+			}
+		}
+		_, err = restored.Alloc(arena)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	b, _ := New(1 << 12)
+	if err := b.Reserve(0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := b.Reserve(33, 64); err == nil {
+		t.Fatal("misaligned reserve accepted")
+	}
+	if err := b.Reserve(1<<12, 64); err == nil {
+		t.Fatal("out-of-arena reserve accepted")
+	}
+	if err := b.Reserve(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping reserve fails.
+	if err := b.Reserve(0, 64); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double reserve: %v", err)
+	}
+	if err := b.Reserve(0, 4096); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("containing reserve over live block: %v", err)
+	}
+	// Reserve then regular Alloc never overlaps it.
+	off, err := b.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off == 0 {
+		t.Fatal("Alloc returned a reserved block")
+	}
+}

@@ -1,0 +1,195 @@
+// Package baseline implements comparator designs evaluated against
+// Gengar beyond the two headline configurations (the NVM-direct DSHM and
+// the DRAM-only pool are pure feature/media presets — see
+// config.NVMDirect and config.DRAMPool).
+//
+// ClientCache is the architectural alternative to Gengar's server-side
+// distributed DRAM buffers: GAM-style client-local caching with version
+// validation. Each client keeps hot objects in its own memory; every
+// cached read still pays a one-sided version check against the home
+// server, and a mismatch re-fetches. The comparison isolates the
+// design question the paper answers implicitly: where should the DRAM
+// copy live — at the (shared, write-through-coherent) server, or at each
+// client (private, validation-coherent)?
+package baseline
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+)
+
+// ClientCache wraps a pool client (normally connected to an NVM-direct
+// cluster) with a private validation-coherent object cache.
+//
+// Protocol per cached read: read the object's version word (one small
+// one-sided atomic); if it matches the cached copy's version, serve
+// locally; otherwise fetch the whole object and cache it with the
+// version observed *before* the fetch (conservative: a racing writer
+// forces another validation miss rather than a stale hit).
+//
+// Like the underlying client, a ClientCache models one application
+// thread.
+type ClientCache struct {
+	c        *core.Client
+	capacity int64
+
+	mu    sync.Mutex
+	used  int64
+	lru   *list.List               // front = most recent; values are *ccEntry
+	items map[region.GAddr]*ccEntry
+
+	hits        metrics.Counter
+	validations metrics.Counter
+	misses      metrics.Counter
+}
+
+type ccEntry struct {
+	addr    region.GAddr
+	version uint64
+	data    []byte
+	elem    *list.Element
+}
+
+// NewClientCache wraps c with a private cache of the given capacity in
+// bytes. Objects are cached whole at their base address.
+func NewClientCache(c *core.Client, capacity int64) (*ClientCache, error) {
+	if c == nil {
+		return nil, fmt.Errorf("baseline: nil client")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("baseline: cache capacity %d", capacity)
+	}
+	return &ClientCache{
+		c:        c,
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[region.GAddr]*ccEntry),
+	}, nil
+}
+
+// Client returns the wrapped pool client (for writes, locks, stats).
+func (cc *ClientCache) Client() *core.Client { return cc.c }
+
+// Read fills buf with len(buf) bytes from the object based at base.
+// Reads are whole-object-rooted: base must be the object's base address
+// (the common KV pattern), and len(buf) its size.
+func (cc *ClientCache) Read(base region.GAddr, buf []byte) error {
+	cc.mu.Lock()
+	ent := cc.items[base]
+	cc.mu.Unlock()
+
+	if ent != nil {
+		// Validate: one small one-sided read of the version word.
+		v, err := cc.c.Version(base)
+		if err != nil {
+			return err
+		}
+		cc.validations.Inc()
+		cc.mu.Lock()
+		// Re-look-up: the entry may have been evicted while validating.
+		if ent = cc.items[base]; ent != nil && ent.version == v && len(ent.data) >= len(buf) {
+			copy(buf, ent.data)
+			cc.lru.MoveToFront(ent.elem)
+			cc.mu.Unlock()
+			cc.hits.Inc()
+			return nil
+		}
+		cc.mu.Unlock()
+	}
+
+	// Miss: version first, then the data — a writer racing the fetch
+	// bumps the version and the next read re-validates.
+	v, err := cc.c.Version(base)
+	if err != nil {
+		return err
+	}
+	if err := cc.c.Read(base, buf); err != nil {
+		return err
+	}
+	cc.misses.Inc()
+	cc.insert(base, v, buf)
+	return nil
+}
+
+func (cc *ClientCache) insert(base region.GAddr, version uint64, data []byte) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if int64(len(data)) > cc.capacity {
+		return // never fits
+	}
+	if old := cc.items[base]; old != nil {
+		cc.used -= int64(len(old.data))
+		cc.lru.Remove(old.elem)
+		delete(cc.items, base)
+	}
+	for cc.used+int64(len(data)) > cc.capacity {
+		tail := cc.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*ccEntry)
+		cc.used -= int64(len(victim.data))
+		cc.lru.Remove(tail)
+		delete(cc.items, victim.addr)
+	}
+	ent := &ccEntry{addr: base, version: version, data: append([]byte(nil), data...)}
+	ent.elem = cc.lru.PushFront(ent)
+	cc.items[base] = ent
+	cc.used += int64(len(data))
+}
+
+// Write stores data at the object base and updates the local copy. The
+// underlying write bumps no version (versions move under locks), so the
+// local copy keeps the last validated version — our own write is
+// coherent with it by construction (single-writer or locked usage).
+func (cc *ClientCache) Write(base region.GAddr, data []byte) error {
+	if err := cc.c.Write(base, data); err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	if ent := cc.items[base]; ent != nil && len(ent.data) >= len(data) {
+		copy(ent.data, data)
+		cc.lru.MoveToFront(ent.elem)
+	}
+	cc.mu.Unlock()
+	return nil
+}
+
+// Invalidate drops the local copy of base (callers do this when another
+// client's lock release signals a change they must observe immediately).
+func (cc *ClientCache) Invalidate(base region.GAddr) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if ent := cc.items[base]; ent != nil {
+		cc.used -= int64(len(ent.data))
+		cc.lru.Remove(ent.elem)
+		delete(cc.items, base)
+	}
+}
+
+// CacheStats reports the private cache's effectiveness.
+type CacheStats struct {
+	Hits        int64 // validated local serves
+	Validations int64 // version checks for present entries
+	Misses      int64 // full fetches
+	UsedBytes   int64
+	Entries     int
+}
+
+// Stats returns a snapshot.
+func (cc *ClientCache) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return CacheStats{
+		Hits:        cc.hits.Load(),
+		Validations: cc.validations.Load(),
+		Misses:      cc.misses.Load(),
+		UsedBytes:   cc.used,
+		Entries:     len(cc.items),
+	}
+}

@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/region"
+	"gengar/internal/server"
+)
+
+func newDirectCluster(t *testing.T) *server.Cluster {
+	t.Helper()
+	cfg := config.NVMDirect()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 22
+	c, err := server.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func connectTo(t *testing.T, c *server.Cluster, name string) *core.Client {
+	t.Helper()
+	cl, err := core.Connect(c, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func newDirectClient(t *testing.T) *core.Client {
+	t.Helper()
+	return connectTo(t, newDirectCluster(t), "cc")
+}
+
+func TestNewClientCacheValidation(t *testing.T) {
+	cl := newDirectClient(t)
+	if _, err := NewClientCache(nil, 1024); err == nil {
+		t.Fatal("nil client accepted")
+	}
+	if _, err := NewClientCache(cl, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestClientCacheHitFlow(t *testing.T) {
+	cl := newDirectClient(t)
+	cc, err := NewClientCache(cl, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Client() != cl {
+		t.Fatal("Client accessor")
+	}
+	addr, _ := cl.Malloc(256)
+	want := bytes.Repeat([]byte{9}, 256)
+	if err := cc.Write(addr, want); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	// First read: miss + fill.
+	if err := cc.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("first read wrong data")
+	}
+	st := cc.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("after miss: %+v", st)
+	}
+	// Second read: validated local hit.
+	if err := cc.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	st = cc.Stats()
+	if st.Hits != 1 || st.Validations != 1 {
+		t.Fatalf("after hit: %+v", st)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("hit returned wrong data")
+	}
+}
+
+func TestClientCacheInvalidatedByVersionBump(t *testing.T) {
+	cluster := newDirectCluster(t)
+	cl := connectTo(t, cluster, "reader")
+	other := connectTo(t, cluster, "writer")
+	cc, err := NewClientCache(cl, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := cl.Malloc(64)
+	if err := cc.Write(addr, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := cc.Read(addr, buf); err != nil { // fill
+		t.Fatal(err)
+	}
+	// Another client updates the object under the lock (bumping the
+	// version); the cached copy must not be served afterwards.
+	if err := other.LockExclusive(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Write(addr, bytes.Repeat([]byte{2}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.UnlockExclusive(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 2 {
+			t.Fatalf("stale byte %d at %d after version bump", b, i)
+		}
+	}
+	st := cc.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("expected a re-fetch: %+v", st)
+	}
+}
+
+func TestClientCacheEviction(t *testing.T) {
+	cl := newDirectClient(t)
+	cc, err := NewClientCache(cl, 256) // fits two 128B objects
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []region.GAddr
+	for i := 0; i < 3; i++ {
+		a, err := cl.Malloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cc.Write(a, bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	buf := make([]byte, 128)
+	for _, a := range addrs { // fill: third insert evicts the first
+		if err := cc.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cc.Stats()
+	if st.Entries != 2 || st.UsedBytes != 256 {
+		t.Fatalf("eviction: %+v", st)
+	}
+	// Oversized objects are never cached.
+	big, _ := cl.Malloc(1024)
+	bigBuf := make([]byte, 1024)
+	if err := cl.Write(big, bigBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Read(big, bigBuf); err != nil {
+		t.Fatal(err)
+	}
+	if cc.Stats().Entries != 2 {
+		t.Fatal("oversized object cached")
+	}
+}
+
+func TestClientCacheInvalidate(t *testing.T) {
+	cl := newDirectClient(t)
+	cc, _ := NewClientCache(cl, 1<<16)
+	addr, _ := cl.Malloc(64)
+	buf := make([]byte, 64)
+	if err := cc.Write(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	cc.Invalidate(addr)
+	cc.Invalidate(addr) // idempotent
+	if st := cc.Stats(); st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("after invalidate: %+v", st)
+	}
+}
+
+func TestClientCacheWriteThroughOwnCopy(t *testing.T) {
+	cl := newDirectClient(t)
+	cc, _ := NewClientCache(cl, 1<<16)
+	addr, _ := cl.Malloc(64)
+	if err := cc.Write(addr, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := cc.Read(addr, buf); err != nil { // fill
+		t.Fatal(err)
+	}
+	if err := cc.Write(addr, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 || buf[63] != 7 {
+		t.Fatal("own write not visible through cache")
+	}
+}

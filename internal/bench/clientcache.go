@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"gengar/internal/baseline"
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+)
+
+// E13ClientCache: the architectural ablation — where should the DRAM
+// copy live? Gengar's server-side distributed buffers (shared,
+// write-through-coherent, one full-data READ per hit) against GAM-style
+// client-local caches (private, validation-coherent: one version-check
+// round trip per hit, no data transfer). The crossover is object size:
+// validation wins once the data transfer dominates the round trip.
+func E13ClientCache(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   "Server-side (Gengar) vs client-side (GAM-style) caching: read latency",
+		Columns: []string{"obj_B", "Gengar_us", "ClientCache_us", "NVM-Direct_us", "Gengar_hit", "CC_hit"},
+	}
+	for _, objSize := range []int{256, 1024, 4096, 16384} {
+		g, gHit, err := serverCacheRead(s, objSize)
+		if err != nil {
+			return nil, fmt.Errorf("E13 gengar %dB: %w", objSize, err)
+		}
+		cc, ccHit, err := clientCacheRead(s, objSize, true)
+		if err != nil {
+			return nil, fmt.Errorf("E13 client-cache %dB: %w", objSize, err)
+		}
+		direct, _, err := clientCacheRead(s, objSize, false)
+		if err != nil {
+			return nil, fmt.Errorf("E13 direct %dB: %w", objSize, err)
+		}
+		t.AddRow(strconv.Itoa(objSize), us(g.Mean), us(cc.Mean), us(direct.Mean),
+			pct(gHit), pct(ccHit))
+	}
+	t.Note("shape: per-hit, validation beats data transfer as objects grow; but the server cache keeps write-through coherence for free and its sketch-driven hot set can out-select client LRU under load")
+	return t, nil
+}
+
+// e13SizePool grows the NVM pool to hold the row's working set with
+// headroom for allocator rounding.
+func e13SizePool(cfg *config.Cluster, s Scale, objSize int) {
+	need := int64(e13Objects(s, objSize)) * int64(objSize) * 4 / int64(cfg.Servers)
+	for cfg.NVMBytes < need {
+		cfg.NVMBytes *= 2
+	}
+}
+
+// e13Objects sizes the working set: enough objects for a zipfian hot
+// set, scaled down so large-object rows still fit the pool.
+func e13Objects(s Scale, objSize int) int {
+	n := s.Records
+	for n*objSize > 8<<20 && n > 64 {
+		n /= 2
+	}
+	return n
+}
+
+// serverCacheRead measures whole-object reads on full Gengar.
+func serverCacheRead(s Scale, objSize int) (metrics.Summary, float64, error) {
+	cfg := baseConfig(s, 0.125)
+	e13SizePool(&cfg, s, objSize)
+	// Single-client rows advance simulated time slowly; a tighter plan
+	// period lets warm-up promotions land at every object size.
+	cfg.Hotness.PlanEvery = 50 * time.Microsecond
+	cfg.DRAMBufferBytes = pow2Floor(int64(e13Objects(s, objSize)) * int64(objSize) / 8)
+	if cfg.DRAMBufferBytes < 1<<15 {
+		cfg.DRAMBufferBytes = 1 << 15
+	}
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "reader")
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	defer client.Close()
+
+	addrs, err := e13Load(client, e13Objects(s, objSize), objSize)
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	warm := s.OpsPerClient / 2
+	if err := e13ReadLoop(nil, client, addrs, objSize, warm, 101); err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	for _, srv := range cl.Registry().Servers() {
+		if err := srv.Engine().Barrier(); err != nil {
+			return metrics.Summary{}, 0, err
+		}
+	}
+	if err := client.SyncAllViews(); err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	st0 := client.Stats()
+	var hist metrics.Histogram
+	if err := e13MeasuredLoop(&hist, func(a region.GAddr, buf []byte) error {
+		return client.Read(a, buf)
+	}, client, addrs, objSize, s.OpsPerClient, 102); err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	st1 := client.Stats()
+	hit := metrics.Ratio(st1.CacheHits-st0.CacheHits,
+		(st1.CacheHits-st0.CacheHits)+(st1.CacheMiss-st0.CacheMiss))
+	return hist.Summarize(), hit, nil
+}
+
+// clientCacheRead measures whole-object reads through a private
+// validation cache over the NVM-direct pool (or without any cache).
+func clientCacheRead(s Scale, objSize int, withCache bool) (metrics.Summary, float64, error) {
+	cfg := baseConfig(s, 0.125)
+	e13SizePool(&cfg, s, objSize)
+	cfg.Features = config.Features{}
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "reader")
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	defer client.Close()
+
+	objects := e13Objects(s, objSize)
+	addrs, err := e13Load(client, objects, objSize)
+	if err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	read := func(a region.GAddr, buf []byte) error { return client.Read(a, buf) }
+	var cc *baseline.ClientCache
+	if withCache {
+		// Same capacity share as Gengar's buffers get in serverCacheRead.
+		capacity := int64(objects) * int64(objSize) / 8
+		if capacity < 1<<15 {
+			capacity = 1 << 15
+		}
+		if cc, err = baseline.NewClientCache(client, capacity); err != nil {
+			return metrics.Summary{}, 0, err
+		}
+		read = cc.Read
+		if err := e13MeasuredLoop(nil, read, client, addrs, objSize, s.OpsPerClient/2, 101); err != nil {
+			return metrics.Summary{}, 0, err // warm the private cache
+		}
+	}
+	var hist metrics.Histogram
+	if err := e13MeasuredLoop(&hist, read, client, addrs, objSize, s.OpsPerClient, 102); err != nil {
+		return metrics.Summary{}, 0, err
+	}
+	var hit float64
+	if cc != nil {
+		st := cc.Stats()
+		hit = metrics.Ratio(st.Hits, st.Hits+st.Misses)
+	}
+	return hist.Summarize(), hit, nil
+}
+
+func e13Load(client *core.Client, objects, objSize int) ([]region.GAddr, error) {
+	addrs := make([]region.GAddr, objects)
+	row := make([]byte, objSize)
+	for i := range addrs {
+		a, err := client.Malloc(int64(objSize))
+		if err != nil {
+			return nil, err
+		}
+		if err := client.Write(a, row); err != nil {
+			return nil, err
+		}
+		addrs[i] = a
+	}
+	return addrs, client.Flush()
+}
+
+func e13ReadLoop(hist *metrics.Histogram, client *core.Client, addrs []region.GAddr, objSize, ops int, seed int64) error {
+	return e13MeasuredLoop(hist, func(a region.GAddr, buf []byte) error {
+		return client.Read(a, buf)
+	}, client, addrs, objSize, ops, seed)
+}
+
+func e13MeasuredLoop(hist *metrics.Histogram, read func(region.GAddr, []byte) error, client *core.Client, addrs []region.GAddr, objSize, ops int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 8, uint64(len(addrs)-1))
+	buf := make([]byte, objSize)
+	for i := 0; i < ops; i++ {
+		a := addrs[zipf.Uint64()]
+		before := client.Now()
+		if err := read(a, buf); err != nil {
+			return err
+		}
+		if hist != nil {
+			hist.Record(client.Now().Sub(before))
+		}
+	}
+	return nil
+}

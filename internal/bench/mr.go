@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/mapreduce"
+	"gengar/internal/server"
+)
+
+// mrJob names one benchmark job.
+type mrJob struct {
+	name string
+	mapf mapreduce.MapFunc
+	redf mapreduce.ReduceFunc
+	part mapreduce.Partitioner
+}
+
+func mrJobs() []mrJob {
+	wcM, wcR := mapreduce.WordCount()
+	grM, grR := mapreduce.Grep("w00")
+	soM, soR := mapreduce.Sort()
+	return []mrJob{
+		{"WordCount", wcM, wcR, nil},
+		{"Grep", grM, grR, nil},
+		{"Sort", soM, soR, mapreduce.RangePartition},
+	}
+}
+
+// E11MapReduce: job completion time for WordCount, Grep and Sort on each
+// system — the application-level table.
+func E11MapReduce(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "MapReduce job completion time (simulated ms)",
+		Columns: []string{"job", "Gengar_ms", "NVM-Direct_ms", "DRAM-Pool_ms", "Direct/Gengar"},
+	}
+	for _, job := range mrJobs() {
+		row := []string{job.name}
+		var g, d float64
+		for _, sy := range systems(s) {
+			ms, err := mrRun(sy.cfg, s, job)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s/%s: %w", job.name, sy.name, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", ms))
+			switch sy.name {
+			case "Gengar":
+				g = ms
+			case "NVM-Direct":
+				d = ms
+			}
+		}
+		row = append(row, speedup(g, d)) // >1x means Gengar completes faster
+		t.AddRow(row...)
+	}
+	t.Note("shape: Gengar between NVM-Direct and DRAM-Pool; shuffle writes gain from the proxy")
+	return t, nil
+}
+
+// mrRun executes one job on a fresh cluster and returns the simulated
+// job time in milliseconds.
+func mrRun(cfg config.Cluster, s Scale, job mrJob) (float64, error) {
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+
+	driver, err := core.Connect(cl, "driver")
+	if err != nil {
+		return 0, err
+	}
+	defer driver.Close()
+	docs := mapreduce.Corpus(41, s.MRDocs, s.MRDocWords, 200)
+	inputs, err := mapreduce.StoreInputs(driver, docs)
+	if err != nil {
+		return 0, err
+	}
+
+	const workersN = 4
+	workers := make([]*core.Client, workersN)
+	for i := range workers {
+		w, err := core.Connect(cl, fmt.Sprintf("worker%d", i))
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		workers[i] = w
+	}
+	j, err := mapreduce.NewJob(mapreduce.Config{
+		Mappers:     workersN,
+		Reducers:    workersN / 2,
+		Partitioner: job.part,
+	}, workers, job.mapf, job.redf)
+	if err != nil {
+		return 0, err
+	}
+	_, stats, err := j.Run(inputs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(stats.JobTime.Microseconds()) / 1e3, nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gengar/internal/ycsb"
+)
+
+// E14NVMSensitivity: forward-looking sensitivity — how much of Gengar's
+// advantage survives as NVM technology changes? Sweeps the pool media's
+// read latency and write bandwidth around the Optane operating point
+// (faster next-generation parts above, denser/slower parts below) and
+// reports the improvement over the NVM-direct baseline on the mixed
+// workload.
+func E14NVMSensitivity(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Sensitivity to NVM technology (YCSB-A improvement over NVM-direct)",
+		Columns: []string{"read_lat_ns", "write_GBps", "Gengar_kops", "Direct_kops", "improvement"},
+	}
+	type point struct {
+		readLat time.Duration
+		writeBW float64
+	}
+	points := []point{
+		{150 * time.Nanosecond, 4.0}, // next-gen: faster reads, 2x write BW
+		{300 * time.Nanosecond, 2.0}, // Optane DC PMM operating point
+		{600 * time.Nanosecond, 1.0}, // denser/slower media
+		{1200 * time.Nanosecond, 0.5},
+	}
+	for _, p := range points {
+		gengar := baseConfig(s, 0.125)
+		gengar.PoolMedia.ReadLatency = p.readLat
+		gengar.PoolMedia.WriteBytesPerSec = p.writeBW * 1e9
+		direct := gengar
+		direct.Features = featuresOff()
+
+		w := ycsb.A()
+		g, _, err := ycsbRun(gengar, w, s, s.Clients, 47)
+		if err != nil {
+			return nil, fmt.Errorf("E14 gengar lat=%v: %w", p.readLat, err)
+		}
+		d, _, err := ycsbRun(direct, w, s, s.Clients, 47)
+		if err != nil {
+			return nil, fmt.Errorf("E14 direct lat=%v: %w", p.readLat, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p.readLat.Nanoseconds()),
+			fmt.Sprintf("%.1f", p.writeBW),
+			kops(g.Throughput), kops(d.Throughput),
+			pct(g.Throughput/d.Throughput-1),
+		)
+	}
+	t.Note("shape: improvement shrinks as NVM approaches DRAM and grows as it degrades — Gengar's value is proportional to the device asymmetry it hides")
+	return t, nil
+}

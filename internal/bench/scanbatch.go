@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+)
+
+// E15ScanBatching: the doorbell-batching study — a k-record scan posted
+// as one chained work request per server versus k dependent round
+// trips. This is the optimization behind YCSB-E's numbers and the
+// reason real RDMA KV stores batch their range reads.
+func E15ScanBatching(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Scan latency: doorbell-batched vs sequential reads",
+		Columns: []string{"scan_len", "sequential_us", "batched_us", "speedup"},
+	}
+	cfg := baseConfig(s, 0.125)
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "scanner")
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	const records = 256
+	addrs, err := e13Load(client, records, s.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		seq, bat, err := scanPair(client, addrs, s.RecordSize, k, s.OpsPerClient/4+8)
+		if err != nil {
+			return nil, fmt.Errorf("E15 k=%d: %w", k, err)
+		}
+		t.AddRow(strconv.Itoa(k), us(seq.Mean), us(bat.Mean), speedup(float64(bat.Mean), float64(seq.Mean)))
+	}
+	t.Note("shape: batched scans approach one round trip + serialization; sequential scans pay k dependent RTTs")
+	return t, nil
+}
+
+// scanPair measures one scan length both ways over rotating windows of
+// the table.
+func scanPair(client *core.Client, addrs []region.GAddr, recordSize, k, iters int) (seq, bat metrics.Summary, err error) {
+	var seqH, batH metrics.Histogram
+	bufs := make([][]byte, k)
+	for i := range bufs {
+		bufs[i] = make([]byte, recordSize)
+	}
+	window := make([]region.GAddr, k)
+	for it := 0; it < iters; it++ {
+		base := (it * k) % (len(addrs) - k)
+		copy(window, addrs[base:base+k])
+
+		before := client.Now()
+		for i := 0; i < k; i++ {
+			if err := client.Read(window[i], bufs[i]); err != nil {
+				return seq, bat, err
+			}
+		}
+		seqH.Record(client.Now().Sub(before))
+
+		before = client.Now()
+		if err := client.ReadMulti(window, bufs); err != nil {
+			return seq, bat, err
+		}
+		batH.Record(client.Now().Sub(before))
+	}
+	return seqH.Summarize(), batH.Summarize(), nil
+}

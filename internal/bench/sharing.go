@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+	"gengar/internal/simnet"
+)
+
+// E10Sharing: multi-user consistency cost — throughput of locked
+// read-modify-write critical sections as the number of users sharing one
+// object grows, against the same population working on private objects.
+func E10Sharing(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Multi-user sharing: locked RMW throughput vs sharers",
+		Columns: []string{"clients", "shared_kops", "private_kops", "lock_us_p99"},
+	}
+	for _, n := range sharerSweep(s) {
+		shared, lockLat, err := sharingRun(s, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("E10 shared n=%d: %w", n, err)
+		}
+		private, _, err := sharingRun(s, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("E10 private n=%d: %w", n, err)
+		}
+		t.AddRow(strconv.Itoa(n), kops(shared), kops(private), us(lockLat.P99))
+	}
+	t.Note("shape: private scales with clients; shared serializes on the lock — consistency, not meltdown")
+	return t, nil
+}
+
+// sharingRun measures locked RMW sections with n clients on one shared
+// object (shared=true) or n private objects.
+func sharingRun(s Scale, n int, shared bool) (throughput float64, lockLat metrics.Summary, err error) {
+	cfg := baseConfig(s, 0.125)
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return 0, lockLat, err
+	}
+	defer cl.Close()
+
+	setup, err := core.Connect(cl, "setup")
+	if err != nil {
+		return 0, lockLat, err
+	}
+	defer setup.Close()
+
+	objSize := int64(s.RecordSize)
+	var sharedAddr region.GAddr
+	if shared {
+		if sharedAddr, err = setup.Malloc(objSize); err != nil {
+			return 0, lockLat, err
+		}
+		if err = setup.Write(sharedAddr, make([]byte, objSize)); err != nil {
+			return 0, lockLat, err
+		}
+	}
+
+	if err := setup.Flush(); err != nil {
+		return 0, lockLat, err
+	}
+
+	ops := s.OpsPerClient / 3
+	if ops < 20 {
+		ops = 20
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		minStart simnet.Time
+		maxEnd   simnet.Time
+		total    int64
+		lockHist metrics.Histogram
+	)
+	type actor struct {
+		c    *core.Client
+		addr region.GAddr
+		pace *simnet.GateHandle
+	}
+	var actors []actor
+	gate := simnet.NewGate(20 * time.Microsecond)
+	var startAt simnet.Time
+	for i := 0; i < n; i++ {
+		c, cerr := core.Connect(cl, fmt.Sprintf("sharer%d", i))
+		if cerr != nil {
+			return 0, lockLat, cerr
+		}
+		defer c.Close()
+		addr := sharedAddr
+		if !shared {
+			// Spread private objects across home servers, as a real
+			// allocator balancing per-user working sets would.
+			home := uint16(i%cfg.Servers) + 1
+			if addr, err = c.MallocOn(home, objSize); err != nil {
+				return 0, lockLat, err
+			}
+			if err = c.Write(addr, make([]byte, objSize)); err != nil {
+				return 0, lockLat, err
+			}
+		}
+		c.AdvanceToFrontier()
+		if now := c.Now(); now > startAt {
+			startAt = now
+		}
+		actors = append(actors, actor{c: c, addr: addr})
+	}
+	for i := range actors {
+		actors[i].c.AdvanceTo(startAt)
+		actors[i].pace = gate.Join(startAt)
+	}
+	for i := range actors {
+		wg.Add(1)
+		go func(c *core.Client, addr region.GAddr, pace *simnet.GateHandle, first bool) {
+			defer wg.Done()
+			defer pace.Leave()
+			buf := make([]byte, objSize)
+			start := c.Now()
+			for op := 0; op < ops; op++ {
+				before := c.Now()
+				pace.Advance(before)
+				if err := c.LockExclusive(addr); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lockHist.Record(c.Now().Sub(before))
+				if err := c.Read(addr, buf); err == nil {
+					buf[0]++
+					_ = c.Write(addr, buf)
+				}
+				if err := c.UnlockExclusive(addr); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			end := c.Now()
+			mu.Lock()
+			if first || start < minStart {
+				minStart = start
+			}
+			if end > maxEnd {
+				maxEnd = end
+			}
+			total += int64(ops)
+			mu.Unlock()
+		}(actors[i].c, actors[i].addr, actors[i].pace, i == 0)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, lockLat, firstErr
+	}
+	dur := maxEnd.Sub(minStart)
+	if dur > 0 {
+		throughput = float64(total) / dur.Seconds()
+	}
+	return throughput, lockHist.Summarize(), nil
+}
+
+func sharerSweep(s Scale) []int {
+	if s.Clients <= 4 {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8, 16}
+}

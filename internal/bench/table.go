@@ -1,0 +1,114 @@
+// Package bench is the experiment harness: one runner per table/figure
+// of the evaluation (E1–E12 in DESIGN.md), each producing a Table whose
+// rows are the series the paper plots. The same runners back the root
+// bench_test.go benchmarks and the cmd/gengar-bench binary.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output: a titled grid of cells plus
+// free-form notes (the "shape" assertions EXPERIMENTS.md records).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a formatted note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no notes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// us formats a duration in microseconds with two decimals.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}
+
+// kops formats a throughput in thousands of ops per simulated second.
+func kops(opsPerSec float64) string {
+	return fmt.Sprintf("%.1f", opsPerSec/1e3)
+}
+
+// pct formats a ratio as a percentage.
+func pct(r float64) string {
+	return fmt.Sprintf("%.1f%%", 100*r)
+}
+
+// speedup formats b/a as a multiplier.
+func speedup(a, b float64) string {
+	if a <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", b/a)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+// Package cache implements Gengar's distributed DRAM buffers: the
+// server-side buffer pools that hold DRAM copies of hot NVM objects, the
+// authoritative remap table each home server maintains (object -> current
+// DRAM location), and the client-side cached view of that table that lets
+// gread hit DRAM with a single one-sided verb.
+//
+// Promotion and demotion happen at object granularity at hotness-epoch
+// boundaries (see package hotness); the remap table's epoch number lets
+// clients detect staleness cheaply — the epoch is piggybacked on digest
+// replies, and a client refreshes its view only when it changes.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"gengar/internal/alloc"
+	"gengar/internal/hmem"
+	"gengar/internal/region"
+	"gengar/internal/rpc"
+)
+
+// CopyHeaderBytes is the per-copy header: an 8-byte generation stamp
+// written at promotion time. A client whose remap view is stale may
+// direct a read at a buffer slot that has since been demoted and reused;
+// comparing the stamp against the generation in its view detects the
+// reuse, and the client falls back to the authoritative NVM copy.
+const CopyHeaderBytes = 8
+
+// Location records where the DRAM copy of a promoted object lives: an
+// RDMA-addressable window on some node, plus the object size. Off points
+// at the copy's generation header; the data follows at Off+CopyHeaderBytes.
+type Location struct {
+	Node   string // fabric node hosting the DRAM buffer
+	RKey   uint32 // memory region key of the buffer arena
+	Off    int64  // offset of the copy header within that region
+	Size   int64  // object size in bytes (data, excluding header)
+	Gen    uint64 // promotion generation stamped into the header
+	HomeMR uint32 // rkey of the object's home NVM pool (for write-back)
+}
+
+// Encode appends the location to a wire payload.
+func (l Location) Encode(w *rpc.Writer) {
+	w.Str(l.Node).U32(l.RKey).I64(l.Off).I64(l.Size).U64(l.Gen).U32(l.HomeMR)
+}
+
+// DecodeLocation consumes a location from a wire payload.
+func DecodeLocation(r *rpc.Reader) Location {
+	return Location{
+		Node:   r.Str(),
+		RKey:   r.U32(),
+		Off:    r.I64(),
+		Size:   r.I64(),
+		Gen:    r.U64(),
+		HomeMR: r.U32(),
+	}
+}
+
+// BufferPool manages one server's DRAM buffer arena: the capacity pledged
+// to hold promoted copies. It wraps a buddy allocator over a DRAM device;
+// registration of the arena as an RDMA region is the server's job.
+type BufferPool struct {
+	dev   *hmem.Device
+	buddy *alloc.Buddy
+}
+
+// NewBufferPool returns a pool over the whole of dev, whose size must be
+// a power of two.
+func NewBufferPool(dev *hmem.Device) (*BufferPool, error) {
+	if dev.Kind() != hmem.KindDRAM {
+		return nil, fmt.Errorf("cache: buffer pool requires DRAM device, got %v", dev.Kind())
+	}
+	b, err := alloc.New(dev.Size())
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &BufferPool{dev: dev, buddy: b}, nil
+}
+
+// Device returns the DRAM device backing the pool.
+func (p *BufferPool) Device() *hmem.Device { return p.dev }
+
+// Place reserves space for an object copy of the given size and returns
+// its offset within the arena.
+func (p *BufferPool) Place(size int64) (int64, error) {
+	off, err := p.buddy.Alloc(size)
+	if err != nil {
+		return 0, fmt.Errorf("cache: place %d bytes: %w", size, err)
+	}
+	return off, nil
+}
+
+// Release frees a previously placed copy.
+func (p *BufferPool) Release(off int64) error {
+	if err := p.buddy.Free(off); err != nil {
+		return fmt.Errorf("cache: release: %w", err)
+	}
+	return nil
+}
+
+// UsedBytes returns the bytes currently holding promoted copies
+// (rounded to allocator blocks).
+func (p *BufferPool) UsedBytes() int64 { return p.buddy.AllocatedBytes() }
+
+// Capacity returns the arena size.
+func (p *BufferPool) Capacity() int64 { return p.buddy.ArenaSize() }
+
+// RemapTable is the home server's authoritative object->DRAM-copy map.
+// Every mutation bumps the epoch; clients compare epochs to decide when
+// to refresh. It is safe for concurrent use.
+type RemapTable struct {
+	mu    sync.RWMutex
+	epoch uint64
+	m     map[region.GAddr]Location
+}
+
+// NewRemapTable returns an empty table at epoch zero.
+func NewRemapTable() *RemapTable {
+	return &RemapTable{m: make(map[region.GAddr]Location)}
+}
+
+// Epoch returns the current table version.
+func (t *RemapTable) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Lookup returns the DRAM location of the object based at addr, if
+// promoted.
+func (t *RemapTable) Lookup(addr region.GAddr) (Location, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	loc, ok := t.m[addr]
+	return loc, ok
+}
+
+// Promoted returns the set of currently promoted object bases.
+func (t *RemapTable) Promoted() map[region.GAddr]bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[region.GAddr]bool, len(t.m))
+	for a := range t.m {
+		out[a] = true
+	}
+	return out
+}
+
+// Apply installs a batch of promotions and removals atomically and bumps
+// the epoch once (if anything changed). Removed entries are returned so
+// the caller can release their buffer space.
+func (t *RemapTable) Apply(add map[region.GAddr]Location, remove []region.GAddr) []Location {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var released []Location
+	for _, a := range remove {
+		if loc, ok := t.m[a]; ok {
+			released = append(released, loc)
+			delete(t.m, a)
+		}
+	}
+	for a, loc := range add {
+		t.m[a] = loc
+	}
+	if len(add) > 0 || len(released) > 0 {
+		t.epoch++
+	}
+	return released
+}
+
+// Snapshot returns the epoch and all entries, for shipping to clients.
+func (t *RemapTable) Snapshot() (uint64, map[region.GAddr]Location) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[region.GAddr]Location, len(t.m))
+	for a, l := range t.m {
+		out[a] = l
+	}
+	return t.epoch, out
+}
+
+// Len returns the number of promoted objects.
+func (t *RemapTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}

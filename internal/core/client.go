@@ -1,0 +1,266 @@
+// Package core implements the Gengar client library: the simple
+// programming API the paper exposes over the distributed hybrid memory
+// pool (gmalloc/gfree/gread/gwrite plus locking), together with the
+// client half of every Gengar mechanism — hotness digests, the cached
+// remap view that redirects hot reads to distributed DRAM buffers, and
+// proxied writes with read-your-writes.
+//
+// A Client models one application thread: operations advance its private
+// simulated clock, so closed-loop benchmark drivers get queueing-accurate
+// latencies for free. Use one Client per concurrent actor.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gengar/internal/cache"
+	"gengar/internal/config"
+	"gengar/internal/hmem"
+	"gengar/internal/hotness"
+	"gengar/internal/lock"
+	"gengar/internal/metrics"
+	"gengar/internal/proxy"
+	"gengar/internal/rdma"
+	"gengar/internal/region"
+	"gengar/internal/rpc"
+	"gengar/internal/server"
+	"gengar/internal/simnet"
+)
+
+// Errors returned by client operations.
+var (
+	// ErrUnknownServer reports an address homed on a server the client
+	// has no session with.
+	ErrUnknownServer = errors.New("core: address homed on unknown server")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("core: client closed")
+	// ErrContended reports that an optimistic read exhausted its retries
+	// against concurrent writers; take a shared lock instead.
+	ErrContended = errors.New("core: optimistic read contended")
+)
+
+// serverConn is the client's session with one home server.
+type serverConn struct {
+	srv    *server.Server
+	ctl    *rpc.Client
+	qp     *rdma.QP
+	locks  *lock.Client
+	writer *proxy.Writer
+	view   *cache.ClientView
+	nvm      rdma.RegionHandle
+	rec      *hotness.Recorder
+	ringBase int64
+
+	accesses int // data-path accesses since the last digest
+}
+
+// Client is one user of the distributed hybrid memory pool.
+type Client struct {
+	id      uint32
+	name    string
+	cluster *server.Cluster
+	node    *rdma.Node
+	opts    config.Features
+	hot     config.Hotness
+	maxStg  int
+	poolNVM bool // pool media needs a persistence fence on direct writes
+
+	mu      sync.Mutex
+	now     simnet.Time
+	conns   map[uint16]*serverConn
+	nodeQPs map[string]*rdma.QP
+	rr      int
+	closed  bool
+
+	readLat  metrics.Histogram
+	writeLat metrics.Histogram
+	hits     metrics.Counter
+	misses   metrics.Counter
+	staleGen metrics.Counter
+	reads    metrics.Counter
+	writes   metrics.Counter
+}
+
+// Connect joins the pool as a new user named name, opening a session
+// (control channel, data queue pair, lock client, staging ring) with
+// every server. Feature switches come from the cluster configuration.
+func Connect(c *server.Cluster, name string) (*Client, error) {
+	cfg := c.Config()
+	node, err := c.Fabric().AddNode("client-" + name)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		id:      c.NextClientID(),
+		name:    name,
+		cluster: c,
+		node:    node,
+		opts:    cfg.Features,
+		hot:     cfg.Hotness,
+		maxStg:  cfg.MaxProxiedWrite(),
+		poolNVM: cfg.PoolMedia.Kind == hmem.KindNVM,
+		conns:   make(map[uint16]*serverConn),
+		nodeQPs: make(map[string]*rdma.QP),
+	}
+	for _, s := range c.Registry().Servers() {
+		conn, err := cl.openSession(s)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("core: connect %s to server %d: %w", name, s.ID(), err)
+		}
+		cl.conns[s.ID()] = conn
+	}
+	return cl, nil
+}
+
+func (c *Client) openSession(s *server.Server) (*serverConn, error) {
+	ctl, err := rpc.Dial(c.node, s.Node(), s.RPC())
+	if err != nil {
+		return nil, err
+	}
+	resp, end, err := ctl.Call(c.now, server.KindOpenSession, nil)
+	if err != nil {
+		ctl.Close()
+		return nil, err
+	}
+	ringRKey := resp.U32()
+	ringBase := resp.I64()
+	ringSlots := int(resp.U32())
+	ringSlotSize := int(resp.U32())
+	nvmRKey := resp.U32()
+	lockRKey := resp.U32()
+	lockBase := resp.I64()
+	lockSlots := int(resp.U32())
+	if err := resp.Err(); err != nil {
+		ctl.Close()
+		return nil, err
+	}
+	c.now = simnet.MaxTime(c.now, end)
+
+	qp, err := c.qpToNode(s.Node().ID())
+	if err != nil {
+		ctl.Close()
+		return nil, err
+	}
+	locks, err := lock.NewClient(qp, lock.Geometry{
+		Handle: rdma.RegionHandle{Node: s.Node().ID(), RKey: lockRKey},
+		Base:   lockBase,
+		Slots:  lockSlots,
+	}, c.id, 0, 200*time.Nanosecond)
+	if err != nil {
+		ctl.Close()
+		return nil, err
+	}
+	var writer *proxy.Writer
+	if c.opts.Proxy {
+		writer, err = proxy.NewWriter(s.Engine(), qp, proxy.Ring{
+			ID:       int(c.id),
+			Handle:   rdma.RegionHandle{Node: s.Node().ID(), RKey: ringRKey},
+			Base:     ringBase,
+			DevBase:  ringBase, // ring MR covers the whole ring device
+			Slots:    ringSlots,
+			SlotSize: ringSlotSize,
+		})
+		if err != nil {
+			ctl.Close()
+			return nil, err
+		}
+	}
+	return &serverConn{
+		srv:      s,
+		ctl:      ctl,
+		qp:       qp,
+		locks:    locks,
+		writer:   writer,
+		view:     cache.NewClientView(),
+		nvm:      rdma.RegionHandle{Node: s.Node().ID(), RKey: nvmRKey},
+		rec:      hotness.NewRecorder(),
+		ringBase: ringBase,
+	}, nil
+}
+
+// qpToNode returns (creating on demand) a connected queue pair to the
+// given server node — used both for home-server data ops and for reading
+// DRAM copies hosted on other servers. Caller must hold no locks; it is
+// called under c.mu or during connect only.
+func (c *Client) qpToNode(nodeID string) (*rdma.QP, error) {
+	if qp, ok := c.nodeQPs[nodeID]; ok {
+		return qp, nil
+	}
+	s, ok := c.cluster.Registry().ByNode(nodeID)
+	if !ok {
+		return nil, fmt.Errorf("core: no server at node %q", nodeID)
+	}
+	cq, sq := c.node.NewQP(), s.Node().NewQP()
+	if err := cq.Connect(sq); err != nil {
+		return nil, err
+	}
+	c.nodeQPs[nodeID] = cq
+	return cq, nil
+}
+
+// ID returns the client's fabric-unique user ID.
+func (c *Client) ID() uint32 { return c.id }
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Now returns the client's simulated clock (the completion instant of
+// its most recent operation).
+func (c *Client) Now() simnet.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AdvanceTo moves the client's clock forward to t if t is later — the
+// synchronization primitive phase barriers use (e.g. MapReduce reducers
+// must not start before the last mapper finished).
+func (c *Client) AdvanceTo(t simnet.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// AdvanceToFrontier moves the client's clock to the fabric-wide
+// simulated frontier (the latest completion observed anywhere). Harness
+// code calls it between a setup phase and a measured phase, so stale
+// resource watermarks left by setup traffic do not surface as a phantom
+// first-operation stall.
+func (c *Client) AdvanceToFrontier() {
+	c.AdvanceTo(c.cluster.Fabric().Clock().Now())
+}
+
+func (c *Client) conn(addr region.GAddr) (*serverConn, error) {
+	conn, ok := c.conns[addr.Server()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, addr)
+	}
+	return conn, nil
+}
+
+// Close drains proxied writes and tears down all sessions.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, conn := range c.conns {
+		if conn.writer != nil {
+			conn.writer.Close() // drains staged writes first
+		}
+		var w rpc.Writer
+		w.I64(conn.ringBase)
+		// Best-effort: a failed close just strands one ring until the
+		// server restarts.
+		_, _, _ = conn.ctl.Call(c.now, server.KindCloseSession, w.Bytes())
+		conn.ctl.Close()
+	}
+}

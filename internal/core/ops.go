@@ -1,0 +1,376 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gengar/internal/cache"
+	"gengar/internal/rdma"
+	"gengar/internal/region"
+	"gengar/internal/rpc"
+	"gengar/internal/server"
+	"gengar/internal/simnet"
+)
+
+// Malloc allocates size bytes in the pool, choosing home servers
+// round-robin, and returns the object's global address.
+func (c *Client) Malloc(size int64) (region.GAddr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return region.NilGAddr, ErrClosed
+	}
+	servers := c.cluster.Registry().Servers()
+	if len(servers) == 0 {
+		return region.NilGAddr, ErrUnknownServer
+	}
+	id := servers[c.rr%len(servers)].ID()
+	c.rr++
+	return c.mallocOn(id, size)
+}
+
+// MallocOn allocates on a specific home server.
+func (c *Client) MallocOn(serverID uint16, size int64) (region.GAddr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return region.NilGAddr, ErrClosed
+	}
+	return c.mallocOn(serverID, size)
+}
+
+func (c *Client) mallocOn(serverID uint16, size int64) (region.GAddr, error) {
+	conn, ok := c.conns[serverID]
+	if !ok {
+		return region.NilGAddr, fmt.Errorf("%w: server %d", ErrUnknownServer, serverID)
+	}
+	var w rpc.Writer
+	w.I64(size)
+	resp, end, err := conn.ctl.Call(c.now, server.KindMalloc, w.Bytes())
+	if err != nil {
+		return region.NilGAddr, err
+	}
+	addr := region.GAddr(resp.U64())
+	if err := resp.Err(); err != nil {
+		return region.NilGAddr, err
+	}
+	c.now = simnet.MaxTime(c.now, end)
+	return addr, nil
+}
+
+// Free returns an object to the pool. Any promoted copy is demoted.
+func (c *Client) Free(addr region.GAddr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	// Writes to the object must land before the backing store is reused.
+	if conn.writer != nil {
+		if t := conn.writer.Drain(); t > c.now {
+			c.now = t
+		}
+	}
+	var w rpc.Writer
+	w.U64(uint64(addr))
+	_, end, err := conn.ctl.Call(c.now, server.KindFree, w.Bytes())
+	if err != nil {
+		return err
+	}
+	c.now = simnet.MaxTime(c.now, end)
+	return nil
+}
+
+// Read fills buf with the len(buf) bytes at addr (gread). Hot objects
+// are served from their distributed DRAM copy with a single one-sided
+// READ; everything else reads the home NVM pool directly. The client's
+// own in-flight proxied writes are always visible (read-your-writes).
+func (c *Client) Read(addr region.GAddr, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	start := c.now
+	end, err := c.readAt(conn, start, addr, buf)
+	if err != nil {
+		return err
+	}
+	c.now = end
+	c.reads.Inc()
+	c.readLat.Record(end.Sub(start))
+	conn.rec.RecordRead(addr)
+	c.afterAccess(conn)
+	return nil
+}
+
+// readAt performs the redirected read at the given simulated instant.
+func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, error) {
+	var end simnet.Time
+	served := false
+
+	if c.opts.Cache {
+		if loc, base, ok := conn.view.Lookup(addr, int64(len(buf))); ok {
+			end, served = c.readCopy(at, loc, base, addr, buf)
+			if served {
+				c.hits.Inc()
+			} else {
+				c.staleGen.Inc()
+				at = end // retry against NVM after the failed attempt
+			}
+		}
+	}
+	if !served {
+		var err error
+		end, err = conn.qp.Read(at, buf, rdma.RemoteAddr{Region: conn.nvm, Offset: addr.Offset()})
+		if err != nil {
+			return at, fmt.Errorf("core: read %v: %w", addr, err)
+		}
+		c.misses.Inc()
+	}
+	if conn.writer != nil {
+		conn.writer.ApplyPending(addr, buf)
+	}
+	return end, nil
+}
+
+// readCopy attempts to serve a read from a DRAM copy. It reads from the
+// copy's generation header through the end of the requested range in one
+// one-sided READ and validates the generation stamp; a mismatch means
+// the client's remap view is stale and the slot was reused.
+func (c *Client) readCopy(at simnet.Time, loc cache.Location, base, addr region.GAddr, buf []byte) (simnet.Time, bool) {
+	qp, err := c.qpToNode(loc.Node)
+	if err != nil {
+		return at, false
+	}
+	delta := addr.Offset() - base.Offset()
+	tmp := make([]byte, cache.CopyHeaderBytes+delta+int64(len(buf)))
+	end, err := qp.Read(at, tmp, rdma.RemoteAddr{
+		Region: rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey},
+		Offset: loc.Off,
+	})
+	if err != nil {
+		return at, false
+	}
+	if gen := binary.BigEndian.Uint64(tmp); gen != loc.Gen {
+		return end, false
+	}
+	copy(buf, tmp[cache.CopyHeaderBytes+delta:])
+	return end, true
+}
+
+// Write stores data at addr (gwrite). With the proxy enabled the write
+// is staged into the home server's DRAM ring at DRAM latency and flushed
+// to NVM in the background; writes larger than a ring slot are chunked
+// through the ring so the server-side flusher remains the single
+// coherence authority. With the proxy disabled the write goes straight
+// to NVM, followed by a write-through RPC when caching is on so a
+// promoted copy cannot go stale.
+func (c *Client) Write(addr region.GAddr, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	start := c.now
+	var end simnet.Time
+	if conn.writer != nil {
+		end, err = c.writeProxied(conn, start, addr, data)
+	} else {
+		end, err = c.writeDirect(conn, start, addr, data)
+	}
+	if err != nil {
+		return err
+	}
+	c.now = end
+	c.writes.Inc()
+	c.writeLat.Record(end.Sub(start))
+	conn.rec.RecordWrite(addr)
+	c.afterAccess(conn)
+	return nil
+}
+
+func (c *Client) writeProxied(conn *serverConn, at simnet.Time, addr region.GAddr, data []byte) (simnet.Time, error) {
+	end := at
+	for off := 0; off < len(data); off += c.maxStg {
+		hi := off + c.maxStg
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunkAddr := addr.Add(int64(off))
+		var err error
+		end, err = conn.writer.Stage(end, chunkAddr, chunkAddr.Offset(), data[off:hi])
+		if err != nil {
+			return at, fmt.Errorf("core: write %v: %w", addr, err)
+		}
+	}
+	return end, nil
+}
+
+func (c *Client) writeDirect(conn *serverConn, at simnet.Time, addr region.GAddr, data []byte) (simnet.Time, error) {
+	end, err := conn.qp.Write(at, data, rdma.RemoteAddr{Region: conn.nvm, Offset: addr.Offset()})
+	if err != nil {
+		return at, fmt.Errorf("core: write %v: %w", addr, err)
+	}
+	if c.poolNVM {
+		// Durable remote NVM write: the standard RDMA persistence fence
+		// is a read-after-write that forces the data out of the NIC into
+		// the ADR domain — the extra round trip Gengar's proxy removes.
+		end, err = conn.qp.Read(end, nil, rdma.RemoteAddr{Region: conn.nvm, Offset: addr.Offset()})
+		if err != nil {
+			return at, fmt.Errorf("core: persist fence %v: %w", addr, err)
+		}
+	}
+	if c.opts.Cache {
+		// Keep any promoted copy coherent: the home server re-reads the
+		// just-written NVM range and refreshes the copy.
+		var w rpc.Writer
+		w.U64(uint64(addr)).U32(uint32(len(data)))
+		_, rpcEnd, err := conn.ctl.Call(end, server.KindWriteThrough, w.Bytes())
+		if err != nil {
+			return at, fmt.Errorf("core: write-through %v: %w", addr, err)
+		}
+		end = simnet.MaxTime(end, rpcEnd)
+	}
+	return end, nil
+}
+
+// afterAccess counts data-path traffic and, every DigestEvery accesses
+// to a home server, ships the hotness digest there. The exchange is off
+// the client's critical path in *simulated* time — it does not advance
+// the client clock, modeling the paper's amortized digest reporting —
+// but its network and server-CPU costs are still charged at the current
+// instant, so heavy digest traffic shows up as fabric contention.
+// Baselines without the cache feature report nothing. Called with c.mu
+// held.
+func (c *Client) afterAccess(conn *serverConn) {
+	if !c.opts.Cache {
+		return
+	}
+	conn.accesses++
+	if conn.accesses < c.hot.DigestEvery {
+		return
+	}
+	
+	conn.accesses = 0
+	c.digestExchange(conn, c.now)
+}
+
+// digestExchange sends one digest and refreshes the remap view if the
+// server's epoch moved. It must not touch c.now: in simulated time it is
+// off the client's critical path.
+func (c *Client) digestExchange(conn *serverConn, at simnet.Time) {
+	entries := conn.rec.Drain()
+	var w rpc.Writer
+	w.U32(uint32(len(entries)))
+	for _, e := range entries {
+		w.U64(uint64(e.Addr)).U32(uint32(e.Reads)).U32(uint32(e.Writes))
+	}
+	resp, end, err := conn.ctl.Call(at, server.KindDigest, w.Bytes())
+	if err != nil {
+		return // digest loss is harmless; the next epoch retries
+	}
+	epoch := resp.U64()
+	if resp.Err() != nil || epoch == conn.view.Epoch() {
+		return
+	}
+	c.refreshView(conn, end)
+}
+
+// refreshView fetches the full remap table and installs it; it runs off
+// the critical path and does not touch c.now.
+func (c *Client) refreshView(conn *serverConn, at simnet.Time) {
+	resp, _, err := conn.ctl.Call(at, server.KindRemapFetch, nil)
+	if err != nil {
+		return
+	}
+	epoch := resp.U64()
+	n := int(resp.U32())
+	entries := make(map[region.GAddr]cache.Location, n)
+	for i := 0; i < n; i++ {
+		base := region.GAddr(resp.U64())
+		loc := cache.DecodeLocation(resp)
+		if resp.Err() != nil {
+			return
+		}
+		entries[base] = loc
+	}
+	conn.view.Replace(epoch, entries)
+}
+
+// Flush blocks until every proxied write this client has staged is
+// applied to NVM (and to any promoted copy), advancing the client's
+// clock to the last apply. It is the publication point for data that
+// other clients will read without locks — e.g. a loader handing a table
+// to workers.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	for _, conn := range c.conns {
+		if conn.writer == nil {
+			continue
+		}
+		if t := conn.writer.Drain(); t > c.now {
+			c.now = t
+		}
+	}
+	return nil
+}
+
+// SyncAllViews synchronously reports digests to every home server and
+// refreshes every remap view — the quiescent "steady state" point the
+// benchmark harness establishes after warm-up.
+func (c *Client) SyncAllViews() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	conns := make([]*serverConn, 0, len(c.conns))
+	for _, conn := range c.conns {
+		conn.accesses = 0
+		conns = append(conns, conn)
+	}
+	at := c.now
+	c.mu.Unlock()
+	for _, conn := range conns {
+		c.digestExchange(conn, at)
+	}
+	return nil
+}
+
+// SyncView forces an immediate, synchronous digest + remap refresh
+// against the home server of addr — useful for tests and for
+// applications that just changed their access pattern.
+func (c *Client) SyncView(addr region.GAddr) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	conn, err := c.conn(addr)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	conn.accesses = 0
+	at := c.now
+	c.mu.Unlock()
+	c.digestExchange(conn, at)
+	return nil
+}

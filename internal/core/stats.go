@@ -1,0 +1,33 @@
+package core
+
+import (
+	"gengar/internal/metrics"
+)
+
+// Stats is a snapshot of one client's activity: operation counts, cache
+// effectiveness and simulated latency distributions.
+type Stats struct {
+	Reads, Writes         int64
+	CacheHits, CacheMiss  int64
+	StaleGenRetries       int64
+	ReadLatency, WriteLat metrics.Summary
+}
+
+// HitRate returns the fraction of reads served by a DRAM copy.
+func (s Stats) HitRate() float64 {
+	return metrics.Ratio(s.CacheHits, s.CacheHits+s.CacheMiss)
+}
+
+// Stats returns a snapshot of the client's counters and latency
+// histograms.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Reads:           c.reads.Load(),
+		Writes:          c.writes.Load(),
+		CacheHits:       c.hits.Load(),
+		CacheMiss:       c.misses.Load(),
+		StaleGenRetries: c.staleGen.Load(),
+		ReadLatency:     c.readLat.Summarize(),
+		WriteLat:        c.writeLat.Summarize(),
+	}
+}

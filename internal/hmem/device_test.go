@@ -1,0 +1,266 @@
+package hmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDevice(t *testing.T, kind Kind, size int64) *Device {
+	t.Helper()
+	p := DRAMProfile()
+	if kind == KindNVM {
+		p = OptaneProfile()
+	}
+	d, err := NewDevice("test", size, p)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice("x", 0, DRAMProfile()); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewDevice("x", 100, MediaProfile{}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	d := newTestDevice(t, KindNVM, 4096)
+	if d.Name() != "test" || d.Kind() != KindNVM || d.Size() != 4096 {
+		t.Fatalf("accessors: %s %v %d", d.Name(), d.Kind(), d.Size())
+	}
+	if d.Profile().Kind != KindNVM {
+		t.Fatal("profile kind")
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	d := newTestDevice(t, KindDRAM, 1<<16)
+	src := []byte("hello hybrid memory")
+	end, err := d.Write(0, 100, src)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if end <= 0 {
+		t.Fatal("write charged no time")
+	}
+	dst := make([]byte, len(src))
+	end2, err := d.Read(end, 100, dst)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if end2 <= end {
+		t.Fatal("read charged no time")
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("roundtrip mismatch: %q != %q", dst, src)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := newTestDevice(t, KindDRAM, 128)
+	buf := make([]byte, 64)
+	var re *RangeError
+	if _, err := d.Read(0, 100, buf); !errors.As(err, &re) {
+		t.Fatalf("Read OOB error = %v, want RangeError", err)
+	}
+	if re.Off != 100 || re.Len != 64 || re.Size != 128 {
+		t.Fatalf("RangeError fields: %+v", re)
+	}
+	if re.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	if _, err := d.Write(0, -1, buf); !errors.As(err, &re) {
+		t.Fatal("negative offset accepted")
+	}
+	if err := d.ReadRaw(65, buf); !errors.As(err, &re) {
+		t.Fatal("ReadRaw OOB accepted")
+	}
+	if err := d.WriteRaw(65, buf); !errors.As(err, &re) {
+		t.Fatal("WriteRaw OOB accepted")
+	}
+}
+
+func TestRawBypassesTiming(t *testing.T) {
+	d := newTestDevice(t, KindNVM, 1024)
+	if err := d.WriteRaw(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := d.ReadRaw(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatal("raw roundtrip mismatch")
+	}
+	if st := d.ControllerStats(); st.Ops != 0 {
+		t.Fatalf("raw access charged controller time: %+v", st)
+	}
+}
+
+func TestNVMWriteSlowerUnderLoad(t *testing.T) {
+	// With many concurrent 4 KiB writes the NVM device saturates at its
+	// write bandwidth while DRAM absorbs the same load far faster.
+	load := func(d *Device) (makespan int64) {
+		buf := make([]byte, 4096)
+		var last int64
+		for i := 0; i < 64; i++ {
+			end, err := d.Write(0, int64(i)*4096, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(end) > last {
+				last = int64(end)
+			}
+		}
+		return last
+	}
+	nvm := newTestDevice(t, KindNVM, 1<<20)
+	dram := newTestDevice(t, KindDRAM, 1<<20)
+	if n, d := load(nvm), load(dram); n < 5*d {
+		t.Fatalf("NVM makespan %d not >5x DRAM %d under write load", n, d)
+	}
+}
+
+func TestCompareAndSwap64(t *testing.T) {
+	d := newTestDevice(t, KindDRAM, 1024)
+	// Successful CAS.
+	prev, _, err := d.CompareAndSwap64(0, 64, 0, 42)
+	if err != nil || prev != 0 {
+		t.Fatalf("CAS: prev=%d err=%v", prev, err)
+	}
+	var word [8]byte
+	if err := d.ReadRaw(64, word[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint64(word[:]) != 42 {
+		t.Fatal("CAS did not store")
+	}
+	// Failed CAS leaves memory unchanged and reports the witness.
+	prev, _, err = d.CompareAndSwap64(0, 64, 0, 99)
+	if err != nil || prev != 42 {
+		t.Fatalf("failed CAS: prev=%d err=%v", prev, err)
+	}
+	if err := d.ReadRaw(64, word[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint64(word[:]) != 42 {
+		t.Fatal("failed CAS mutated memory")
+	}
+	// Alignment and bounds.
+	if _, _, err := d.CompareAndSwap64(0, 3, 0, 1); err == nil {
+		t.Fatal("unaligned CAS accepted")
+	}
+	if _, _, err := d.CompareAndSwap64(0, 1024, 0, 1); err == nil {
+		t.Fatal("OOB CAS accepted")
+	}
+}
+
+func TestFetchAdd64(t *testing.T) {
+	d := newTestDevice(t, KindDRAM, 1024)
+	for i := uint64(0); i < 5; i++ {
+		prev, _, err := d.FetchAdd64(0, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != i*3 {
+			t.Fatalf("FetchAdd prev = %d, want %d", prev, i*3)
+		}
+	}
+	if _, _, err := d.FetchAdd64(0, 5, 1); err == nil {
+		t.Fatal("unaligned fetch-add accepted")
+	}
+	if _, _, err := d.FetchAdd64(0, 2000, 1); err == nil {
+		t.Fatal("OOB fetch-add accepted")
+	}
+}
+
+func TestCASMutualExclusion(t *testing.T) {
+	// Property: using CAS as a spinlock, increments never lose updates.
+	d := newTestDevice(t, KindDRAM, 64)
+	const (
+		goroutines = 8
+		perG       = 100
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for {
+					prev, _, err := d.CompareAndSwap64(0, 0, 0, 1)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if prev == 0 {
+						break
+					}
+				}
+				var w [8]byte
+				if err := d.ReadRaw(8, w[:]); err != nil {
+					t.Error(err)
+					return
+				}
+				binary.BigEndian.PutUint64(w[:], binary.BigEndian.Uint64(w[:])+1)
+				if err := d.WriteRaw(8, w[:]); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := d.CompareAndSwap64(0, 0, 1, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var w [8]byte
+	if err := d.ReadRaw(8, w[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(w[:]); got != goroutines*perG {
+		t.Fatalf("lost updates: counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestDeviceDataIntegrityProperty(t *testing.T) {
+	// Property: a random sequence of writes followed by reads matches an
+	// in-memory reference model.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 4096
+		d, err := NewDevice("p", size, DRAMProfile())
+		if err != nil {
+			return false
+		}
+		ref := make([]byte, size)
+		for i := 0; i < 50; i++ {
+			off := rng.Int63n(size - 64)
+			n := 1 + rng.Intn(64)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			if _, err := d.Write(0, off, buf); err != nil {
+				return false
+			}
+			copy(ref[off:off+int64(n)], buf)
+		}
+		got := make([]byte, size)
+		if _, err := d.Read(0, 0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

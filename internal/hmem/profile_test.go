@@ -1,0 +1,104 @@
+package hmem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if KindDRAM.String() != "DRAM" || KindNVM.String() != "NVM" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(0).String() != "Kind(0)" {
+		t.Fatalf("zero kind = %q", Kind(0).String())
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []MediaProfile{DRAMProfile(), OptaneProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %v invalid: %v", p.Kind, err)
+		}
+	}
+	cases := map[string]MediaProfile{
+		"zero kind":    {ReadBytesPerSec: 1, WriteBytesPerSec: 1},
+		"zero bw":      {Kind: KindDRAM, WriteBytesPerSec: 1},
+		"neg latency":  {Kind: KindDRAM, ReadLatency: -1, ReadBytesPerSec: 1, WriteBytesPerSec: 1},
+		"neg block":    {Kind: KindNVM, ReadBytesPerSec: 1, WriteBytesPerSec: 1, AccessBlock: -1},
+		"neg overhead": {Kind: KindNVM, ReadBytesPerSec: 1, WriteBytesPerSec: 1, OpOverhead: -1},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: invalid profile accepted", name)
+		}
+	}
+}
+
+func TestWriteAmplification(t *testing.T) {
+	p := OptaneProfile()
+	// A 1-byte write and a 256-byte write occupy the controller equally:
+	// both are one XPLine.
+	if p.WriteOccupancy(1) != p.WriteOccupancy(256) {
+		t.Fatalf("1B occupancy %v != 256B occupancy %v",
+			p.WriteOccupancy(1), p.WriteOccupancy(256))
+	}
+	// 257 bytes needs two lines, so strictly more.
+	if p.WriteOccupancy(257) <= p.WriteOccupancy(256) {
+		t.Fatal("257B write not amplified to two blocks")
+	}
+}
+
+func TestNVMSlowerThanDRAM(t *testing.T) {
+	// The asymmetry the whole system design rests on.
+	nvm, dram := OptaneProfile(), DRAMProfile()
+	if nvm.ReadTime(1024) <= dram.ReadTime(1024) {
+		t.Fatal("NVM read should be slower than DRAM")
+	}
+	if nvm.WriteOccupancy(4096) <= dram.WriteOccupancy(4096) {
+		t.Fatal("NVM write bandwidth should be lower than DRAM")
+	}
+	if nvm.WriteBytesPerSec >= dram.WriteBytesPerSec/3 {
+		t.Fatal("expected >3x write bandwidth gap (Optane characteristic)")
+	}
+}
+
+func TestOccupancyMonotonicProperty(t *testing.T) {
+	p := OptaneProfile()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.ReadOccupancy(x) <= p.ReadOccupancy(y) &&
+			p.WriteOccupancy(x) <= p.WriteOccupancy(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedSize(t *testing.T) {
+	p := MediaProfile{AccessBlock: 256}
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 256}, {255, 256}, {256, 256}, {257, 512}, {1024, 1024},
+	}
+	for _, c := range cases {
+		if got := p.blockedSize(c.in); got != c.want {
+			t.Errorf("blockedSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	byteGran := MediaProfile{AccessBlock: 0}
+	if got := byteGran.blockedSize(100); got != 100 {
+		t.Errorf("byte-granularity blockedSize(100) = %d", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := transferTime(1000, 1e9); got != time.Microsecond {
+		t.Fatalf("transferTime = %v, want 1µs", got)
+	}
+	if transferTime(0, 1e9) != 0 || transferTime(10, 0) != 0 {
+		t.Fatal("degenerate transferTime not zero")
+	}
+}

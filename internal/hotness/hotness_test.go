@@ -1,0 +1,298 @@
+package hotness
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gengar/internal/region"
+)
+
+func ga(off int64) region.GAddr { return region.MustGAddr(1, off) }
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.RecordRead(ga(64))
+	r.RecordRead(ga(64))
+	r.RecordWrite(ga(64))
+	r.RecordWrite(ga(128))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	d := r.Drain()
+	if len(d) != 2 {
+		t.Fatalf("Drain len = %d", len(d))
+	}
+	// ga(64): 2 reads + 1 write => weight 5; ga(128): weight 1.
+	if d[0].Addr != ga(64) || d[0].Reads != 2 || d[0].Writes != 1 || d[0].Weight() != 5 {
+		t.Fatalf("first entry: %+v", d[0])
+	}
+	if d[1].Addr != ga(128) || d[1].Weight() != 1 {
+		t.Fatalf("second entry: %+v", d[1])
+	}
+	// Drain resets.
+	if r.Len() != 0 || len(r.Drain()) != 0 {
+		t.Fatal("Drain did not reset")
+	}
+}
+
+func TestRecorderDeterministicOrder(t *testing.T) {
+	r := NewRecorder()
+	// Equal weights sort by address.
+	r.RecordWrite(ga(300))
+	r.RecordWrite(ga(100))
+	r.RecordWrite(ga(200))
+	d := r.Drain()
+	if d[0].Addr != ga(100) || d[1].Addr != ga(200) || d[2].Addr != ga(300) {
+		t.Fatalf("tie-break order: %v %v %v", d[0].Addr, d[1].Addr, d[2].Addr)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.RecordRead(ga(64))
+			}
+		}()
+	}
+	wg.Wait()
+	d := r.Drain()
+	if len(d) != 1 || d[0].Reads != 4000 {
+		t.Fatalf("concurrent reads lost: %+v", d)
+	}
+}
+
+func TestSpaceSavingExactWhenSmall(t *testing.T) {
+	s := NewSpaceSaving(10)
+	for i := 0; i < 5; i++ {
+		s.Add(ga(int64(i)*64), uint64(i+1))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Addr != ga(4*64) || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("Top: %+v", top)
+	}
+	if s.Estimate(ga(0)) != 1 || s.Estimate(ga(999*64)) != 0 {
+		t.Fatal("Estimate wrong")
+	}
+	if s.Total() != 1+2+3+4+5 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestSpaceSavingZeroWeightIgnored(t *testing.T) {
+	s := NewSpaceSaving(4)
+	s.Add(ga(0), 0)
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("zero weight recorded")
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	s := NewSpaceSaving(2)
+	s.Add(ga(64), 10)
+	s.Add(ga(128), 5)
+	s.Add(ga(192), 1) // evicts ga(128) (min), inherits count 5
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Estimate(ga(128)) != 0 {
+		t.Fatal("evicted key still present")
+	}
+	top := s.Top(-1)
+	if top[1].Addr != ga(192) || top[1].Count != 6 || top[1].Err != 5 {
+		t.Fatalf("stolen counter: %+v", top[1])
+	}
+}
+
+func TestSpaceSavingHeavyHitterGuarantee(t *testing.T) {
+	// Property: any key with true frequency > total/k survives in the
+	// sketch, for random streams.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		zipf := rand.NewZipf(rng, 1.2, 1, 1023)
+		const k = 32
+		s := NewSpaceSaving(k)
+		exact := make(map[region.GAddr]uint64)
+		var total uint64
+		for i := 0; i < 5000; i++ {
+			// Zipf: low offsets much more frequent.
+			obj := int64(zipf.Uint64())
+			addr := ga(obj * 64)
+			s.Add(addr, 1)
+			exact[addr]++
+			total++
+		}
+		for addr, cnt := range exact {
+			if cnt > total/k {
+				got := s.Estimate(addr)
+				if got == 0 || got < cnt {
+					return false // must be present and never underestimate
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSavingDecay(t *testing.T) {
+	s := NewSpaceSaving(8)
+	s.Add(ga(64), 8)
+	s.Add(ga(128), 1)
+	s.Decay()
+	if s.Estimate(ga(64)) != 4 {
+		t.Fatalf("decayed count = %d", s.Estimate(ga(64)))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("count-1 entry not dropped: Len = %d", s.Len())
+	}
+	if s.Total() != 4 {
+		t.Fatalf("Total after decay = %d", s.Total())
+	}
+}
+
+func TestNewSpaceSavingClampsK(t *testing.T) {
+	s := NewSpaceSaving(0)
+	s.Add(ga(64), 1)
+	s.Add(ga(128), 1)
+	if s.Len() != 1 {
+		t.Fatalf("k=0 sketch Len = %d, want 1", s.Len())
+	}
+}
+
+func sizeConst(n int64) func(region.GAddr) int64 {
+	return func(region.GAddr) int64 { return n }
+}
+
+func TestPolicyPlanBudget(t *testing.T) {
+	s := NewSpaceSaving(16)
+	for i := int64(0); i < 8; i++ {
+		s.Add(ga(i*64), uint64(100-i)) // ga(0) hottest
+	}
+	p := Policy{BudgetBytes: 3 * 64, MinWeight: 1}
+	promote, demote := p.Plan(s, sizeConst(64), nil)
+	if len(promote) != 3 || len(demote) != 0 {
+		t.Fatalf("promote=%v demote=%v", promote, demote)
+	}
+	want := map[region.GAddr]bool{ga(0): true, ga(64): true, ga(128): true}
+	for _, a := range promote {
+		if !want[a] {
+			t.Fatalf("unexpected promotion %v", a)
+		}
+	}
+}
+
+func TestPolicyPlanStable(t *testing.T) {
+	// With everything already promoted and unchanged hotness, Plan is a
+	// no-op.
+	s := NewSpaceSaving(16)
+	s.Add(ga(0), 50)
+	s.Add(ga(64), 40)
+	promoted := map[region.GAddr]bool{ga(0): true, ga(64): true}
+	p := DefaultPolicy(128)
+	promote, demote := p.Plan(s, sizeConst(64), promoted)
+	if len(promote) != 0 || len(demote) != 0 {
+		t.Fatalf("stable plan changed: +%v -%v", promote, demote)
+	}
+}
+
+func TestPolicyHysteresisProtectsIncumbent(t *testing.T) {
+	s := NewSpaceSaving(16)
+	s.Add(ga(0), 100) // incumbent
+	s.Add(ga(64), 110) // challenger, only 10% hotter
+	promoted := map[region.GAddr]bool{ga(0): true}
+	p := Policy{BudgetBytes: 64, MinWeight: 1, Hysteresis: 1.25}
+	promote, demote := p.Plan(s, sizeConst(64), promoted)
+	if len(promote) != 0 || len(demote) != 0 {
+		t.Fatalf("hysteresis failed: +%v -%v", promote, demote)
+	}
+	// A 50% hotter challenger does displace.
+	s.Add(ga(64), 40) // now 150
+	promote, demote = p.Plan(s, sizeConst(64), promoted)
+	if len(promote) != 1 || promote[0] != ga(64) || len(demote) != 1 || demote[0] != ga(0) {
+		t.Fatalf("displacement failed: +%v -%v", promote, demote)
+	}
+}
+
+func TestPolicyMinWeightFilters(t *testing.T) {
+	s := NewSpaceSaving(16)
+	s.Add(ga(0), 2)
+	p := Policy{BudgetBytes: 1 << 20, MinWeight: 4}
+	promote, _ := p.Plan(s, sizeConst(64), nil)
+	if len(promote) != 0 {
+		t.Fatalf("cold object promoted: %v", promote)
+	}
+}
+
+func TestPolicyDemotesVanishedObjects(t *testing.T) {
+	// A promoted object that was freed (sizeOf <= 0) must be demoted.
+	s := NewSpaceSaving(16)
+	s.Add(ga(0), 100)
+	promoted := map[region.GAddr]bool{ga(0): true}
+	p := Policy{BudgetBytes: 1 << 20, MinWeight: 1}
+	promote, demote := p.Plan(s, sizeConst(-1), promoted)
+	if len(promote) != 0 || len(demote) != 1 || demote[0] != ga(0) {
+		t.Fatalf("vanished object: +%v -%v", promote, demote)
+	}
+}
+
+func TestPolicySkipsOversizedKeepsPacking(t *testing.T) {
+	// A huge hot object that exceeds remaining budget is skipped, and a
+	// smaller colder one still fits.
+	s := NewSpaceSaving(16)
+	s.Add(ga(0), 100)   // size 1024 (too big)
+	s.Add(ga(4096), 50) // size 64
+	sizes := map[region.GAddr]int64{ga(0): 1024, ga(4096): 64}
+	p := Policy{BudgetBytes: 128, MinWeight: 1}
+	promote, _ := p.Plan(s, func(a region.GAddr) int64 { return sizes[a] }, nil)
+	if len(promote) != 1 || promote[0] != ga(4096) {
+		t.Fatalf("packing: %v", promote)
+	}
+}
+
+func TestPolicyPlanDeterministicProperty(t *testing.T) {
+	// Property: Plan is deterministic — same inputs, same outputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func() *SpaceSaving {
+			r := rand.New(rand.NewSource(seed))
+			s := NewSpaceSaving(16)
+			for i := 0; i < 100; i++ {
+				s.Add(ga(int64(r.Intn(32))*64), uint64(r.Intn(10)+1))
+			}
+			return s
+		}
+		promoted := map[region.GAddr]bool{ga(int64(rng.Intn(32)) * 64): true}
+		p := DefaultPolicy(512)
+		p1, d1 := p.Plan(build(), sizeConst(64), promoted)
+		p2, d2 := p.Plan(build(), sizeConst(64), promoted)
+		if len(p1) != len(p2) || len(d1) != len(d2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package hotness
+
+import (
+	"sort"
+
+	"gengar/internal/region"
+)
+
+// Policy decides, at each epoch boundary, which objects move between the
+// NVM pool and the distributed DRAM buffers.
+type Policy struct {
+	// BudgetBytes is the total DRAM buffer capacity available for
+	// promoted objects.
+	BudgetBytes int64
+	// MinWeight is the minimum sketched weight for an object to be
+	// considered hot at all; filters one-touch objects.
+	MinWeight uint64
+	// Hysteresis boosts incumbents' weights by this factor when ranking,
+	// so a challenger must be clearly hotter to displace a promoted
+	// object. Values <= 1 disable hysteresis. A typical value is 1.25.
+	Hysteresis float64
+	// MaxChurn caps the promotions and the demotions per plan. Near the
+	// budget boundary, zipfian-tail objects have statistically
+	// indistinguishable weights and would otherwise swap places every
+	// epoch, paying copy installs and epoch bumps for no benefit.
+	// Zero means unlimited.
+	MaxChurn int
+}
+
+// DefaultPolicy returns the promotion policy used by Gengar servers
+// unless overridden: displacement requires a 25 % hotter challenger and
+// at least 4 recorded accesses.
+func DefaultPolicy(budgetBytes int64) Policy {
+	return Policy{BudgetBytes: budgetBytes, MinWeight: 4, Hysteresis: 1.25}
+}
+
+// Plan computes the promotions and demotions that transform the current
+// promoted set into the budgeted hottest set from the sketch.
+//
+// sizeOf must return the object's size in bytes, or a non-positive value
+// if the object no longer exists (it is then skipped for promotion, and
+// demoted if currently promoted). The returned slices are disjoint and
+// deterministic for a given sketch state.
+func (p Policy) Plan(sketch *SpaceSaving, sizeOf func(region.GAddr) int64, promoted map[region.GAddr]bool) (promote, demote []region.GAddr) {
+	type cand struct {
+		addr region.GAddr
+		rank float64
+		size int64
+	}
+	hys := p.Hysteresis
+	if hys < 1 {
+		hys = 1
+	}
+
+	// Rank every sketch entry, boosting incumbents.
+	var cands []cand
+	for _, c := range sketch.Top(-1) {
+		if c.Count < p.MinWeight {
+			continue
+		}
+		size := sizeOf(c.Addr)
+		if size <= 0 {
+			continue
+		}
+		rank := float64(c.Count)
+		if promoted[c.Addr] {
+			rank *= hys
+		}
+		cands = append(cands, cand{addr: c.Addr, rank: rank, size: size})
+	}
+	// Re-sort by boosted rank, keeping the deterministic address
+	// tie-break from Top.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rank != cands[j].rank {
+			return cands[i].rank > cands[j].rank
+		}
+		return cands[i].addr < cands[j].addr
+	})
+
+	target := make(map[region.GAddr]bool, len(cands))
+	var used int64
+	for _, c := range cands {
+		if used+c.size > p.BudgetBytes {
+			continue // try smaller objects further down
+		}
+		target[c.addr] = true
+		used += c.size
+	}
+
+	for _, c := range cands {
+		if target[c.addr] && !promoted[c.addr] {
+			promote = append(promote, c.addr)
+		}
+	}
+	for addr := range promoted {
+		if !target[addr] {
+			demote = append(demote, addr)
+		}
+	}
+	// Demote coldest-first so a capped plan sheds the least valuable
+	// copies; ties break by address for determinism.
+	sort.Slice(demote, func(i, j int) bool {
+		wi, wj := sketch.Estimate(demote[i]), sketch.Estimate(demote[j])
+		if wi != wj {
+			return wi < wj
+		}
+		return demote[i] < demote[j]
+	})
+	if p.MaxChurn > 0 {
+		if len(promote) > p.MaxChurn {
+			promote = promote[:p.MaxChurn]
+		}
+		if len(demote) > p.MaxChurn {
+			demote = demote[:p.MaxChurn]
+		}
+	}
+	return promote, demote
+}

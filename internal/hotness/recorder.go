@@ -1,0 +1,95 @@
+// Package hotness implements Gengar's frequently-accessed-data
+// identification. One-sided RDMA verbs bypass the server CPU, so the
+// server cannot observe the access stream directly; what Gengar exploits
+// is that the *initiator* of every verb knows its semantics — verb type
+// (READ/WRITE), remote address and length. Each client therefore records
+// a per-object access digest off the critical path and reports it to the
+// object's home server at epoch boundaries; the server aggregates digests
+// in a Space-Saving top-k sketch and plans promotions into the
+// distributed DRAM buffers and demotions back to NVM.
+package hotness
+
+import (
+	"sort"
+	"sync"
+
+	"gengar/internal/region"
+)
+
+// Entry is one object's access counts within an epoch.
+type Entry struct {
+	Addr   region.GAddr
+	Reads  uint64
+	Writes uint64
+}
+
+// Weight is the sketch weight of an entry. Reads count double: reads are
+// what a DRAM cache accelerates most (writes are absorbed by the proxy),
+// so the promotion policy favors read-hot objects.
+func (e Entry) Weight() uint64 { return 2*e.Reads + e.Writes }
+
+// Recorder accumulates verb semantics at a client between digest
+// reports. It is safe for concurrent use and cheap on the data path
+// (one map update per access). The zero value is not usable; construct
+// with NewRecorder.
+type Recorder struct {
+	mu sync.Mutex
+	m  map[region.GAddr]*Entry
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{m: make(map[region.GAddr]*Entry)}
+}
+
+// RecordRead notes a one-sided READ of the object at addr.
+func (r *Recorder) RecordRead(addr region.GAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.m[addr]
+	if e == nil {
+		e = &Entry{Addr: addr}
+		r.m[addr] = e
+	}
+	e.Reads++
+}
+
+// RecordWrite notes a WRITE of the object at addr.
+func (r *Recorder) RecordWrite(addr region.GAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.m[addr]
+	if e == nil {
+		e = &Entry{Addr: addr}
+		r.m[addr] = e
+	}
+	e.Writes++
+}
+
+// Len returns the number of distinct objects recorded this epoch.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// Drain returns the accumulated digest sorted by descending weight and
+// resets the recorder for the next epoch.
+func (r *Recorder) Drain() []Entry {
+	r.mu.Lock()
+	m := r.m
+	r.m = make(map[region.GAddr]*Entry)
+	r.mu.Unlock()
+
+	out := make([]Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight() != out[j].Weight() {
+			return out[i].Weight() > out[j].Weight()
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}

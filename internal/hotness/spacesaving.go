@@ -1,0 +1,140 @@
+package hotness
+
+import (
+	"container/heap"
+	"sort"
+
+	"gengar/internal/region"
+)
+
+// Counted is one sketch entry: an object, its estimated access weight,
+// and the maximum possible overestimation error inherited from evicted
+// entries.
+type Counted struct {
+	Addr  region.GAddr
+	Count uint64
+	Err   uint64
+}
+
+// SpaceSaving is the Metwally et al. top-k frequency sketch: it tracks at
+// most k counters, and an arriving key that has no counter steals the
+// minimum counter, inheriting its count as error. Guarantees: every key
+// with true frequency > N/k is present, and counts overestimate by at
+// most the recorded error. It is not safe for concurrent use; the server
+// serializes digest merges.
+type SpaceSaving struct {
+	k     int
+	items map[region.GAddr]*ssItem
+	h     ssHeap
+	total uint64
+}
+
+type ssItem struct {
+	addr  region.GAddr
+	count uint64
+	err   uint64
+	idx   int // heap index
+}
+
+type ssHeap []*ssItem
+
+func (h ssHeap) Len() int            { return len(h) }
+func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *ssHeap) Push(x interface{}) { it := x.(*ssItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// NewSpaceSaving returns a sketch holding at most k counters; k must be
+// positive.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		k = 1
+	}
+	return &SpaceSaving{
+		k:     k,
+		items: make(map[region.GAddr]*ssItem, k),
+	}
+}
+
+// Add folds weight observations of addr into the sketch.
+func (s *SpaceSaving) Add(addr region.GAddr, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	s.total += weight
+	if it, ok := s.items[addr]; ok {
+		it.count += weight
+		heap.Fix(&s.h, it.idx)
+		return
+	}
+	if len(s.items) < s.k {
+		it := &ssItem{addr: addr, count: weight}
+		s.items[addr] = it
+		heap.Push(&s.h, it)
+		return
+	}
+	// Steal the minimum counter.
+	min := s.h[0]
+	delete(s.items, min.addr)
+	min.err = min.count
+	min.count += weight
+	min.addr = addr
+	s.items[addr] = min
+	heap.Fix(&s.h, 0)
+}
+
+// Len returns the number of counters currently held.
+func (s *SpaceSaving) Len() int { return len(s.items) }
+
+// Total returns the total weight added since construction (decayed along
+// with the counters by Decay).
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Estimate returns the sketched weight of addr (0 if untracked).
+func (s *SpaceSaving) Estimate(addr region.GAddr) uint64 {
+	if it, ok := s.items[addr]; ok {
+		return it.count
+	}
+	return 0
+}
+
+// Top returns up to n entries sorted by descending count (ties by
+// address for determinism).
+func (s *SpaceSaving) Top(n int) []Counted {
+	out := make([]Counted, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, Counted{Addr: it.addr, Count: it.count, Err: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Decay halves every counter (dropping entries that reach zero), aging
+// the sketch so that stale hot sets fade across epochs.
+func (s *SpaceSaving) Decay() {
+	for addr, it := range s.items {
+		it.count /= 2
+		it.err /= 2
+		if it.count == 0 {
+			heap.Remove(&s.h, it.idx)
+			delete(s.items, addr)
+		}
+	}
+	heap.Init(&s.h)
+	s.total /= 2
+}

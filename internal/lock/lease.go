@@ -1,0 +1,129 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// Lease-based exclusive locking: the crash-recovery variant of the
+// one-sided protocol, for deployments where a client can die holding a
+// lock. The expiry is embedded in the lock word itself —
+//
+//	word = owner(16 bits) << 48 | expiry(48 bits of simulated ns)
+//
+// — so acquisition, expiry inspection and stealing are all single-CAS
+// atomic: a contender that observes a held word whose expiry has passed
+// steals it by CAS-ing on the *exact stale value it read*, and two
+// racing thieves serialize on the word. There is no separate expiry
+// write and therefore no window in which a fresh lock looks stealable.
+//
+// The cost of the trick is the discipline: lease locks and the
+// reader/writer locks (LockExclusive/LockShared) interpret the same word
+// differently and must not be mixed on one pool; the owner ID must fit
+// 16 bits; and only exclusive leases are offered (a shared count cannot
+// share the word with an expiry). Holders renew before expiry or risk
+// ErrLeaseLost on their next operation — the standard lease contract,
+// mirrored by the TCP deployment mode (internal/tcpnet).
+const (
+	leaseOwnerShift = 48
+	leaseExpiryMask = uint64(1)<<leaseOwnerShift - 1
+)
+
+// ErrLeaseLost is returned when a holder's lease expired and the lock
+// was stolen (or renewed concurrently) before its release or renewal.
+var ErrLeaseLost = errors.New("lock: lease expired and lock was stolen")
+
+// LeaseHandle is the holder's proof of ownership: the exact word it
+// installed. Release and renewal CAS against it, so a stolen lock is
+// detected rather than silently double-released.
+type LeaseHandle struct {
+	word uint64
+}
+
+// Held reports whether the handle refers to an acquired lease.
+func (h LeaseHandle) Held() bool { return h.word != 0 }
+
+func leaseWord(owner uint32, expiry simnet.Time) uint64 {
+	return uint64(owner&0xFFFF)<<leaseOwnerShift | uint64(expiry)&leaseExpiryMask
+}
+
+// LockExclusiveLease acquires the write lock covering addr with the
+// given lease duration, stealing expired leases from crashed holders.
+// The returned handle must be presented to RenewLease and
+// UnlockExclusiveLease.
+func (c *Client) LockExclusiveLease(at simnet.Time, addr region.GAddr, lease simnet.Duration) (LeaseHandle, simnet.Time, error) {
+	if lease <= 0 {
+		return LeaseHandle{}, at, fmt.Errorf("lock: non-positive lease %v", lease)
+	}
+	word := c.geo.lockWordAddr(addr)
+	now := at
+	for i := 0; i < c.retries; i++ {
+		want := leaseWord(c.owner, now.Add(lease))
+		prev, end, err := c.qp.CompareAndSwap(now, word, 0, want)
+		if err != nil {
+			return LeaseHandle{}, end, fmt.Errorf("lock: lease exclusive %v: %w", addr, err)
+		}
+		if prev == 0 {
+			return LeaseHandle{word: want}, end, nil
+		}
+		// Held. If the holder's lease has lapsed, steal on the exact
+		// observed value.
+		if expiry := simnet.Time(prev & leaseExpiryMask); end.After(expiry) {
+			steal := leaseWord(c.owner, end.Add(lease))
+			prev2, end2, err := c.qp.CompareAndSwap(end, word, prev, steal)
+			if err != nil {
+				return LeaseHandle{}, end2, fmt.Errorf("lock: lease steal %v: %w", addr, err)
+			}
+			if prev2 == prev {
+				return LeaseHandle{word: steal}, end2, nil
+			}
+			end = end2 // lost the steal race; retry from fresh state
+		}
+		now = c.backoffAt(end, i)
+	}
+	return LeaseHandle{}, now, fmt.Errorf("%w: lease exclusive %v", ErrTimeout, addr)
+}
+
+// RenewLease extends the holder's lease, updating the handle in place.
+// It fails with ErrLeaseLost if the lock was stolen.
+func (c *Client) RenewLease(at simnet.Time, addr region.GAddr, h *LeaseHandle, lease simnet.Duration) (simnet.Time, error) {
+	if h == nil || !h.Held() {
+		return at, fmt.Errorf("%w: renew without a held lease", ErrNotOwner)
+	}
+	if lease <= 0 {
+		return at, fmt.Errorf("lock: non-positive lease %v", lease)
+	}
+	word := c.geo.lockWordAddr(addr)
+	want := leaseWord(c.owner, at.Add(lease))
+	prev, end, err := c.qp.CompareAndSwap(at, word, h.word, want)
+	if err != nil {
+		return end, fmt.Errorf("lock: renew %v: %w", addr, err)
+	}
+	if prev != h.word {
+		return end, fmt.Errorf("%w: renew %v", ErrLeaseLost, addr)
+	}
+	h.word = want
+	return end, nil
+}
+
+// UnlockExclusiveLease releases a leased lock. It fails with
+// ErrLeaseLost if the lease expired and another client stole the lock —
+// the caller's critical section may have been violated and it must not
+// assume its writes were exclusive.
+func (c *Client) UnlockExclusiveLease(at simnet.Time, addr region.GAddr, h LeaseHandle) (simnet.Time, error) {
+	if !h.Held() {
+		return at, fmt.Errorf("%w: release without a held lease", ErrNotOwner)
+	}
+	word := c.geo.lockWordAddr(addr)
+	prev, end, err := c.qp.CompareAndSwap(at, word, h.word, 0)
+	if err != nil {
+		return end, fmt.Errorf("lock: lease unlock %v: %w", addr, err)
+	}
+	if prev != h.word {
+		return end, fmt.Errorf("%w: unlock %v", ErrLeaseLost, addr)
+	}
+	return end, nil
+}

@@ -1,0 +1,171 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gengar/internal/simnet"
+)
+
+func TestLeaseAcquireReleaseCycle(t *testing.T) {
+	e := newEnv(t, 64)
+	c := e.client(t, "c1", 1, 8)
+	a := addr(4096)
+
+	h, end, err := c.LockExclusiveLease(0, a, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Held() || end <= 0 {
+		t.Fatalf("handle %+v end %v", h, end)
+	}
+	if _, err := c.UnlockExclusiveLease(end, a, h); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	// Reacquire immediately.
+	if _, _, err := c.LockExclusiveLease(end, a, time.Millisecond); err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+}
+
+func TestLeaseValidation(t *testing.T) {
+	e := newEnv(t, 64)
+	c := e.client(t, "c1", 1, 8)
+	a := addr(64)
+	if _, _, err := c.LockExclusiveLease(0, a, 0); err == nil {
+		t.Fatal("zero lease accepted")
+	}
+	if _, err := c.UnlockExclusiveLease(0, a, LeaseHandle{}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("unlock without lease: %v", err)
+	}
+	if _, err := c.RenewLease(0, a, &LeaseHandle{}, time.Millisecond); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("renew without lease: %v", err)
+	}
+	if _, err := c.RenewLease(0, a, nil, time.Millisecond); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("renew with nil handle: %v", err)
+	}
+	h, _, err := c.LockExclusiveLease(0, a, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RenewLease(0, a, &h, 0); err == nil {
+		t.Fatal("zero renew accepted")
+	}
+}
+
+func TestLeaseBlocksWhileValid(t *testing.T) {
+	e := newEnv(t, 64)
+	holder := e.client(t, "h", 1, 8)
+	thief := e.client(t, "t", 2, 4)
+	a := addr(4096)
+	if _, _, err := holder.LockExclusiveLease(0, a, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Lease valid for a simulated second; a contender at small simulated
+	// times must time out, not steal.
+	if _, _, err := thief.LockExclusiveLease(0, a, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("steal of valid lease: %v", err)
+	}
+}
+
+func TestLeaseStolenAfterExpiry(t *testing.T) {
+	e := newEnv(t, 64)
+	victim := e.client(t, "v", 1, 8)
+	thief := e.client(t, "t", 2, 8)
+	a := addr(4096)
+	h, _, err := victim.LockExclusiveLease(0, a, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim "crashes" (never renews). At a simulated instant past
+	// the expiry, the thief steals in one attempt cycle.
+	at := simnet.Time(0).Add(time.Millisecond)
+	h2, _, err := thief.LockExclusiveLease(at, a, time.Millisecond)
+	if err != nil {
+		t.Fatalf("steal failed: %v", err)
+	}
+	if !h2.Held() {
+		t.Fatal("thief has no handle")
+	}
+	// The victim's release and renew now report the loss.
+	if _, err := victim.UnlockExclusiveLease(at, a, h); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("victim unlock: %v", err)
+	}
+	if _, err := victim.RenewLease(at, a, &h, time.Millisecond); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("victim renew: %v", err)
+	}
+	// The thief's release works.
+	if _, err := thief.UnlockExclusiveLease(at.Add(time.Millisecond), a, h2); err != nil {
+		t.Fatalf("thief unlock: %v", err)
+	}
+}
+
+func TestRenewExtendsLease(t *testing.T) {
+	e := newEnv(t, 64)
+	holder := e.client(t, "h", 1, 8)
+	thief := e.client(t, "t", 2, 4)
+	a := addr(4096)
+	h, _, err := holder.LockExclusiveLease(0, a, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renew at 150µs out to +1ms.
+	if _, err := holder.RenewLease(simnet.Time(0).Add(150*time.Microsecond), a, &h, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// At 500µs (past the original expiry, inside the renewed one) the
+	// thief must fail.
+	if _, _, err := thief.LockExclusiveLease(simnet.Time(0).Add(500*time.Microsecond), a, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("steal of renewed lease: %v", err)
+	}
+	// Release with the updated handle.
+	if _, err := holder.UnlockExclusiveLease(simnet.Time(0).Add(600*time.Microsecond), a, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseStealRaceExactlyOneWinner(t *testing.T) {
+	e := newEnv(t, 64)
+	victim := e.client(t, "v", 1, 8)
+	a := addr(4096)
+	if _, _, err := victim.LockExclusiveLease(0, a, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	const thieves = 6
+	at := simnet.Time(0).Add(time.Millisecond)
+	var wg sync.WaitGroup
+	wins := make(chan LeaseHandle, thieves)
+	for i := 0; i < thieves; i++ {
+		c := e.client(t, string(rune('A'+i)), uint32(i+10), 64)
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if h, _, err := c.LockExclusiveLease(at, a, time.Hour); err == nil {
+				wins <- h
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(wins)
+	// Everyone eventually "wins" only if earlier winners release — they
+	// do not here, and leases are an hour long, so exactly one succeeds.
+	if got := len(wins); got != 1 {
+		t.Fatalf("%d thieves acquired a single expired lock", got)
+	}
+}
+
+func TestLeaseWordEncoding(t *testing.T) {
+	w := leaseWord(0xABCD, simnet.Time(12345))
+	if w>>leaseOwnerShift != 0xABCD {
+		t.Fatalf("owner bits: %#x", w)
+	}
+	if simnet.Time(w&leaseExpiryMask) != 12345 {
+		t.Fatalf("expiry bits: %#x", w)
+	}
+	// Owner IDs truncate to 16 bits by contract.
+	if leaseWord(0x1ABCD, 1) != leaseWord(0xABCD, 1) {
+		t.Fatal("owner truncation")
+	}
+}

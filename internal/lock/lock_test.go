@@ -1,0 +1,330 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gengar/internal/hmem"
+	"gengar/internal/rdma"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+type env struct {
+	fabric *rdma.Fabric
+	server *rdma.Node
+	geo    Geometry
+	dev    *hmem.Device
+}
+
+func newEnv(t *testing.T, slots int) *env {
+	t.Helper()
+	f, err := rdma.NewFabric(simnet.LinkModel{
+		PerOp:       600 * time.Nanosecond,
+		Propagation: 300 * time.Nanosecond,
+		BytesPerSec: 12.5e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := f.AddNode("server")
+	dev, err := hmem.NewDevice("dram", 1<<20, hmem.DRAMProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(dev, 4096, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := sn.RegisterMR(dev, 0, dev.Size(), rdma.AccessAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{
+		fabric: f,
+		server: sn,
+		dev:    dev,
+		geo:    Geometry{Handle: mr.Handle(), Base: tbl.Base(), Slots: tbl.Slots()},
+	}
+}
+
+func (e *env) client(t *testing.T, name string, owner uint32, retries int) *Client {
+	t.Helper()
+	cn, err := e.fabric.AddNode(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, sq := cn.NewQP(), e.server.NewQP()
+	if err := cq.Connect(sq); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(cq, e.geo, owner, retries, 100*time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func addr(off int64) region.GAddr { return region.MustGAddr(1, off) }
+
+func TestNewTableValidation(t *testing.T) {
+	dev, _ := hmem.NewDevice("d", 1<<16, hmem.DRAMProfile())
+	if _, err := NewTable(nil, 0, 16); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := NewTable(dev, 0, 15); err == nil {
+		t.Fatal("non-pow2 slots accepted")
+	}
+	if _, err := NewTable(dev, 0, 0); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := NewTable(dev, 1<<16-8, 16); err == nil {
+		t.Fatal("overflowing table accepted")
+	}
+	tbl, err := NewTable(dev, 128, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Base() != 128 || tbl.Slots() != 16 || tbl.Size() != 16*SlotBytes {
+		t.Fatalf("geometry: %d %d %d", tbl.Base(), tbl.Slots(), tbl.Size())
+	}
+}
+
+func TestNewTableZeroesMemory(t *testing.T) {
+	dev, _ := hmem.NewDevice("d", 1<<12, hmem.DRAMProfile())
+	if err := dev.WriteRaw(0, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTable(dev, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := dev.ReadRaw(0, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("table not zeroed")
+		}
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	e := newEnv(t, 16)
+	cn, _ := e.fabric.AddNode("c")
+	q := cn.NewQP()
+	if _, err := NewClient(q, e.geo, 0, 0, 0); err == nil {
+		t.Fatal("zero owner accepted")
+	}
+	bad := e.geo
+	bad.Slots = 3
+	if _, err := NewClient(q, bad, 1, 0, 0); err == nil {
+		t.Fatal("bad slots accepted")
+	}
+}
+
+func TestExclusiveLockCycle(t *testing.T) {
+	e := newEnv(t, 64)
+	c1 := e.client(t, "c1", 1, 8)
+	c2 := e.client(t, "c2", 2, 8)
+	a := addr(4096)
+
+	end, err := c1.LockExclusive(0, a)
+	if err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	if end <= 0 {
+		t.Fatal("lock charged no time")
+	}
+	// Second writer times out while held.
+	if _, err := c2.LockExclusive(0, a); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second writer: %v", err)
+	}
+	// Non-owner release rejected.
+	if _, err := c2.UnlockExclusive(0, a); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("non-owner unlock: %v", err)
+	}
+	if _, err := c1.UnlockExclusive(end, a); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	// Now c2 can acquire.
+	if _, err := c2.LockExclusive(0, a); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestUnlockExclusiveNotHeld(t *testing.T) {
+	e := newEnv(t, 64)
+	c := e.client(t, "c1", 1, 8)
+	if _, err := c.UnlockExclusive(0, addr(64)); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("unlock of free lock: %v", err)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	e := newEnv(t, 64)
+	c1 := e.client(t, "c1", 1, 8)
+	c2 := e.client(t, "c2", 2, 8)
+	a := addr(4096)
+	if _, err := c1.LockShared(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.LockShared(0, a); err != nil {
+		t.Fatal(err)
+	}
+	// Writer blocked while readers hold.
+	w := e.client(t, "w", 3, 4)
+	if _, err := w.LockExclusive(0, a); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("writer with readers: %v", err)
+	}
+	if _, err := c1.UnlockShared(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.UnlockShared(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.LockExclusive(0, a); err != nil {
+		t.Fatalf("writer after readers: %v", err)
+	}
+}
+
+func TestReaderBlockedByWriterBacksOut(t *testing.T) {
+	e := newEnv(t, 64)
+	w := e.client(t, "w", 1, 8)
+	r := e.client(t, "r", 2, 4)
+	a := addr(4096)
+	if _, err := w.LockExclusive(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LockShared(0, a); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("reader with writer: %v", err)
+	}
+	if _, err := w.UnlockExclusive(0, a); err != nil {
+		t.Fatal(err)
+	}
+	// The failed reader's back-outs must have left the count at zero:
+	// a writer can acquire immediately (one attempt).
+	w2 := e.client(t, "w2", 3, 1)
+	if _, err := w2.LockExclusive(0, a); err != nil {
+		t.Fatalf("reader backout leaked count: %v", err)
+	}
+}
+
+func TestMutualExclusionConcurrent(t *testing.T) {
+	// Property: a counter protected by the exclusive lock never loses
+	// updates across concurrent clients.
+	e := newEnv(t, 64)
+	a := addr(4096)
+	var counter int64 // protected by the distributed lock
+	const clients, per = 6, 50
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c := e.client(t, string(rune('a'+i)), uint32(i+1), 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := c.LockExclusive(0, a); err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				counter++
+				if _, err := c.UnlockExclusive(0, a); err != nil {
+					t.Errorf("unlock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != clients*per {
+		t.Fatalf("lost updates: %d, want %d", counter, clients*per)
+	}
+}
+
+func TestVersionWords(t *testing.T) {
+	e := newEnv(t, 64)
+	c := e.client(t, "c1", 1, 8)
+	a := addr(4096)
+	v, _, err := c.ReadVersion(0, a)
+	if err != nil || v != 0 {
+		t.Fatalf("initial version: %d %v", v, err)
+	}
+	nv, _, err := c.BumpVersion(0, a)
+	if err != nil || nv != 1 {
+		t.Fatalf("bump: %d %v", nv, err)
+	}
+	v, _, err = c.ReadVersion(0, a)
+	if err != nil || v != 1 {
+		t.Fatalf("after bump: %d %v", v, err)
+	}
+	// Version word is independent of the lock word.
+	if _, err := c.LockExclusive(0, a); err != nil {
+		t.Fatalf("lock after bumps: %v", err)
+	}
+}
+
+func TestSlotIndexDistributionProperty(t *testing.T) {
+	// Property: slot index is in range and deterministic.
+	f := func(raw uint64, pow uint8) bool {
+		slots := 1 << (pow%10 + 1)
+		a := region.GAddr(raw)
+		i := slotIndex(a, slots)
+		return i >= 0 && i < int64(slots) && i == slotIndex(a, slots)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential 64B-spaced addresses spread over the table (not all in
+	// one slot).
+	slots := 256
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 256; i++ {
+		seen[slotIndex(addr(i*64), slots)] = true
+	}
+	if len(seen) < slots/4 {
+		t.Fatalf("poor slot spread: %d distinct of %d", len(seen), slots)
+	}
+}
+
+func TestHashCollisionCoarsensNotBreaks(t *testing.T) {
+	// With a 1-slot table every address collides: locking object A blocks
+	// object B (coarse), and release unblocks it (correct).
+	e := newEnv(t, 1)
+	c1 := e.client(t, "c1", 1, 4)
+	c2 := e.client(t, "c2", 2, 4)
+	if _, err := c1.LockExclusive(0, addr(64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.LockExclusive(0, addr(128)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("collision did not block: %v", err)
+	}
+	if _, err := c1.UnlockExclusive(0, addr(64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.LockExclusive(0, addr(128)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffIncreasesVirtualTime(t *testing.T) {
+	e := newEnv(t, 64)
+	holder := e.client(t, "h", 1, 8)
+	a := addr(64)
+	if _, err := holder.LockExclusive(0, a); err != nil {
+		t.Fatal(err)
+	}
+	spinner := e.client(t, "s", 2, 10)
+	end, err := spinner.LockExclusive(0, a)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// 10 failed attempts with growing backoff must advance virtual time
+	// well past 10 bare CAS round trips (~3µs each).
+	if simnet.Duration(end) < 10*time.Microsecond {
+		t.Fatalf("backoff too small: %v", simnet.Duration(end))
+	}
+}

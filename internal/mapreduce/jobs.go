@@ -1,0 +1,80 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// WordCount returns the classic word-count job functions.
+func WordCount() (MapFunc, ReduceFunc) {
+	mapf := func(doc string) []KeyValue {
+		words := strings.Fields(doc)
+		kvs := make([]KeyValue, 0, len(words))
+		for _, w := range words {
+			kvs = append(kvs, KeyValue{Key: w, Value: "1"})
+		}
+		return kvs
+	}
+	reducef := func(key string, values []string) string {
+		return strconv.Itoa(len(values))
+	}
+	return mapf, reducef
+}
+
+// Grep returns a job emitting every word containing pattern, with its
+// occurrence count.
+func Grep(pattern string) (MapFunc, ReduceFunc) {
+	mapf := func(doc string) []KeyValue {
+		var kvs []KeyValue
+		for _, w := range strings.Fields(doc) {
+			if strings.Contains(w, pattern) {
+				kvs = append(kvs, KeyValue{Key: w, Value: "1"})
+			}
+		}
+		return kvs
+	}
+	reducef := func(key string, values []string) string {
+		return strconv.Itoa(len(values))
+	}
+	return mapf, reducef
+}
+
+// Sort returns a distributed-sort job: keys pass through, and with
+// RangePartition the concatenated reducer outputs are globally sorted.
+func Sort() (MapFunc, ReduceFunc) {
+	mapf := func(doc string) []KeyValue {
+		words := strings.Fields(doc)
+		kvs := make([]KeyValue, 0, len(words))
+		for _, w := range words {
+			kvs = append(kvs, KeyValue{Key: w, Value: ""})
+		}
+		return kvs
+	}
+	reducef := func(key string, values []string) string {
+		return strconv.Itoa(len(values))
+	}
+	return mapf, reducef
+}
+
+// Corpus generates docs synthetic documents of about docWords words
+// each, drawn zipfian from a vocabulary — the skewed text a wordcount
+// motivates caching with. Deterministic for a given seed.
+func Corpus(seed int64, docs, docWords, vocabulary int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(vocabulary-1))
+	out := make([]string, docs)
+	var b strings.Builder
+	for d := range out {
+		b.Reset()
+		for w := 0; w < docWords; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "w%04d", zipf.Uint64())
+		}
+		out[d] = b.String()
+	}
+	return out
+}

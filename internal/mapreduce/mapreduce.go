@@ -1,0 +1,342 @@
+// Package mapreduce is a small MapReduce engine whose inputs, shuffle
+// files and outputs all live in the Gengar pool — the paper's MapReduce
+// benchmark. Mappers and reducers are pool clients: every document read,
+// intermediate partition write and shuffle read is a real pool operation,
+// so job completion time reflects the memory system under test.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/rpc"
+	"gengar/internal/simnet"
+)
+
+// KeyValue is one intermediate or output pair.
+type KeyValue struct {
+	Key   string
+	Value string
+}
+
+// MapFunc transforms one input document into intermediate pairs.
+type MapFunc func(doc string) []KeyValue
+
+// ReduceFunc folds all values of one key into a single output value.
+type ReduceFunc func(key string, values []string) string
+
+// pacingWindow bounds virtual-clock skew among concurrent workers; see
+// simnet.Gate.
+const pacingWindow = 20 * time.Microsecond
+
+// Partitioner assigns an intermediate key to a reducer in [0, reducers).
+type Partitioner func(key string, reducers int) int
+
+// HashPartition is the default partitioner.
+func HashPartition(key string, reducers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers)) //nolint:gosec // load balancing
+}
+
+// RangePartition partitions by the key's first byte — reducer outputs
+// concatenated in order are then globally sorted, the TeraSort trick.
+func RangePartition(key string, reducers int) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return int(key[0]) * reducers / 256
+}
+
+// Config shapes a job.
+type Config struct {
+	Mappers     int
+	Reducers    int
+	Partitioner Partitioner // nil selects HashPartition
+}
+
+// Stats reports a completed job. Durations are simulated.
+type Stats struct {
+	MapTime       time.Duration // barrier-to-barrier map phase
+	ReduceTime    time.Duration
+	JobTime       time.Duration // total makespan
+	BytesShuffled int64
+	Pairs         int64 // intermediate pairs produced
+}
+
+// Job is a prepared job bound to a pool: workers are connected clients.
+type Job struct {
+	cfg     Config
+	mapf    MapFunc
+	reducef ReduceFunc
+	workers []*core.Client
+}
+
+// NewJob validates the configuration and binds worker clients. The
+// worker slice must contain max(Mappers, Reducers) clients; workers are
+// reused across phases like slots in a real cluster.
+func NewJob(cfg Config, workers []*core.Client, mapf MapFunc, reducef ReduceFunc) (*Job, error) {
+	if cfg.Mappers <= 0 || cfg.Reducers <= 0 {
+		return nil, fmt.Errorf("mapreduce: %d mappers / %d reducers", cfg.Mappers, cfg.Reducers)
+	}
+	need := cfg.Mappers
+	if cfg.Reducers > need {
+		need = cfg.Reducers
+	}
+	if len(workers) < need {
+		return nil, fmt.Errorf("mapreduce: need %d workers, have %d", need, len(workers))
+	}
+	if mapf == nil || reducef == nil {
+		return nil, errors.New("mapreduce: nil map or reduce function")
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = HashPartition
+	}
+	return &Job{cfg: cfg, mapf: mapf, reducef: reducef, workers: workers}, nil
+}
+
+// storeBlob writes data as a fresh pool object and returns its address.
+func storeBlob(c *core.Client, data []byte) (region.GAddr, error) {
+	if len(data) == 0 {
+		return region.NilGAddr, nil
+	}
+	addr, err := c.Malloc(int64(len(data)))
+	if err != nil {
+		return region.NilGAddr, err
+	}
+	if err := c.Write(addr, data); err != nil {
+		return region.NilGAddr, err
+	}
+	return addr, nil
+}
+
+// encodePairs serializes intermediate pairs.
+func encodePairs(kvs []KeyValue) []byte {
+	var w rpc.Writer
+	w.U32(uint32(len(kvs)))
+	for _, kv := range kvs {
+		w.Str(kv.Key)
+		w.Str(kv.Value)
+	}
+	return w.Bytes()
+}
+
+// decodePairs deserializes intermediate pairs.
+func decodePairs(data []byte) ([]KeyValue, error) {
+	r := rpc.NewReader(data)
+	n := int(r.U32())
+	kvs := make([]KeyValue, 0, n)
+	for i := 0; i < n; i++ {
+		kvs = append(kvs, KeyValue{Key: r.Str(), Value: r.Str()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: corrupt partition: %w", err)
+	}
+	return kvs, nil
+}
+
+type partition struct {
+	addr region.GAddr
+	size int
+}
+
+// Run executes the job over input documents already resident in the pool
+// (as produced by StoreInputs) and returns the reduced output plus
+// simulated phase timings.
+func (j *Job) Run(inputs []Input) (map[string]string, Stats, error) {
+	var stats Stats
+	// Common starting line at the fabric frontier, so input-loading
+	// traffic's resource watermarks don't stall the first map reads.
+	for _, w := range j.workers {
+		w.AdvanceToFrontier()
+	}
+	start := maxWorkerClock(j.workers)
+	for _, w := range j.workers {
+		w.AdvanceTo(start)
+	}
+
+	// --- map phase ---
+	parts := make([][]partition, j.cfg.Mappers) // [mapper][reducer]
+	errs := make([]error, j.cfg.Mappers)
+	var pairs, shuffled metrics.Counter
+	var wg sync.WaitGroup
+	mapGate := simnet.NewGate(pacingWindow)
+	mapPaces := make([]*simnet.GateHandle, j.cfg.Mappers)
+	for m := range mapPaces {
+		mapPaces[m] = mapGate.Join(start)
+	}
+	for m := 0; m < j.cfg.Mappers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			defer mapPaces[m].Leave()
+			worker := j.workers[m]
+			buckets := make([][]KeyValue, j.cfg.Reducers)
+			for i := m; i < len(inputs); i += j.cfg.Mappers {
+				mapPaces[m].Advance(worker.Now())
+				doc := make([]byte, inputs[i].Size)
+				if err := worker.Read(inputs[i].Addr, doc); err != nil {
+					errs[m] = err
+					return
+				}
+				for _, kv := range j.mapf(string(doc)) {
+					r := j.cfg.Partitioner(kv.Key, j.cfg.Reducers)
+					buckets[r] = append(buckets[r], kv)
+					pairs.Inc()
+				}
+			}
+			parts[m] = make([]partition, j.cfg.Reducers)
+			for r, kvs := range buckets {
+				if len(kvs) == 0 {
+					continue
+				}
+				blob := encodePairs(kvs)
+				addr, err := storeBlob(worker, blob)
+				if err != nil {
+					errs[m] = err
+					return
+				}
+				parts[m][r] = partition{addr: addr, size: len(blob)}
+				shuffled.Add(int64(len(blob)))
+			}
+			// Publish the partitions before the shuffle barrier: the
+			// reducers are other clients.
+			if err := worker.Flush(); err != nil {
+				errs[m] = err
+			}
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("mapreduce: map phase: %w", err)
+		}
+	}
+	mapEnd := maxWorkerClock(j.workers)
+	stats.MapTime = mapEnd.Sub(start)
+
+	// --- shuffle barrier: reducers must not start before the last map ---
+	for _, w := range j.workers {
+		w.AdvanceTo(mapEnd)
+	}
+
+	// --- reduce phase ---
+	outs := make([]map[string]string, j.cfg.Reducers)
+	rerrs := make([]error, j.cfg.Reducers)
+	redGate := simnet.NewGate(pacingWindow)
+	redPaces := make([]*simnet.GateHandle, j.cfg.Reducers)
+	for r := range redPaces {
+		redPaces[r] = redGate.Join(mapEnd)
+	}
+	for r := 0; r < j.cfg.Reducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer redPaces[r].Leave()
+			worker := j.workers[r]
+			byKey := make(map[string][]string)
+			for m := 0; m < j.cfg.Mappers; m++ {
+				redPaces[r].Advance(worker.Now())
+				p := parts[m][r]
+				if p.size == 0 {
+					continue
+				}
+				blob := make([]byte, p.size)
+				if err := worker.Read(p.addr, blob); err != nil {
+					rerrs[r] = err
+					return
+				}
+				kvs, err := decodePairs(blob)
+				if err != nil {
+					rerrs[r] = err
+					return
+				}
+				for _, kv := range kvs {
+					byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+				}
+			}
+			keys := make([]string, 0, len(byKey))
+			for k := range byKey {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := make(map[string]string, len(keys))
+			var outBlob rpc.Writer
+			for _, k := range keys {
+				v := j.reducef(k, byKey[k])
+				out[k] = v
+				outBlob.Str(k)
+				outBlob.Str(v)
+			}
+			// Persist the reducer output into the pool, as a real job would.
+			if _, err := storeBlob(worker, outBlob.Bytes()); err != nil {
+				rerrs[r] = err
+				return
+			}
+			outs[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range rerrs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("mapreduce: reduce phase: %w", err)
+		}
+	}
+	end := maxWorkerClock(j.workers)
+	stats.ReduceTime = end.Sub(mapEnd)
+	stats.JobTime = end.Sub(start)
+	stats.BytesShuffled = shuffled.Load()
+	stats.Pairs = pairs.Load()
+
+	result := make(map[string]string)
+	for _, out := range outs {
+		for k, v := range out {
+			result[k] = v
+		}
+	}
+	return result, stats, nil
+}
+
+// Input is one document resident in the pool.
+type Input struct {
+	Addr region.GAddr
+	Size int
+}
+
+// StoreInputs writes documents into the pool and returns their handles.
+func StoreInputs(c *core.Client, docs []string) ([]Input, error) {
+	inputs := make([]Input, 0, len(docs))
+	for i, d := range docs {
+		if len(d) == 0 {
+			return nil, fmt.Errorf("mapreduce: empty document %d", i)
+		}
+		addr, err := storeBlob(c, []byte(d))
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, Input{Addr: addr, Size: len(d)})
+	}
+	// Publish: mappers are different clients, so the driver's proxied
+	// writes must reach NVM before the map phase reads the documents.
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return inputs, nil
+}
+
+func maxWorkerClock(workers []*core.Client) simnet.Time {
+	var t simnet.Time
+	for _, w := range workers {
+		if now := w.Now(); now > t {
+			t = now
+		}
+	}
+	return t
+}

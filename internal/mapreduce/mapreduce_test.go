@@ -1,0 +1,226 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/server"
+)
+
+func testCluster(t *testing.T) *server.Cluster {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 22
+	cfg.DRAMBufferBytes = 1 << 17
+	cfg.RingBytes = 1 << 23
+	cfg.Hotness.PlanEvery = 100 * time.Microsecond
+	c, err := server.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func workers(t *testing.T, c *server.Cluster, n int) []*core.Client {
+	t.Helper()
+	out := make([]*core.Client, n)
+	for i := range out {
+		cl, err := core.Connect(c, "worker"+strconv.Itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		out[i] = cl
+	}
+	return out
+}
+
+// localWordCount is the reference implementation.
+func localWordCount(docs []string) map[string]int {
+	counts := make(map[string]int)
+	for _, d := range docs {
+		for _, w := range strings.Fields(d) {
+			counts[w]++
+		}
+	}
+	return counts
+}
+
+func TestNewJobValidation(t *testing.T) {
+	c := testCluster(t)
+	ws := workers(t, c, 2)
+	mapf, reducef := WordCount()
+	if _, err := NewJob(Config{Mappers: 0, Reducers: 1}, ws, mapf, reducef); err == nil {
+		t.Fatal("zero mappers accepted")
+	}
+	if _, err := NewJob(Config{Mappers: 4, Reducers: 1}, ws, mapf, reducef); err == nil {
+		t.Fatal("too few workers accepted")
+	}
+	if _, err := NewJob(Config{Mappers: 1, Reducers: 1}, ws, nil, reducef); err == nil {
+		t.Fatal("nil mapf accepted")
+	}
+}
+
+func TestWordCountMatchesReference(t *testing.T) {
+	c := testCluster(t)
+	ws := workers(t, c, 3)
+	docs := Corpus(42, 8, 200, 100)
+	inputs, err := StoreInputs(ws[0], docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapf, reducef := WordCount()
+	job, err := NewJob(Config{Mappers: 3, Reducers: 2}, ws, mapf, reducef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localWordCount(docs)
+	if len(got) != len(want) {
+		t.Fatalf("distinct words: got %d, want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != strconv.Itoa(n) {
+			t.Fatalf("count[%s] = %s, want %d", w, got[w], n)
+		}
+	}
+	if stats.JobTime <= 0 || stats.MapTime <= 0 || stats.ReduceTime <= 0 {
+		t.Fatalf("timings: %+v", stats)
+	}
+	if stats.JobTime < stats.MapTime || stats.JobTime < stats.ReduceTime {
+		t.Fatalf("phase times exceed job time: %+v", stats)
+	}
+	if stats.BytesShuffled <= 0 || stats.Pairs != int64(8*200) {
+		t.Fatalf("shuffle stats: %+v", stats)
+	}
+}
+
+func TestGrepFindsOnlyMatches(t *testing.T) {
+	c := testCluster(t)
+	ws := workers(t, c, 2)
+	docs := []string{"alpha beta gamma", "beta delta", "epsilon beta"}
+	inputs, err := StoreInputs(ws[0], docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapf, reducef := Grep("bet")
+	job, err := NewJob(Config{Mappers: 2, Reducers: 2}, ws, mapf, reducef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["beta"] != "3" {
+		t.Fatalf("grep result: %v", got)
+	}
+}
+
+func TestSortWithRangePartition(t *testing.T) {
+	c := testCluster(t)
+	ws := workers(t, c, 2)
+	docs := []string{"m b z a", "q c y", "a k"}
+	inputs, err := StoreInputs(ws[0], docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapf, reducef := Sort()
+	job, err := NewJob(Config{Mappers: 2, Reducers: 2, Partitioner: RangePartition}, ws, mapf, reducef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every distinct word present, duplicate counted.
+	if len(got) != 8 {
+		t.Fatalf("distinct keys = %d: %v", len(got), got)
+	}
+	if got["a"] != "2" {
+		t.Fatalf(`got["a"] = %q`, got["a"])
+	}
+}
+
+func TestRangePartitionOrdering(t *testing.T) {
+	// Keys assigned to reducer i must all be <= keys of reducer i+1.
+	for _, reducers := range []int{1, 2, 4, 8} {
+		prev := -1
+		for b := 0; b < 256; b++ {
+			r := RangePartition(string(rune(b)), reducers)
+			if r < prev {
+				t.Fatalf("partition not monotonic at byte %d", b)
+			}
+			if r < 0 || r >= reducers {
+				t.Fatalf("partition %d out of range", r)
+			}
+			prev = r
+		}
+	}
+	if RangePartition("", 4) != 0 {
+		t.Fatal("empty key partition")
+	}
+}
+
+func TestHashPartitionRange(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		r := HashPartition(strconv.Itoa(i), 7)
+		if r < 0 || r >= 7 {
+			t.Fatalf("partition %d out of range", r)
+		}
+	}
+}
+
+func TestEncodeDecodePairs(t *testing.T) {
+	kvs := []KeyValue{{"a", "1"}, {"bb", "22"}, {"", ""}}
+	got, err := decodePairs(encodePairs(kvs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != kvs[0] || got[1] != kvs[1] || got[2] != kvs[2] {
+		t.Fatalf("roundtrip: %v", got)
+	}
+	if _, err := decodePairs([]byte{0, 0, 0, 9}); err == nil {
+		t.Fatal("corrupt blob accepted")
+	}
+}
+
+func TestStoreInputsRejectsEmptyDoc(t *testing.T) {
+	c := testCluster(t)
+	ws := workers(t, c, 1)
+	if _, err := StoreInputs(ws[0], []string{"ok", ""}); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+func TestCorpusDeterministicAndSkewed(t *testing.T) {
+	a := Corpus(7, 4, 100, 50)
+	b := Corpus(7, 4, 100, 50)
+	if len(a) != 4 || a[0] != b[0] || a[3] != b[3] {
+		t.Fatal("corpus not deterministic")
+	}
+	counts := localWordCount(a)
+	if len(counts) < 2 {
+		t.Fatal("degenerate vocabulary")
+	}
+	// Zipf: the most common word should dominate.
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN < 400/len(counts) {
+		t.Fatalf("no skew: max count %d over %d words", maxN, len(counts))
+	}
+}

@@ -1,0 +1,27 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically-increasing concurrent counter. The zero
+// value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (which should be non-negative).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Ratio returns num/den as a float, or 0 when den is zero — a common
+// need for hit-rate reporting.
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

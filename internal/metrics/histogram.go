@@ -1,0 +1,187 @@
+// Package metrics provides the lightweight instrumentation used across
+// the Gengar simulator: concurrent log-scale latency histograms and
+// counters. Latencies recorded here are simulated durations; the package
+// itself is agnostic.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// subBuckets is the number of linear sub-buckets per power-of-two bucket;
+// 16 gives a worst-case quantile error of ~6 %.
+const subBuckets = 16
+
+// maxBuckets covers durations up to ~2^40 ns (~18 minutes).
+const maxBuckets = 41
+
+// Histogram is a log-scale histogram of durations, in the spirit of
+// HdrHistogram: power-of-two major buckets, each split into linear
+// sub-buckets. The zero value is ready to use; it is safe for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [maxBuckets * subBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v) // exact for tiny values
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	// Linear position within [2^exp, 2^(exp+1)).
+	sub := int((v - 1<<exp) >> (exp - 4)) // exp >= 4 here since v >= subBuckets
+	idx := exp*subBuckets + sub
+	if idx >= len((&Histogram{}).counts) {
+		idx = len((&Histogram{}).counts) - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket index i — used
+// to reconstruct quantiles.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i / subBuckets
+	sub := i % subBuckets
+	return 1<<exp + int64(sub)<<(exp-4)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[bucketIndex(v)]++
+	h.n++
+	h.sum += v
+	if h.n == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.min)
+}
+
+// Max returns the largest observation; see Min.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1),
+// such as 0.5 for the median or 0.99 for P99.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) || q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	other.mu.Lock()
+	counts := other.counts
+	n, sum, mn, mx := other.n, other.sum, other.min, other.max
+	other.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || mn < h.min {
+		h.min = mn
+	}
+	if mx > h.max {
+		h.max = mx
+	}
+	h.n += n
+	h.sum += sum
+}
+
+// Summary is an immutable digest of a histogram for reporting.
+type Summary struct {
+	Count          int64
+	Mean, P50, P99 time.Duration
+	Min, Max       time.Duration
+}
+
+// Summarize returns a report-ready digest.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P99:   h.Quantile(0.99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+}

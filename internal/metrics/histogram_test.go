@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []time.Duration{10, 20, 30, 40} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative observation not clamped to zero")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i))
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+	if got := h.Quantile(1.5); got != h.Max() {
+		t.Fatalf("Quantile(1.5) = %v", got)
+	}
+}
+
+func TestQuantileAccuracyProperty(t *testing.T) {
+	// Property: quantile estimates are within ~7% relative error of the
+	// exact quantile for log-uniform data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		vals := make([]int64, 1000)
+		for i := range vals {
+			v := int64(1) << uint(rng.Intn(30))
+			v += rng.Int63n(v)
+			vals[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := float64(vals[int(q*float64(len(vals)))-1])
+			got := float64(h.Quantile(q))
+			if got < exact*0.90 || got > exact*1.10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(30)
+	b.Record(40)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Mean() != 25 || a.Min() != 10 || a.Max() != 40 {
+		t.Fatalf("merge wrong: %+v", a.Summarize())
+	}
+	// Merging nil or self is a no-op.
+	a.Merge(nil)
+	a.Merge(&a)
+	if a.Count() != 4 {
+		t.Fatal("self/nil merge changed counts")
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 4 {
+		t.Fatal("empty merge changed counts")
+	}
+	// Merge into empty adopts min.
+	var c Histogram
+	c.Merge(&a)
+	if c.Min() != 10 || c.Count() != 4 {
+		t.Fatalf("merge into empty: %+v", c.Summarize())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	s := h.Summarize()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestBucketLowInverse(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v for all v, and buckets are ordered.
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		i := bucketIndex(v)
+		return bucketLow(i) <= v && (i == 0 || bucketLow(i-1) < bucketLow(i)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("Load = %d", c.Load())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 {
+		t.Fatal("Ratio(1,2)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio(_,0) should be 0")
+	}
+}

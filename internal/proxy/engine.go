@@ -1,0 +1,291 @@
+// Package proxy implements Gengar's redesigned RDMA write path. A direct
+// RDMA WRITE to remote NVM pays the NVM media latency plus a persistence
+// round trip, and under load saturates at the NVM's low write bandwidth.
+// Gengar instead has clients RDMA-WRITE each update into a per-client
+// DRAM staging ring at the server — acknowledged at DRAM speed — while
+// server-side proxy workers apply staged records to NVM in FIFO order
+// off the critical path, updating any promoted DRAM copy as they go.
+//
+// The split is: Engine (server side: rings live in server DRAM, a pool
+// of flush workers drains them to NVM) and Writer (client side: stages
+// writes, tracks credits for backpressure, buffers pending updates so
+// the client observes its own writes before they flush).
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gengar/internal/hmem"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// Errors returned by the proxy.
+var (
+	// ErrEngineClosed is returned when staging to a stopped engine.
+	ErrEngineClosed = errors.New("proxy: engine closed")
+	// ErrPayloadTooLarge is returned when a write exceeds the ring slot.
+	ErrPayloadTooLarge = errors.New("proxy: payload exceeds ring slot size")
+)
+
+// slotHeaderBytes is the per-record header written into a ring slot:
+// target global address (8) + payload length (4).
+const slotHeaderBytes = 12
+
+// DefaultPollCost is the server CPU cost of discovering and dispatching
+// one staged record (the polling loop's per-record share).
+const DefaultPollCost = 200 * time.Nanosecond
+
+// flushWorkers is the number of proxy threads per server. Records are
+// sharded by ring, so each client's writes keep their FIFO order while
+// the server drains many clients in parallel — both for fidelity (real
+// proxies run several polling threads) and so the simulation's wall-
+// clock flush rate keeps up with its producers.
+const flushWorkers = 4
+
+// Ack reports that a staged record has been applied to NVM (and to the
+// DRAM copy, if the object is promoted).
+type Ack struct {
+	Seq       uint64
+	AppliedAt simnet.Time
+}
+
+// CacheApply is the hook the server installs so flushed data is written
+// through to a promoted object's DRAM copy. It receives the flush
+// completion instant and the write's target range, and returns the
+// instant the copy is updated (at, if the object is not promoted).
+type CacheApply func(at simnet.Time, addr region.GAddr, data []byte) simnet.Time
+
+// record is one staged write traveling from a Writer to the Engine.
+type record struct {
+	ringID   int
+	seq      uint64
+	addr     region.GAddr // target global address of the write
+	nvmOff   int64        // target offset in the NVM device
+	ringOff  int64        // payload location in the ring (past header)
+	size     int
+	stagedAt simnet.Time
+	acks     chan<- Ack
+	slotFree chan<- struct{} // signaled once the payload left the ring
+}
+
+// EngineStats is a snapshot of flusher activity.
+type EngineStats struct {
+	Staged       int64
+	Flushed      int64
+	FlushLag     metrics.Summary // staged->applied simulated delay
+	BytesFlushed int64
+}
+
+// Engine is one server's proxy flusher pool: it drains staged records
+// from all of the server's rings to the NVM pool, in FIFO order per
+// ring.
+type Engine struct {
+	ringDev    *hmem.Device // server DRAM holding the rings
+	nvm        *hmem.Device // server NVM pool
+	cpu        *simnet.Resource
+	pollCost   time.Duration
+	cacheApply CacheApply
+
+	workers []chan any // record or func() per worker
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	mu     sync.Mutex
+	closed bool
+	taskMu sync.Mutex // serializes quiescent tasks
+
+	staged   metrics.Counter
+	flushed  metrics.Counter
+	bytes    metrics.Counter
+	flushLag metrics.Histogram
+}
+
+// NewEngine starts the flush workers draining records into nvm. ringDev
+// is the DRAM device holding staging rings; cpu is the server CPU
+// resource charged pollCost per record (DefaultPollCost if
+// non-positive). cacheApply may be nil. Call Close to stop the workers.
+func NewEngine(ringDev, nvm *hmem.Device, cpu *simnet.Resource, pollCost time.Duration, cacheApply CacheApply) (*Engine, error) {
+	if ringDev == nil || nvm == nil || cpu == nil {
+		return nil, errors.New("proxy: nil device or cpu")
+	}
+	if ringDev.Kind() != hmem.KindDRAM {
+		return nil, fmt.Errorf("proxy: staging rings must live in DRAM, got %v", ringDev.Kind())
+	}
+	if pollCost <= 0 {
+		pollCost = DefaultPollCost
+	}
+	e := &Engine{
+		ringDev:    ringDev,
+		nvm:        nvm,
+		cpu:        cpu,
+		pollCost:   pollCost,
+		cacheApply: cacheApply,
+		workers:    make([]chan any, flushWorkers),
+	}
+	for i := range e.workers {
+		// Shallow queues keep the flush workers tightly coupled to their
+		// producers in wall-clock time: a worker that falls far behind
+		// would otherwise process records whose virtual timestamps lie
+		// deep in the past, retroactively perturbing shared resource
+		// timelines that concurrent clients have already moved past.
+		ch := make(chan any, 8)
+		e.workers[i] = ch
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.workerLoop(ch)
+		}()
+	}
+	return e, nil
+}
+
+func (e *Engine) workerLoop(ch chan any) {
+	buf := make([]byte, 0, 64<<10)
+	for item := range ch {
+		if task, ok := item.(func()); ok {
+			task()
+			continue
+		}
+		buf = e.flushRecord(item.(record), buf)
+	}
+}
+
+func (e *Engine) flushRecord(rec record, buf []byte) []byte {
+	// Discover the record and copy it out of the ring: the poll loop's
+	// per-record CPU share plus the copy itself, charged to the server
+	// CPU. (The copy is a local cached load by the polling core; charging
+	// it to the ring DRAM's contended timeline would stall clients'
+	// incoming stage DMAs behind the flusher's batched catch-up reads.)
+	copyCost := e.ringDev.Profile().ReadTime(rec.size)
+	_, tRead := e.cpu.Acquire(rec.stagedAt, e.pollCost+copyCost)
+
+	if cap(buf) < rec.size {
+		buf = make([]byte, rec.size)
+	}
+	data := buf[:rec.size]
+	err := e.ringDev.ReadRaw(rec.ringOff, data)
+	// The slot is reusable the moment its payload has been copied out,
+	// well before the NVM apply completes — real proxies free ring space
+	// the same way, which keeps staging from stalling behind slow media.
+	rec.slotFree <- struct{}{}
+	if err != nil {
+		// A ring-read failure is a wiring bug (offsets are engine-
+		// controlled); ack anyway so clients never deadlock.
+		rec.acks <- Ack{Seq: rec.seq, AppliedAt: tRead}
+		return buf
+	}
+
+	// Apply to NVM.
+	tApply, err := e.nvm.Write(tRead, rec.nvmOff, data)
+	if err != nil {
+		rec.acks <- Ack{Seq: rec.seq, AppliedAt: tRead}
+		return buf
+	}
+
+	// Write through to the DRAM copy, if promoted.
+	end := tApply
+	if e.cacheApply != nil {
+		if t := e.cacheApply(tApply, rec.addr, data); t > end {
+			end = t
+		}
+	}
+
+	e.flushed.Inc()
+	e.bytes.Add(int64(rec.size))
+	e.flushLag.Record(end.Sub(rec.stagedAt))
+	rec.acks <- Ack{Seq: rec.seq, AppliedAt: end}
+	return buf
+}
+
+// enqueue hands a staged record to its ring's worker, preserving the
+// client's write order.
+func (e *Engine) enqueue(rec record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.staged.Inc()
+	e.workers[rec.ringID%len(e.workers)] <- rec
+	return nil
+}
+
+// Submit quiesces every flush worker, runs task exclusively, and resumes
+// them. Gengar servers run promotion/demotion plans this way, so a
+// cache-copy install never races a concurrent write-through of the same
+// object. Submit returns after the task has run.
+func (e *Engine) Submit(task func()) error {
+	e.taskMu.Lock()
+	defer e.taskMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	workers := e.workers
+	e.mu.Unlock()
+
+	var reached sync.WaitGroup
+	release := make(chan struct{})
+	reached.Add(len(workers))
+	for _, ch := range workers {
+		ch <- func() {
+			reached.Done()
+			<-release
+		}
+	}
+	reached.Wait()
+	task()
+	close(release)
+	return nil
+}
+
+// Barrier blocks until every record enqueued before the call has been
+// processed by its worker.
+func (e *Engine) Barrier() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	workers := e.workers
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	for _, ch := range workers {
+		ch <- func() { wg.Done() }
+	}
+	wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of flusher activity.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Staged:       e.staged.Load(),
+		Flushed:      e.flushed.Load(),
+		FlushLag:     e.flushLag.Summarize(),
+		BytesFlushed: e.bytes.Load(),
+	}
+}
+
+// Close stops accepting records, drains the backlog and joins the
+// workers. It is idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		for _, ch := range e.workers {
+			close(ch)
+		}
+		e.mu.Unlock()
+		e.wg.Wait()
+	})
+}

@@ -1,0 +1,280 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"gengar/internal/rdma"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// Ring describes one client's staging ring inside a server's DRAM: an
+// RDMA-writable window divided into fixed-size slots used round-robin.
+// The server allocates it and hands the descriptor to the client at
+// connection time.
+type Ring struct {
+	ID       int
+	Handle   rdma.RegionHandle // MR covering the ring
+	Base     int64             // ring start, relative to the MR
+	DevBase  int64             // ring start, absolute in the server DRAM device
+	Slots    int
+	SlotSize int // per-slot bytes, including the record header
+}
+
+// MaxPayload returns the largest write the ring can stage in one slot.
+func (r Ring) MaxPayload() int { return r.SlotSize - slotHeaderBytes }
+
+// Validate reports whether the descriptor is usable.
+func (r Ring) Validate() error {
+	if r.Slots <= 0 || r.SlotSize <= slotHeaderBytes {
+		return fmt.Errorf("proxy: bad ring geometry %d x %d", r.Slots, r.SlotSize)
+	}
+	return nil
+}
+
+type pendingWrite struct {
+	seq  uint64
+	addr region.GAddr
+	data []byte
+}
+
+// Writer is the client side of the proxy write path for one
+// (client, server) pair. Stage RDMA-WRITEs a record into the next ring
+// slot — completing at DRAM speed — and hands it to the server's flusher.
+// The writer holds one credit per ring slot; when the ring is full, Stage
+// blocks until the flusher copies records out (the backpressure that
+// surfaces as the write-throughput knee in the evaluation).
+//
+// Writer also keeps the staged-but-unflushed payloads so the owning
+// client reads its own writes: ApplyPending overlays them onto data read
+// from the server.
+//
+// Locking: stageMu serializes staging (sequence/slot assignment, the
+// ring write and the enqueue — FIFO order into the flusher is what makes
+// slot reuse safe); pendMu guards the pending set and applied state. The
+// ack path takes only pendMu, so it always makes progress while a stager
+// waits on a briefly-full flusher queue under stageMu.
+type Writer struct {
+	engine *Engine
+	qp     *rdma.QP
+	ring   Ring
+
+	credits chan struct{}
+	ackCh   chan Ack
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	stageMu sync.Mutex
+	nextSeq uint64
+
+	pendMu      sync.Mutex
+	cond        *sync.Cond
+	pending     []pendingWrite
+	lastApplied simnet.Time
+	closed      bool
+}
+
+// NewWriter builds the client side of a staging ring. qp must be
+// connected to the server hosting the ring; engine is the server's
+// flusher (the in-process stand-in for its polling threads discovering
+// ring tail updates).
+func NewWriter(engine *Engine, qp *rdma.QP, ring Ring) (*Writer, error) {
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		engine:  engine,
+		qp:      qp,
+		ring:    ring,
+		credits: make(chan struct{}, ring.Slots),
+		// The flusher must never block sending an ack (deadlock freedom
+		// of the whole pipeline rests on it), so the channel holds a
+		// full ring plus everything that can sit inside the flush
+		// pipeline.
+		ackCh: make(chan Ack, ring.Slots+2*flushWorkers+4),
+		quit:  make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.pendMu)
+	for i := 0; i < ring.Slots; i++ {
+		w.credits <- struct{}{}
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.ackLoop()
+	}()
+	return w, nil
+}
+
+func (w *Writer) ackLoop() {
+	for {
+		select {
+		case ack := <-w.ackCh:
+			w.pendMu.Lock()
+			if ack.AppliedAt > w.lastApplied {
+				w.lastApplied = ack.AppliedAt
+			}
+			// Flushing is FIFO per ring, so completed records form a
+			// prefix.
+			for len(w.pending) > 0 && w.pending[0].seq <= ack.Seq {
+				w.pending = w.pending[1:]
+			}
+			w.cond.Broadcast()
+			w.pendMu.Unlock()
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// Stage submits a proxied write of data to the global address addr,
+// whose NVM backing lives at nvmOff in the server's pool device. It
+// returns the simulated instant the client's write is staged (DRAM-speed
+// acknowledgment) — the client-visible write latency under Gengar.
+func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []byte) (simnet.Time, error) {
+	if len(data) > w.ring.MaxPayload() {
+		return at, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(data), w.ring.MaxPayload())
+	}
+	w.pendMu.Lock()
+	closed := w.closed
+	w.pendMu.Unlock()
+	if closed {
+		return at, ErrEngineClosed
+	}
+
+	// Take a ring slot; blocks when the flusher is behind.
+	<-w.credits
+
+	w.stageMu.Lock()
+	seq := w.nextSeq
+	w.nextSeq++
+	slot := int(seq % uint64(w.ring.Slots))
+
+	// One RDMA WRITE carries header + payload into the slot.
+	buf := make([]byte, slotHeaderBytes+len(data))
+	binary.BigEndian.PutUint64(buf, uint64(addr))
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(data)))
+	copy(buf[slotHeaderBytes:], data)
+	slotOff := w.ring.Base + int64(slot)*int64(w.ring.SlotSize)
+	stagedAt, err := w.qp.Write(at, buf, rdma.RemoteAddr{Region: w.ring.Handle, Offset: slotOff})
+	if err != nil {
+		w.stageMu.Unlock()
+		w.credits <- struct{}{}
+		return at, fmt.Errorf("proxy: stage: %w", err)
+	}
+
+	w.pendMu.Lock()
+	w.pending = append(w.pending, pendingWrite{
+		seq:  seq,
+		addr: addr,
+		data: append([]byte(nil), data...),
+	})
+	w.pendMu.Unlock()
+
+	rec := record{
+		ringID:   w.ring.ID,
+		seq:      seq,
+		addr:     addr,
+		nvmOff:   nvmOff,
+		ringOff:  w.ring.DevBase + int64(slot)*int64(w.ring.SlotSize) + slotHeaderBytes,
+		size:     len(data),
+		stagedAt: stagedAt,
+		acks:     w.ackCh,
+		slotFree: w.credits,
+	}
+	// Enqueue before releasing stageMu: the flusher must see this ring's
+	// records in sequence order, because slot-reuse safety rests on
+	// credits returning in FIFO order.
+	err = w.engine.enqueue(rec)
+	w.stageMu.Unlock()
+	if err != nil {
+		// The record will never flush; undo the pending entry and credit.
+		w.pendMu.Lock()
+		for i := range w.pending {
+			if w.pending[i].seq == seq {
+				w.pending = append(w.pending[:i], w.pending[i+1:]...)
+				break
+			}
+		}
+		w.pendMu.Unlock()
+		w.credits <- struct{}{}
+		return at, err
+	}
+	return stagedAt, nil
+}
+
+// ApplyPending overlays any staged-but-unflushed writes onto buf, which
+// holds the bytes [addr, addr+len(buf)) as read from the server. It
+// returns whether anything was overlaid. Pending records are applied in
+// staging order, so the newest write to a byte wins.
+func (w *Writer) ApplyPending(addr region.GAddr, buf []byte) bool {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	applied := false
+	for _, p := range w.pending {
+		if p.addr.Server() != addr.Server() {
+			continue
+		}
+		pOff, rOff := p.addr.Offset(), addr.Offset()
+		lo := max64(pOff, rOff)
+		hi := min64(pOff+int64(len(p.data)), rOff+int64(len(buf)))
+		if lo >= hi {
+			continue
+		}
+		copy(buf[lo-rOff:hi-rOff], p.data[lo-pOff:hi-pOff])
+		applied = true
+	}
+	return applied
+}
+
+// PendingCount returns the number of staged-but-unflushed records.
+func (w *Writer) PendingCount() int {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	return len(w.pending)
+}
+
+// Drain blocks until every write staged so far has been applied to NVM
+// and returns the simulated instant the last one completed. It is the
+// synchronization point lock release uses to publish a writer's updates.
+func (w *Writer) Drain() simnet.Time {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	for len(w.pending) > 0 {
+		w.cond.Wait()
+	}
+	return w.lastApplied
+}
+
+// Close drains outstanding writes and stops the writer. Further Stage
+// calls fail with ErrEngineClosed.
+func (w *Writer) Close() {
+	w.pendMu.Lock()
+	if w.closed {
+		w.pendMu.Unlock()
+		return
+	}
+	w.closed = true
+	for len(w.pending) > 0 {
+		w.cond.Wait()
+	}
+	w.pendMu.Unlock()
+	close(w.quit)
+	w.wg.Wait()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

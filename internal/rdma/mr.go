@@ -1,0 +1,144 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+
+	"gengar/internal/hmem"
+	"gengar/internal/metrics"
+)
+
+// Access is a bitmask of permissions granted when registering a memory
+// region, mirroring ibv_access_flags.
+type Access uint8
+
+// Access flag bits.
+const (
+	AccessRemoteRead Access = 1 << iota
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// AccessAll grants remote read, write and atomic access.
+const AccessAll = AccessRemoteRead | AccessRemoteWrite | AccessRemoteAtomic
+
+// MR is a registered memory region: a window [base, base+length) of a
+// memory device on one node, addressable by remote peers through its
+// remote key.
+type MR struct {
+	node   *Node
+	dev    *hmem.Device
+	base   int64
+	length int64
+	rkey   uint32
+	access Access
+}
+
+// RKey returns the region's remote key.
+func (m *MR) RKey() uint32 { return m.rkey }
+
+// Length returns the region's length in bytes.
+func (m *MR) Length() int64 { return m.length }
+
+// Device returns the memory device backing the region.
+func (m *MR) Device() *hmem.Device { return m.dev }
+
+// Handle returns the fabric-wide address of this region.
+func (m *MR) Handle() RegionHandle {
+	return RegionHandle{Node: m.node.id, RKey: m.rkey}
+}
+
+// RegionHandle names a memory region anywhere on the fabric.
+type RegionHandle struct {
+	Node string
+	RKey uint32
+}
+
+// RemoteAddr names a byte range inside a remote region.
+type RemoteAddr struct {
+	Region RegionHandle
+	Offset int64
+}
+
+// String formats the address for diagnostics.
+func (a RemoteAddr) String() string {
+	return fmt.Sprintf("%s/mr%d+%d", a.Region.Node, a.Region.RKey, a.Offset)
+}
+
+// Node is one machine's NIC attached to the fabric: it owns registered
+// memory regions and queue pairs, and carries the transmit/receive
+// engines that serialize its traffic.
+type Node struct {
+	id      string
+	fabric  *Fabric
+	txBytes metrics.Counter
+	rxBytes metrics.Counter
+
+	mu       sync.RWMutex
+	mrs      map[uint32]*MR
+	nextRKey uint32
+}
+
+// ID returns the node's fabric-unique identifier.
+func (n *Node) ID() string { return n.id }
+
+// TxBytes returns the total bytes this node has put on the wire.
+// Per-message network contention is modeled per initiator (each queue
+// pair's send queue); see transferInit in qp.go for why node-global NIC
+// engines are not watermark resources.
+func (n *Node) TxBytes() int64 { return n.txBytes.Load() }
+
+// RxBytes returns the total bytes delivered into this node.
+func (n *Node) RxBytes() int64 { return n.rxBytes.Load() }
+
+// RegisterMR registers the window [base, base+length) of dev for remote
+// access with the given permissions and returns the region.
+func (n *Node) RegisterMR(dev *hmem.Device, base, length int64, access Access) (*MR, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("rdma: register on node %s: nil device", n.id)
+	}
+	if base < 0 || length <= 0 || base+length > dev.Size() {
+		return nil, fmt.Errorf("rdma: register [%d,%d) on node %s: %w",
+			base, base+length, n.id, ErrOutOfBounds)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextRKey++
+	mr := &MR{
+		node:   n,
+		dev:    dev,
+		base:   base,
+		length: length,
+		rkey:   n.nextRKey,
+		access: access,
+	}
+	n.mrs[mr.rkey] = mr
+	return mr, nil
+}
+
+// DeregisterMR removes a region; subsequent remote accesses fail with
+// ErrMRNotFound.
+func (n *Node) DeregisterMR(mr *MR) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.mrs, mr.rkey)
+}
+
+// lookupMR resolves a remote key, checking the required access bit and
+// that [off, off+size) falls inside the region.
+func (n *Node) lookupMR(rkey uint32, need Access, off int64, size int) (*MR, error) {
+	n.mu.RLock()
+	mr, ok := n.mrs[rkey]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rdma: rkey %d on node %s: %w", rkey, n.id, ErrMRNotFound)
+	}
+	if mr.access&need != need {
+		return nil, fmt.Errorf("rdma: rkey %d on node %s: %w", rkey, n.id, ErrAccessDenied)
+	}
+	if off < 0 || size < 0 || off+int64(size) > mr.length {
+		return nil, fmt.Errorf("rdma: [%d,%d) in region of length %d: %w",
+			off, off+int64(size), mr.length, ErrOutOfBounds)
+	}
+	return mr, nil
+}

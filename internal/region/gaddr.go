@@ -1,0 +1,97 @@
+// Package region defines Gengar's global address space: 64-bit global
+// addresses that name a byte in some server's NVM pool, and the directory
+// entries clients use to translate them to RDMA-addressable locations.
+package region
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GAddr is a global address in the distributed hybrid memory pool. The
+// high 16 bits carry the home server ID and the low 48 bits the byte
+// offset within that server's NVM pool, so a GAddr is location-routable
+// with no metadata lookup — the property that lets gread/gwrite issue a
+// one-sided verb directly.
+//
+// The zero GAddr is the nil address; servers never hand out offset 0
+// (the pool's first block is reserved for metadata).
+type GAddr uint64
+
+// NilGAddr is the zero, invalid global address.
+const NilGAddr GAddr = 0
+
+// MaxOffset is the largest encodable per-server offset (48 bits).
+const MaxOffset = int64(1)<<48 - 1
+
+// ErrBadAddress reports a malformed or nil global address.
+var ErrBadAddress = errors.New("region: bad global address")
+
+// NewGAddr builds a global address from a home server ID and pool offset.
+func NewGAddr(server uint16, offset int64) (GAddr, error) {
+	if offset < 0 || offset > MaxOffset {
+		return NilGAddr, fmt.Errorf("%w: offset %d out of range", ErrBadAddress, offset)
+	}
+	return GAddr(uint64(server)<<48 | uint64(offset)), nil
+}
+
+// MustGAddr is NewGAddr for statically-valid inputs; it panics on error
+// and is intended for tests and constants.
+func MustGAddr(server uint16, offset int64) GAddr {
+	a, err := NewGAddr(server, offset)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Server returns the home server ID encoded in the address.
+func (a GAddr) Server() uint16 { return uint16(a >> 48) }
+
+// Offset returns the byte offset within the home server's NVM pool.
+func (a GAddr) Offset() int64 { return int64(a & GAddr(MaxOffset)) }
+
+// IsNil reports whether a is the nil address.
+func (a GAddr) IsNil() bool { return a == NilGAddr }
+
+// Add returns the address delta bytes further into the same server's
+// pool. It does not validate overflow past MaxOffset; use NewGAddr when
+// the delta is untrusted.
+func (a GAddr) Add(delta int64) GAddr {
+	return GAddr(uint64(a.Server())<<48 | uint64(a.Offset()+delta))
+}
+
+// String formats the address as server:offset.
+func (a GAddr) String() string {
+	if a.IsNil() {
+		return "gaddr(nil)"
+	}
+	return fmt.Sprintf("g%d:%#x", a.Server(), a.Offset())
+}
+
+// Span is a contiguous range of global memory on one server.
+type Span struct {
+	Addr GAddr
+	Size int64
+}
+
+// End returns the address one past the span.
+func (s Span) End() GAddr { return s.Addr.Add(s.Size) }
+
+// Contains reports whether addr..addr+size lies inside the span.
+func (s Span) Contains(addr GAddr, size int64) bool {
+	if addr.Server() != s.Addr.Server() || size < 0 {
+		return false
+	}
+	return addr.Offset() >= s.Addr.Offset() &&
+		addr.Offset()+size <= s.Addr.Offset()+s.Size
+}
+
+// Overlaps reports whether the two spans share any byte.
+func (s Span) Overlaps(o Span) bool {
+	if s.Addr.Server() != o.Addr.Server() {
+		return false
+	}
+	return s.Addr.Offset() < o.Addr.Offset()+o.Size &&
+		o.Addr.Offset() < s.Addr.Offset()+s.Size
+}

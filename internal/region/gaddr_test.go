@@ -1,0 +1,116 @@
+package region
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestGAddrRoundtripProperty(t *testing.T) {
+	f := func(server uint16, off int64) bool {
+		if off < 0 {
+			off = -off
+		}
+		off %= MaxOffset + 1
+		a, err := NewGAddr(server, off)
+		if err != nil {
+			return false
+		}
+		return a.Server() == server && a.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGAddrValidation(t *testing.T) {
+	if _, err := NewGAddr(1, -1); !errors.Is(err, ErrBadAddress) {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := NewGAddr(1, MaxOffset+1); !errors.Is(err, ErrBadAddress) {
+		t.Fatal("oversized offset accepted")
+	}
+	if _, err := NewGAddr(1, MaxOffset); err != nil {
+		t.Fatalf("max offset rejected: %v", err)
+	}
+}
+
+func TestMustGAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGAddr did not panic on invalid input")
+		}
+	}()
+	MustGAddr(0, -1)
+}
+
+func TestNilGAddr(t *testing.T) {
+	if !NilGAddr.IsNil() {
+		t.Fatal("NilGAddr not nil")
+	}
+	if NilGAddr.String() != "gaddr(nil)" {
+		t.Fatalf("nil String = %q", NilGAddr.String())
+	}
+	a := MustGAddr(2, 0x40)
+	if a.IsNil() {
+		t.Fatal("valid address reported nil")
+	}
+	if a.String() != "g2:0x40" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestGAddrAdd(t *testing.T) {
+	a := MustGAddr(3, 100)
+	b := a.Add(28)
+	if b.Server() != 3 || b.Offset() != 128 {
+		t.Fatalf("Add: %v", b)
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	s := Span{Addr: MustGAddr(1, 100), Size: 50}
+	cases := []struct {
+		addr GAddr
+		size int64
+		want bool
+	}{
+		{MustGAddr(1, 100), 50, true},
+		{MustGAddr(1, 100), 51, false},
+		{MustGAddr(1, 120), 30, true},
+		{MustGAddr(1, 99), 1, false},
+		{MustGAddr(2, 100), 10, false}, // different server
+		{MustGAddr(1, 120), -1, false}, // negative size
+	}
+	for i, c := range cases {
+		if got := s.Contains(c.addr, c.size); got != c.want {
+			t.Errorf("case %d: Contains(%v,%d) = %v, want %v", i, c.addr, c.size, got, c.want)
+		}
+	}
+	if end := s.End(); end.Offset() != 150 {
+		t.Fatalf("End = %v", end)
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	a := Span{Addr: MustGAddr(1, 100), Size: 50}
+	cases := []struct {
+		b    Span
+		want bool
+	}{
+		{Span{MustGAddr(1, 150), 10}, false}, // adjacent
+		{Span{MustGAddr(1, 149), 10}, true},
+		{Span{MustGAddr(1, 50), 50}, false}, // adjacent below
+		{Span{MustGAddr(1, 50), 51}, true},
+		{Span{MustGAddr(2, 100), 50}, false}, // other server
+		{a, true},
+	}
+	for i, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: Overlaps = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("case %d: Overlaps not symmetric", i)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+// DefaultCPUPerRequest is the server CPU cost charged per RPC when the
+// server is constructed with a non-positive value: dispatch, decode and
+// reply on a commodity core.
+const DefaultCPUPerRequest = 1500 * time.Nanosecond
+
+// Handler services one RPC kind. It receives the simulated instant the
+// request finished occupying the server CPU and the request payload, and
+// returns the response payload plus the simulated instant the response is
+// ready (at least the given instant; later if the handler charged device
+// time). Returning an error sends a RemoteError to the client.
+type Handler func(at simnet.Time, req *Reader) (resp []byte, done simnet.Time, err error)
+
+// Server dispatches RPCs arriving on any number of queue pairs to
+// registered handlers. Handlers for all kinds must be registered before
+// the first Serve call.
+type Server struct {
+	cpu       *simnet.Resource
+	cpuPerReq time.Duration
+
+	mu       sync.Mutex
+	handlers map[Kind]Handler
+	conns    []*rdma.QP
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server whose request processing serializes on the
+// given CPU resource with the given per-request cost (DefaultCPUPerRequest
+// if non-positive).
+func NewServer(cpu *simnet.Resource, cpuPerReq time.Duration) *Server {
+	if cpuPerReq <= 0 {
+		cpuPerReq = DefaultCPUPerRequest
+	}
+	return &Server{
+		cpu:       cpu,
+		cpuPerReq: cpuPerReq,
+		handlers:  make(map[Kind]Handler),
+	}
+}
+
+// Handle registers the handler for a kind, replacing any previous one.
+func (s *Server) Handle(kind Kind, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[kind] = h
+}
+
+// Serve starts servicing requests arriving on qp in a background
+// goroutine that exits when the QP or the server is closed.
+func (s *Server) Serve(qp *rdma.QP) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.conns = append(s.conns, qp)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		s.serveLoop(qp)
+	}()
+	return nil
+}
+
+func (s *Server) serveLoop(qp *rdma.QP) {
+	for {
+		msg, arrival, err := qp.Recv()
+		if err != nil {
+			return // QP closed
+		}
+		id, kind, payload, err := decodeRequest(msg)
+		if err != nil {
+			continue // drop garbage; nothing to reply to
+		}
+		s.mu.Lock()
+		h := s.handlers[kind]
+		s.mu.Unlock()
+
+		_, cpuDone := s.cpu.Acquire(arrival, s.cpuPerReq)
+
+		var respMsg []byte
+		var done simnet.Time
+		if h == nil {
+			respMsg = encodeResponse(id, statusError, []byte(fmt.Sprintf("no handler for kind %d", kind)))
+			done = cpuDone
+		} else {
+			resp, hDone, herr := h(cpuDone, NewReader(payload))
+			done = simnet.MaxTime(cpuDone, hDone)
+			if herr != nil {
+				respMsg = encodeResponse(id, statusError, []byte(herr.Error()))
+			} else {
+				respMsg = encodeResponse(id, statusOK, resp)
+			}
+		}
+		if _, err := qp.Send(done, respMsg); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server: all connection QPs are closed and serving
+// goroutines are joined.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := s.conns
+	s.mu.Unlock()
+	for _, qp := range conns {
+		qp.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client issues RPCs over one queue pair, multiplexing concurrent calls
+// by request ID. Construct with NewClient; close with Close.
+type Client struct {
+	qp *rdma.QP
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	done    chan struct{}
+}
+
+type response struct {
+	payload []byte
+	at      simnet.Time
+	err     error
+}
+
+// NewClient wraps a connected queue pair and starts the demultiplexing
+// goroutine.
+func NewClient(qp *rdma.QP) *Client {
+	c := &Client{
+		qp:      qp,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		msg, arrival, err := c.qp.Recv()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		id, status, payload, err := decodeResponse(msg)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			continue // response to a forgotten call
+		}
+		if status == statusOK {
+			ch <- response{payload: payload, at: arrival}
+		} else {
+			ch <- response{at: arrival, err: &RemoteError{Msg: string(payload)}}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{err: fmt.Errorf("rpc: connection lost: %w", err)}
+	}
+}
+
+// Call issues a request of the given kind at simulated time at and blocks
+// until the response arrives. It returns the response payload reader and
+// the simulated completion instant at the client.
+func (c *Client) Call(at simnet.Time, kind Kind, req []byte) (*Reader, simnet.Time, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, at, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if _, err := c.qp.Send(at, encodeRequest(id, kind, req)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, at, fmt.Errorf("rpc: send: %w", err)
+	}
+	resp := <-ch
+	if resp.err != nil {
+		if re, ok := resp.err.(*RemoteError); ok {
+			re.Kind = kind
+		}
+		return nil, resp.at, resp.err
+	}
+	return NewReader(resp.payload), resp.at, nil
+}
+
+// Close tears the client down; in-flight calls fail with ErrClosed-
+// wrapped errors.
+func (c *Client) Close() {
+	c.qp.Close()
+	<-c.done
+}
+
+// Dial creates a connected queue pair between the client node and the
+// server's node QP, registers it with the server, and returns a Client.
+func Dial(clientNode *rdma.Node, serverNode *rdma.Node, srv *Server) (*Client, error) {
+	cq := clientNode.NewQP()
+	sq := serverNode.NewQP()
+	if err := cq.Connect(sq); err != nil {
+		return nil, fmt.Errorf("rpc: dial: %w", err)
+	}
+	if err := srv.Serve(sq); err != nil {
+		cq.Close()
+		sq.Close()
+		return nil, err
+	}
+	return NewClient(cq), nil
+}

@@ -1,0 +1,334 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+func testFabric(t *testing.T) (*rdma.Fabric, *rdma.Node, *rdma.Node) {
+	t.Helper()
+	f, err := rdma.NewFabric(simnet.LinkModel{
+		PerOp:       600 * time.Nanosecond,
+		Propagation: 300 * time.Nanosecond,
+		BytesPerSec: 12.5e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := f.AddNode("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := f.AddNode("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cn, sn
+}
+
+const (
+	kindEcho Kind = iota + 1
+	kindFail
+	kindAdd
+)
+
+func newEchoServer(t *testing.T) (*Server, *rdma.Node, *rdma.Node) {
+	t.Helper()
+	_, cn, sn := testFabric(t)
+	srv := NewServer(simnet.NewResource("cpu"), 0)
+	srv.Handle(kindEcho, func(at simnet.Time, req *Reader) ([]byte, simnet.Time, error) {
+		b := req.Blob()
+		if err := req.Err(); err != nil {
+			return nil, at, err
+		}
+		var w Writer
+		w.Blob(b)
+		return w.Bytes(), at, nil
+	})
+	srv.Handle(kindFail, func(at simnet.Time, req *Reader) ([]byte, simnet.Time, error) {
+		return nil, at, errors.New("boom")
+	})
+	srv.Handle(kindAdd, func(at simnet.Time, req *Reader) ([]byte, simnet.Time, error) {
+		a, b := req.U64(), req.U64()
+		if err := req.Err(); err != nil {
+			return nil, at, err
+		}
+		var w Writer
+		w.U64(a + b)
+		return w.Bytes(), at, nil
+	})
+	return srv, cn, sn
+}
+
+func TestCallRoundtrip(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var w Writer
+	w.Blob([]byte("hello"))
+	resp, end, err := cl.Call(0, kindEcho, w.Bytes())
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := resp.Blob(); string(got) != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+	if end <= 0 {
+		t.Fatal("RPC charged no simulated time")
+	}
+	// An RPC must cost at least one network RTT plus the CPU charge.
+	minCost := simnet.Duration(2*(600+300))*time.Nanosecond/time.Nanosecond + DefaultCPUPerRequest
+	if simnet.Duration(end) < minCost {
+		t.Fatalf("RPC too cheap: %v < %v", simnet.Duration(end), minCost)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, _, err = cl.Call(0, kindFail, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.Kind != kindFail {
+		t.Fatalf("RemoteError = %+v", re)
+	}
+	if re.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, _, err = cl.Call(0, Kind(200), nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var w Writer
+				w.U64(uint64(g)).U64(uint64(i))
+				resp, _, err := cl.Call(0, kindAdd, w.Bytes())
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+				if got := resp.U64(); got != uint64(g+i) {
+					t.Errorf("add = %d, want %d", got, g+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMultipleClients(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		cl, err := Dial(cn, sn, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cl)
+	}
+	for i, cl := range clients {
+		var w Writer
+		w.U64(uint64(i)).U64(1)
+		resp, _, err := cl.Call(0, kindAdd, w.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.U64(); got != uint64(i+1) {
+			t.Fatalf("client %d: got %d", i, got)
+		}
+		cl.Close()
+	}
+}
+
+func TestClientCloseFailsInflight(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, _, err := cl.Call(0, kindEcho, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: %v", err)
+	}
+}
+
+func TestServerCloseStopsServing(t *testing.T) {
+	srv, cn, sn := newEchoServer(t)
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, _, err := cl.Call(0, kindEcho, nil); err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+	if err := srv.Serve(sn.NewQP()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Serve after close: %v", err)
+	}
+	srv.Close() // idempotent
+}
+
+func TestCPUSerializesRequests(t *testing.T) {
+	// With a large CPU cost, N concurrent RPCs must take at least
+	// N*cost of simulated time on the server CPU.
+	_, cn, sn := testFabric(t)
+	cpu := simnet.NewResource("cpu")
+	const cost = 10 * time.Microsecond
+	srv := NewServer(cpu, cost)
+	srv.Handle(kindEcho, func(at simnet.Time, req *Reader) ([]byte, simnet.Time, error) {
+		return nil, at, nil
+	})
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 10
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cl.Call(0, kindEcho, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if busy := cpu.Stats().BusyTotal; busy != n*cost {
+		t.Fatalf("CPU busy %v, want %v", busy, n*cost)
+	}
+}
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	var w Writer
+	w.U8(7).U16(300).U32(70000).U64(1 << 40).I64(-5).Str("hi").Blob([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if r.U8() != 7 || r.U16() != 300 || r.U32() != 70000 || r.U64() != 1<<40 || r.I64() != -5 {
+		t.Fatal("numeric roundtrip failed")
+	}
+	if r.Str() != "hi" {
+		t.Fatal("string roundtrip failed")
+	}
+	if b := r.Blob(); len(b) != 3 || b[2] != 3 {
+		t.Fatal("blob roundtrip failed")
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Error sticks; further reads are zero.
+	if r.U8() != 0 || r.Str() != "" || r.Blob() != nil {
+		t.Fatal("reads after error not zero-valued")
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	if _, _, _, err := decodeRequest([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short request accepted")
+	}
+	if _, _, _, err := decodeResponse(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatal("nil response accepted")
+	}
+}
+
+func TestHandlerDeviceTimePropagates(t *testing.T) {
+	// A handler that charges extra virtual time must delay the response.
+	_, cn, sn := testFabric(t)
+	srv := NewServer(simnet.NewResource("cpu"), time.Microsecond)
+	const extra = 100 * time.Microsecond
+	srv.Handle(kindEcho, func(at simnet.Time, req *Reader) ([]byte, simnet.Time, error) {
+		return nil, at.Add(extra), nil
+	})
+	defer srv.Close()
+	cl, err := Dial(cn, sn, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, end, err := cl.Call(0, kindEcho, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simnet.Duration(end) < extra {
+		t.Fatalf("completion %v does not include handler time %v", simnet.Duration(end), extra)
+	}
+}
+
+func TestDialBadConnect(t *testing.T) {
+	// Dialing across fabrics must fail cleanly.
+	_, cn, _ := testFabric(t)
+	f2, _ := rdma.NewFabric(simnet.LinkModel{})
+	other, _ := f2.AddNode("other")
+	srv := NewServer(simnet.NewResource("cpu"), 0)
+	defer srv.Close()
+	if _, err := Dial(cn, other, srv); err == nil {
+		t.Fatal("cross-fabric dial succeeded")
+	}
+}
+
+func ExampleWriter() {
+	var w Writer
+	w.U64(42).Str("pool")
+	r := NewReader(w.Bytes())
+	fmt.Println(r.U64(), r.Str())
+	// Output: 42 pool
+}

@@ -1,0 +1,202 @@
+// Package rpc implements the two-sided control-plane messaging Gengar
+// uses for everything that is not on the data path: bootstrap, gmalloc/
+// gfree, hotness digest reporting and remap-table refresh. It multiplexes
+// concurrent request/response exchanges over a single RDMA queue pair.
+//
+// Control-plane operations involve the server CPU (unlike the one-sided
+// data path), so the server charges a per-request CPU cost on a shared
+// simnet resource — making RPCs measurably more expensive than one-sided
+// verbs, as on real hardware.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies an RPC method on a server.
+type Kind uint8
+
+// Wire-format errors.
+var (
+	// ErrTruncated reports a message shorter than its header demands.
+	ErrTruncated = errors.New("rpc: truncated message")
+	// ErrClosed is returned for calls on a closed client or server.
+	ErrClosed = errors.New("rpc: connection closed")
+)
+
+// RemoteError wraps an error string returned by a server handler.
+type RemoteError struct {
+	Kind Kind
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error on kind %d: %s", e.Kind, e.Msg)
+}
+
+const (
+	statusOK    = 0
+	statusError = 1
+)
+
+// reqHeaderLen is id(8) + kind(1); respHeaderLen is id(8) + status(1).
+const reqHeaderLen = 9
+
+func encodeRequest(id uint64, kind Kind, payload []byte) []byte {
+	buf := make([]byte, reqHeaderLen+len(payload))
+	binary.BigEndian.PutUint64(buf, id)
+	buf[8] = byte(kind)
+	copy(buf[reqHeaderLen:], payload)
+	return buf
+}
+
+func decodeRequest(msg []byte) (id uint64, kind Kind, payload []byte, err error) {
+	if len(msg) < reqHeaderLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(msg), Kind(msg[8]), msg[reqHeaderLen:], nil
+}
+
+func encodeResponse(id uint64, status byte, payload []byte) []byte {
+	buf := make([]byte, reqHeaderLen+len(payload))
+	binary.BigEndian.PutUint64(buf, id)
+	buf[8] = status
+	copy(buf[reqHeaderLen:], payload)
+	return buf
+}
+
+func decodeResponse(msg []byte) (id uint64, status byte, payload []byte, err error) {
+	if len(msg) < reqHeaderLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(msg), msg[8], msg[reqHeaderLen:], nil
+}
+
+// Writer appends binary fields to a request or response payload. Its
+// methods never fail; the zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) *Writer { w.buf = append(w.buf, v); return w }
+
+// U16 appends a big-endian 16-bit value.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// U32 appends a big-endian 32-bit value.
+func (w *Writer) U32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// U64 appends a big-endian 64-bit value.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// I64 appends a big-endian 64-bit signed value.
+func (w *Writer) I64(v int64) *Writer { return w.U64(uint64(v)) }
+
+// Str appends a length-prefixed string (max 64 KiB).
+func (w *Writer) Str(s string) *Writer {
+	w.U16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Blob appends a 32-bit-length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) *Writer {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Reader consumes binary fields from a payload. The first decode error
+// sticks; check Err once at the end.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 consumes a big-endian 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 consumes a big-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 consumes a big-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 consumes a big-endian 64-bit signed value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Str consumes a length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U16())
+	b := r.take(n)
+	return string(b)
+}
+
+// Blob consumes a 32-bit-length-prefixed byte slice. The returned slice
+// aliases the payload; copy it if retained.
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	return r.take(n)
+}

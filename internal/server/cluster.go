@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"gengar/internal/config"
+	"gengar/internal/rdma"
+)
+
+// Cluster owns a fabric and a set of meshed Gengar servers — the
+// in-process stand-in for the paper's testbed rack.
+type Cluster struct {
+	fabric     *rdma.Fabric
+	cfg        config.Cluster
+	registry   *Registry
+	nextClient atomic.Uint32
+}
+
+// NewCluster builds cfg.Servers servers (IDs 1..N), joins them to a
+// placement registry and meshes them. Callers must Close the cluster to
+// stop the per-server flushers.
+func NewCluster(cfg config.Cluster) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fabric, err := rdma.NewFabric(cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{fabric: fabric, cfg: cfg, registry: NewRegistry()}
+	for i := 1; i <= cfg.Servers; i++ {
+		s, err := New(fabric, uint16(i), cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.registry.Join(s); err != nil {
+			s.Close()
+			c.Close()
+			return nil, err
+		}
+	}
+	if err := c.registry.ConnectMesh(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Fabric returns the cluster's RDMA fabric.
+func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// Registry returns the placement registry (and through it the servers).
+func (c *Cluster) Registry() *Registry { return c.registry }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() config.Cluster { return c.cfg }
+
+// NextClientID hands out fabric-unique nonzero client IDs.
+func (c *Cluster) NextClientID() uint32 { return c.nextClient.Add(1) }
+
+// Close stops every server.
+func (c *Cluster) Close() {
+	for _, s := range c.registry.Servers() {
+		s.Close()
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"gengar/internal/region"
+)
+
+// objIndex tracks live objects on one home server: base address and
+// rounded size, ordered for containment queries. The server uses it to
+// resolve raw verb target addresses (as reported in hotness digests, or
+// seen by the proxy flusher) to the containing object, and to size
+// promotion candidates.
+type objIndex struct {
+	mu    sync.RWMutex
+	sizes map[region.GAddr]int64
+	bases []region.GAddr // sorted
+}
+
+func newObjIndex() *objIndex {
+	return &objIndex{sizes: make(map[region.GAddr]int64)}
+}
+
+// insert registers a new object. Bases are unique (allocator-provided).
+func (x *objIndex) insert(base region.GAddr, size int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.sizes[base]; dup {
+		return
+	}
+	x.sizes[base] = size
+	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] >= base })
+	x.bases = append(x.bases, 0)
+	copy(x.bases[i+1:], x.bases[i:])
+	x.bases[i] = base
+}
+
+// remove drops an object; it reports whether the object existed.
+func (x *objIndex) remove(base region.GAddr) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.sizes[base]; !ok {
+		return false
+	}
+	delete(x.sizes, base)
+	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] >= base })
+	x.bases = append(x.bases[:i], x.bases[i+1:]...)
+	return true
+}
+
+// sizeOf returns the object's rounded size, or 0 if unknown.
+func (x *objIndex) sizeOf(base region.GAddr) int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.sizes[base]
+}
+
+// findContaining resolves a byte range to its containing object.
+func (x *objIndex) findContaining(addr region.GAddr, size int64) (base region.GAddr, objSize int64, ok bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if len(x.bases) == 0 {
+		return region.NilGAddr, 0, false
+	}
+	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] > addr }) - 1
+	if i < 0 {
+		return region.NilGAddr, 0, false
+	}
+	b := x.bases[i]
+	sz := x.sizes[b]
+	if !(region.Span{Addr: b, Size: sz}).Contains(addr, size) {
+		return region.NilGAddr, 0, false
+	}
+	return b, sz, true
+}
+
+// count returns the number of live objects.
+func (x *objIndex) count() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.sizes)
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/binary"
+
+	"gengar/internal/alloc"
+
+	"gengar/internal/cache"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// maybePlan schedules a promotion/demotion plan on the proxy flusher
+// goroutine when an epoch has passed: either PlanEvery of simulated time
+// since the last plan, or the sketch's total observed weight doubling
+// (so a burst of fresh access information is acted on even when little
+// simulated time has elapsed). Running on the flusher serializes plans
+// with write-throughs, so a copy install can never race a flush of the
+// same object.
+func (s *Server) maybePlan(at simnet.Time) {
+	s.mu.Lock()
+	total := s.sketch.Total()
+	elapsed := !s.planned || at.Sub(s.lastPlan) >= s.cfg.Hotness.PlanEvery
+	grown := total >= 2*s.lastPlanWeight && total > 0
+	// Never plan (and in particular never decay) without fresh access
+	// information: back-to-back plans on a stale sketch would age the
+	// hot set into oblivion.
+	if s.newWeight == 0 || (!elapsed && !grown) {
+		s.mu.Unlock()
+		return
+	}
+	s.planned = true
+	s.lastPlan = at
+	s.lastPlanWeight = total
+	s.newWeight = 0
+	s.mu.Unlock()
+
+	// Best-effort: if the engine is closing, skip the plan.
+	_ = s.engine.Submit(func() { s.executePlan(at) })
+}
+
+// copyFootprint returns the DRAM arena bytes a promoted copy of the
+// object actually consumes: generation header plus data, rounded to the
+// buddy allocator's block size. Budgeting the footprint rather than the
+// object size keeps plans honest — otherwise the planner overcommits the
+// arena ~2x (a power-of-two object plus its 8-byte header rounds up to
+// the next block) and promotion/demotion thrashes at the budget edge.
+func (s *Server) copyFootprint(base region.GAddr) int64 {
+	size := s.objIdx.sizeOf(base)
+	if size <= 0 {
+		return 0
+	}
+	return alloc.BlockSize(size + cache.CopyHeaderBytes)
+}
+
+// executePlan runs one promotion/demotion round at simulated time at.
+// It must only run on the engine goroutine.
+func (s *Server) executePlan(at simnet.Time) {
+	s.mu.Lock()
+	promote, demote := s.policy.Plan(s.sketch, s.copyFootprint, s.remap.Promoted())
+	// Age the sketch on a wall of simulated time, not per plan: several
+	// plans may execute back-to-back when digests arrive in bursts, and
+	// halving on each would decay a perfectly hot working set to nothing.
+	if decayEvery := 4 * s.cfg.Hotness.PlanEvery; at.Sub(s.lastDecay) >= decayEvery {
+		s.sketch.Decay()
+		s.lastDecay = at
+	}
+	s.mu.Unlock()
+
+	add := make(map[region.GAddr]cache.Location, len(promote))
+	for _, base := range promote {
+		size := s.objIdx.sizeOf(base)
+		if size <= 0 {
+			continue // freed since the plan was computed
+		}
+		target, off, err := s.registry.place(s, size)
+		if err != nil {
+			continue // arena full; try again next epoch
+		}
+		loc := cache.Location{
+			Node:   target.node.ID(),
+			RKey:   target.cacheMR.RKey(),
+			Off:    off,
+			Size:   size,
+			Gen:    s.registry.nextGen(),
+			HomeMR: s.nvmMR.RKey(),
+		}
+		// Read the authoritative NVM data and install header + data.
+		payload := make([]byte, cache.CopyHeaderBytes+size)
+		binary.BigEndian.PutUint64(payload, loc.Gen)
+		tRead, err := s.nvm.Read(at, base.Offset(), payload[cache.CopyHeaderBytes:])
+		if err != nil {
+			_ = target.bufp.Release(off)
+			continue
+		}
+		if _, err := s.registry.installCopy(s, tRead, loc, payload); err != nil {
+			_ = target.bufp.Release(off)
+			continue
+		}
+		add[base] = loc
+		s.promotions.Inc()
+	}
+
+	released := s.remap.Apply(add, demote)
+	for _, loc := range released {
+		s.registry.release(loc)
+		s.demotions.Inc()
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gengar/internal/cache"
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+// ErrNoBufferSpace is returned when no server's DRAM buffer arena can
+// host a promotion.
+var ErrNoBufferSpace = errors.New("server: no DRAM buffer space in cluster")
+
+// Registry is the cluster-wide view the servers share for distributed
+// DRAM buffer placement: it knows every server's buffer pool and routes
+// copy writes and releases to the owning server.
+type Registry struct {
+	mu      sync.RWMutex
+	servers []*Server
+	byNode  map[string]*Server
+
+	// gen is the cluster-wide promotion generation counter stamped into
+	// copy headers; cluster-wide uniqueness is what lets a client detect
+	// that a buffer slot it is about to read was reused for a different
+	// object.
+	gen atomic.Uint64
+}
+
+// nextGen returns the next promotion generation stamp (never zero).
+func (r *Registry) nextGen() uint64 { return r.gen.Add(1) }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNode: make(map[string]*Server)}
+}
+
+// Join adds a server to the registry and hands the server its back-
+// reference. It must be called once per server before any traffic.
+func (r *Registry) Join(s *Server) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byNode[s.node.ID()]; dup {
+		return fmt.Errorf("server: %s already joined", s.node.ID())
+	}
+	r.servers = append(r.servers, s)
+	r.byNode[s.node.ID()] = s
+	s.registry = r
+	return nil
+}
+
+// Servers returns the joined servers in join order.
+func (r *Registry) Servers() []*Server {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Server, len(r.servers))
+	copy(out, r.servers)
+	return out
+}
+
+// ByNode returns the server whose fabric node has the given ID.
+func (r *Registry) ByNode(nodeID string) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byNode[nodeID]
+	return s, ok
+}
+
+// ByID returns the server with the given pool ID.
+func (r *Registry) ByID(id uint16) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.servers {
+		if s.id == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ConnectMesh creates the server-to-server queue pairs used to install
+// and refresh remote DRAM copies. Call once after all servers joined.
+func (r *Registry) ConnectMesh() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, a := range r.servers {
+		for _, b := range r.servers[i+1:] {
+			qa, qb := a.node.NewQP(), b.node.NewQP()
+			if err := qa.Connect(qb); err != nil {
+				return fmt.Errorf("server: mesh %s<->%s: %w", a.node.ID(), b.node.ID(), err)
+			}
+			a.mu.Lock()
+			a.peers[b.id] = qa
+			a.mu.Unlock()
+			b.mu.Lock()
+			b.peers[a.id] = qb
+			b.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// place reserves buffer space for a copy (header + size bytes) on the
+// server with the most free arena space, preferring the home server on
+// ties so single-server deployments stay local.
+func (r *Registry) place(home *Server, size int64) (*Server, int64, error) {
+	r.mu.RLock()
+	cands := make([]*Server, len(r.servers))
+	copy(cands, r.servers)
+	r.mu.RUnlock()
+
+	sort.SliceStable(cands, func(i, j int) bool {
+		fi := cands[i].bufp.Capacity() - cands[i].bufp.UsedBytes()
+		fj := cands[j].bufp.Capacity() - cands[j].bufp.UsedBytes()
+		if fi != fj {
+			return fi > fj
+		}
+		return cands[i] == home
+	})
+	need := size + cache.CopyHeaderBytes
+	for _, s := range cands {
+		off, err := s.bufp.Place(need)
+		if err == nil {
+			return s, off, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %d bytes", ErrNoBufferSpace, need)
+}
+
+// release frees the buffer space behind a demoted copy.
+func (r *Registry) release(loc cache.Location) {
+	r.mu.RLock()
+	s := r.byNode[loc.Node]
+	r.mu.RUnlock()
+	if s == nil {
+		return
+	}
+	// A release failure means the location was already released — a
+	// bookkeeping bug upstream, but never fatal to the pool.
+	_ = s.bufp.Release(loc.Off)
+}
+
+// writeCopy writes data into a copy's data area at the given delta,
+// charging local DRAM cost when the copy is on `from` and a server-to-
+// server RDMA WRITE otherwise. It returns the completion instant.
+func (r *Registry) writeCopy(from *Server, at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error) {
+	r.mu.RLock()
+	target := r.byNode[loc.Node]
+	r.mu.RUnlock()
+	if target == nil {
+		return at, fmt.Errorf("server: unknown copy host %q", loc.Node)
+	}
+	off := loc.Off + cache.CopyHeaderBytes + delta
+	if target == from {
+		return from.cacheDev.Write(at, off, data)
+	}
+	from.mu.Lock()
+	qp := from.peers[target.id]
+	from.mu.Unlock()
+	if qp == nil {
+		return at, fmt.Errorf("server: no mesh QP %s->%s", from.node.ID(), target.node.ID())
+	}
+	return qp.Write(at, data, rdma.RemoteAddr{
+		Region: rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey},
+		Offset: off,
+	})
+}
+
+// installCopy writes a complete copy — generation header plus object
+// data — into freshly placed buffer space.
+func (r *Registry) installCopy(from *Server, at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error) {
+	r.mu.RLock()
+	target := r.byNode[loc.Node]
+	r.mu.RUnlock()
+	if target == nil {
+		return at, fmt.Errorf("server: unknown copy host %q", loc.Node)
+	}
+	if target == from {
+		return from.cacheDev.Write(at, loc.Off, payload)
+	}
+	from.mu.Lock()
+	qp := from.peers[target.id]
+	from.mu.Unlock()
+	if qp == nil {
+		return at, fmt.Errorf("server: no mesh QP %s->%s", from.node.ID(), target.node.ID())
+	}
+	return qp.Write(at, payload, rdma.RemoteAddr{
+		Region: rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey},
+		Offset: loc.Off,
+	})
+}

@@ -1,0 +1,454 @@
+// Package server implements the Gengar memory server: the daemon that
+// exports a server's NVM pool and DRAM into the distributed hybrid
+// memory pool. Each server owns
+//
+//   - an NVM pool device with a buddy allocator (gmalloc/gfree targets),
+//   - a DRAM buffer arena holding promoted copies of hot objects,
+//   - DRAM staging rings and a proxy flusher for the redesigned write
+//     path,
+//   - a lock table for multi-user consistency,
+//   - the hotness sketch and remap table for its home objects, and
+//   - the control-plane RPC endpoints clients talk to.
+//
+// Promoted copies may be placed on any server's buffer arena — the
+// "distributed DRAM buffers" of the paper — via the cluster-wide
+// placement registry and server-to-server queue pairs.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gengar/internal/alloc"
+	"gengar/internal/cache"
+	"gengar/internal/config"
+	"gengar/internal/hmem"
+	"gengar/internal/hotness"
+	"gengar/internal/lock"
+	"gengar/internal/metrics"
+	"gengar/internal/proxy"
+	"gengar/internal/rdma"
+	"gengar/internal/region"
+	"gengar/internal/rpc"
+	"gengar/internal/simnet"
+)
+
+// Control-plane RPC kinds served by every Gengar server.
+const (
+	KindMalloc rpc.Kind = iota + 1
+	KindFree
+	KindDigest
+	KindRemapFetch
+	KindOpenSession
+	KindWriteThrough
+	KindCloseSession
+)
+
+// ErrNotHome is returned for operations addressed to the wrong home
+// server.
+var ErrNotHome = errors.New("server: address not homed here")
+
+// NodeName returns the fabric node name of server id.
+func NodeName(id uint16) string { return fmt.Sprintf("server-%d", id) }
+
+// Server is one Gengar memory server.
+type Server struct {
+	id   uint16
+	cfg  config.Cluster
+	node *rdma.Node
+	cpu  *simnet.Resource
+
+	nvm      *hmem.Device
+	cacheDev *hmem.Device
+	ringDev  *hmem.Device
+	lockDev  *hmem.Device
+
+	nvmMR   *rdma.MR
+	cacheMR *rdma.MR
+	ringMR  *rdma.MR
+	lockMR  *rdma.MR
+
+	pool    *alloc.Buddy
+	objIdx  *objIndex
+	remap   *cache.RemapTable
+	bufp    *cache.BufferPool
+	policy  hotness.Policy
+	engine  *proxy.Engine
+	lockTbl *lock.Table
+	rpcSrv  *rpc.Server
+
+	registry *Registry
+
+	mu             sync.Mutex // guards sketch, plan state, nextRing, peers
+	sketch         *hotness.SpaceSaving
+	lastPlan       simnet.Time
+	lastPlanWeight uint64
+	newWeight      uint64 // digest weight landed since the last plan
+	lastDecay      simnet.Time
+	planned        bool
+	nextRing       int64
+	freeRings      []int64
+	peers          map[uint16]*rdma.QP
+
+	promotions metrics.Counter
+	demotions  metrics.Counter
+	digests    metrics.Counter
+	mallocs    metrics.Counter
+	frees      metrics.Counter
+}
+
+// New builds a server with the given ID on the fabric, creating its
+// devices and registering its memory regions. The server is not usable
+// for placement until Join has added it to a Registry and ConnectPeer
+// has meshed it with its peers.
+func New(f *rdma.Fabric, id uint16, cfg config.Cluster) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	node, err := f.AddNode(NodeName(id))
+	if err != nil {
+		return nil, err
+	}
+	name := NodeName(id)
+	nvm, err := hmem.NewDevice(name+"/nvm", cfg.NVMBytes, cfg.PoolMedia)
+	if err != nil {
+		return nil, err
+	}
+	cacheDev, err := hmem.NewDevice(name+"/cache", cfg.DRAMBufferBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+	ringDev, err := hmem.NewDevice(name+"/rings", cfg.RingBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+	lockDev, err := hmem.NewDevice(name+"/locks", int64(cfg.LockSlots)*lock.SlotBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		id:       id,
+		cfg:      cfg,
+		node:     node,
+		cpu:      simnet.NewResource(name + "/cpu"),
+		nvm:      nvm,
+		cacheDev: cacheDev,
+		ringDev:  ringDev,
+		lockDev:  lockDev,
+		objIdx:   newObjIndex(),
+		remap:    cache.NewRemapTable(),
+		sketch:   hotness.NewSpaceSaving(cfg.Hotness.SketchK),
+		policy: hotness.Policy{
+			BudgetBytes: cfg.DRAMBufferBytes,
+			MinWeight:   cfg.Hotness.MinWeight,
+			Hysteresis:  cfg.Hotness.Hysteresis,
+			MaxChurn:    cfg.Hotness.MaxChurn,
+		},
+		peers: make(map[uint16]*rdma.QP),
+	}
+
+	if s.nvmMR, err = node.RegisterMR(nvm, 0, nvm.Size(), rdma.AccessAll); err != nil {
+		return nil, err
+	}
+	if s.cacheMR, err = node.RegisterMR(cacheDev, 0, cacheDev.Size(), rdma.AccessAll); err != nil {
+		return nil, err
+	}
+	if s.ringMR, err = node.RegisterMR(ringDev, 0, ringDev.Size(), rdma.AccessRemoteWrite|rdma.AccessRemoteRead); err != nil {
+		return nil, err
+	}
+	if s.lockMR, err = node.RegisterMR(lockDev, 0, lockDev.Size(), rdma.AccessAll); err != nil {
+		return nil, err
+	}
+
+	if s.pool, err = alloc.New(cfg.NVMBytes); err != nil {
+		return nil, err
+	}
+	// Burn offset 0 so no object is ever at the nil global address.
+	if _, err := s.pool.Alloc(alloc.MinBlock); err != nil {
+		return nil, err
+	}
+	if s.bufp, err = cache.NewBufferPool(cacheDev); err != nil {
+		return nil, err
+	}
+	if s.lockTbl, err = lock.NewTable(lockDev, 0, cfg.LockSlots); err != nil {
+		return nil, err
+	}
+	if s.engine, err = proxy.NewEngine(ringDev, nvm, s.cpu, cfg.Proxy.PollCost, s.applyToCache); err != nil {
+		return nil, err
+	}
+
+	s.rpcSrv = rpc.NewServer(s.cpu, cfg.RPCCPUPerReq)
+	s.rpcSrv.Handle(KindMalloc, s.handleMalloc)
+	s.rpcSrv.Handle(KindFree, s.handleFree)
+	s.rpcSrv.Handle(KindDigest, s.handleDigest)
+	s.rpcSrv.Handle(KindRemapFetch, s.handleRemapFetch)
+	s.rpcSrv.Handle(KindOpenSession, s.handleOpenSession)
+	s.rpcSrv.Handle(KindWriteThrough, s.handleWriteThrough)
+	s.rpcSrv.Handle(KindCloseSession, s.handleCloseSession)
+	return s, nil
+}
+
+// ID returns the server's pool ID.
+func (s *Server) ID() uint16 { return s.id }
+
+// Node returns the server's fabric node.
+func (s *Server) Node() *rdma.Node { return s.node }
+
+// Engine returns the server's proxy flusher.
+func (s *Server) Engine() *proxy.Engine { return s.engine }
+
+// RPC returns the server's control-plane endpoint.
+func (s *Server) RPC() *rpc.Server { return s.rpcSrv }
+
+// NVMHandle returns the region handle of the NVM pool.
+func (s *Server) NVMHandle() rdma.RegionHandle { return s.nvmMR.Handle() }
+
+// LockGeometry returns the lock table description for clients.
+func (s *Server) LockGeometry() lock.Geometry {
+	return lock.Geometry{Handle: s.lockMR.Handle(), Base: s.lockTbl.Base(), Slots: s.lockTbl.Slots()}
+}
+
+// RemapSnapshot exposes the current remap table (epoch + entries).
+func (s *Server) RemapSnapshot() (uint64, map[region.GAddr]cache.Location) {
+	return s.remap.Snapshot()
+}
+
+// Stats is a server activity snapshot.
+type Stats struct {
+	Objects    int
+	PoolUsed   int64
+	BufferUsed int64
+	Promoted   int
+	Promotions int64
+	Demotions  int64
+	Digests    int64
+	Mallocs    int64
+	Frees      int64
+	Proxy      proxy.EngineStats
+	RemapEpoch uint64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Objects:    s.objIdx.count(),
+		PoolUsed:   s.pool.AllocatedBytes(),
+		BufferUsed: s.bufp.UsedBytes(),
+		Promoted:   s.remap.Len(),
+		Promotions: s.promotions.Load(),
+		Demotions:  s.demotions.Load(),
+		Digests:    s.digests.Load(),
+		Mallocs:    s.mallocs.Load(),
+		Frees:      s.frees.Load(),
+		Proxy:      s.engine.Stats(),
+		RemapEpoch: s.remap.Epoch(),
+	}
+}
+
+// Close stops the server's flusher and RPC endpoint.
+func (s *Server) Close() {
+	s.engine.Close()
+	s.rpcSrv.Close()
+}
+
+// --- control-plane handlers ---
+
+func (s *Server) handleMalloc(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	size := req.I64()
+	if err := req.Err(); err != nil {
+		return nil, at, err
+	}
+	if size <= 0 {
+		return nil, at, fmt.Errorf("server: malloc of %d bytes", size)
+	}
+	off, err := s.pool.Alloc(size)
+	if err != nil {
+		return nil, at, err
+	}
+	addr, err := region.NewGAddr(s.id, off)
+	if err != nil {
+		freeErr := s.pool.Free(off)
+		return nil, at, errors.Join(err, freeErr)
+	}
+	s.objIdx.insert(addr, alloc.BlockSize(size))
+	s.mallocs.Inc()
+	var w rpc.Writer
+	w.U64(uint64(addr))
+	return w.Bytes(), at, nil
+}
+
+func (s *Server) handleFree(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	addr := region.GAddr(req.U64())
+	if err := req.Err(); err != nil {
+		return nil, at, err
+	}
+	if addr.Server() != s.id {
+		return nil, at, fmt.Errorf("%w: %v", ErrNotHome, addr)
+	}
+	if !s.objIdx.remove(addr) {
+		return nil, at, fmt.Errorf("server: free of unknown object %v", addr)
+	}
+	// Demote first so no cache copy outlives the object.
+	released := s.remap.Apply(nil, []region.GAddr{addr})
+	for _, loc := range released {
+		s.registry.release(loc)
+		s.demotions.Inc()
+	}
+	if err := s.pool.Free(addr.Offset()); err != nil {
+		return nil, at, err
+	}
+	s.frees.Inc()
+	return nil, at, nil
+}
+
+func (s *Server) handleDigest(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	n := int(req.U32())
+	for i := 0; i < n; i++ {
+		raw := region.GAddr(req.U64())
+		reads := uint64(req.U32())
+		writes := uint64(req.U32())
+		if req.Err() != nil {
+			break
+		}
+		// Resolve the raw verb target to its containing object; the
+		// digest reports verb semantics, the server owns the layout.
+		base, _, ok := s.objIdx.findContaining(raw, 1)
+		if !ok {
+			continue // freed or foreign address
+		}
+		weight := hotness.Entry{Reads: reads, Writes: writes}.Weight()
+		s.mu.Lock()
+		s.sketch.Add(base, weight)
+		s.newWeight += weight
+		s.mu.Unlock()
+	}
+	if err := req.Err(); err != nil {
+		return nil, at, err
+	}
+	s.digests.Inc()
+	if s.cfg.Features.Cache {
+		s.maybePlan(at)
+	}
+	var w rpc.Writer
+	w.U64(s.remap.Epoch())
+	return w.Bytes(), at, nil
+}
+
+func (s *Server) handleRemapFetch(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	epoch, entries := s.remap.Snapshot()
+	var w rpc.Writer
+	w.U64(epoch).U32(uint32(len(entries)))
+	for base, loc := range entries {
+		w.U64(uint64(base))
+		loc.Encode(&w)
+	}
+	return w.Bytes(), at, nil
+}
+
+func (s *Server) handleOpenSession(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	ringSize := int64(s.cfg.Proxy.RingSlots) * int64(s.cfg.Proxy.RingSlotSize)
+	s.mu.Lock()
+	var base int64
+	if n := len(s.freeRings); n > 0 {
+		base = s.freeRings[n-1]
+		s.freeRings = s.freeRings[:n-1]
+	} else {
+		base = s.nextRing
+		if base+ringSize > s.ringDev.Size() {
+			s.mu.Unlock()
+			return nil, at, fmt.Errorf("server %d: staging ring space exhausted", s.id)
+		}
+		s.nextRing += ringSize
+	}
+	s.mu.Unlock()
+
+	var w rpc.Writer
+	w.U32(s.ringMR.RKey()).I64(base).
+		U32(uint32(s.cfg.Proxy.RingSlots)).U32(uint32(s.cfg.Proxy.RingSlotSize)).
+		U32(s.nvmMR.RKey()).
+		U32(s.lockMR.RKey()).I64(s.lockTbl.Base()).U32(uint32(s.lockTbl.Slots()))
+	return w.Bytes(), at, nil
+}
+
+// handleCloseSession returns a session's staging ring for reuse. The
+// client must have drained its writer first; the server trusts the
+// client here because ring contents are only interpreted via the
+// flusher queue, which the departing writer no longer feeds.
+func (s *Server) handleCloseSession(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	base := req.I64()
+	if err := req.Err(); err != nil {
+		return nil, at, err
+	}
+	ringSize := int64(s.cfg.Proxy.RingSlots) * int64(s.cfg.Proxy.RingSlotSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base < 0 || base+ringSize > s.nextRing || base%ringSize != 0 {
+		return nil, at, fmt.Errorf("server %d: close of bogus ring %d", s.id, base)
+	}
+	for _, f := range s.freeRings {
+		if f == base {
+			return nil, at, fmt.Errorf("server %d: double close of ring %d", s.id, base)
+		}
+	}
+	s.freeRings = append(s.freeRings, base)
+	return nil, at, nil
+}
+
+// handleWriteThrough keeps a promoted copy coherent after a client wrote
+// the home NVM directly (the proxy-disabled path): the server re-reads
+// the just-written NVM range and refreshes the DRAM copy synchronously,
+// so the RPC reply is the client's coherence point.
+func (s *Server) handleWriteThrough(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	addr := region.GAddr(req.U64())
+	size := int64(req.U32())
+	if err := req.Err(); err != nil {
+		return nil, at, err
+	}
+	if addr.Server() != s.id {
+		return nil, at, fmt.Errorf("%w: %v", ErrNotHome, addr)
+	}
+	base, _, ok := s.objIdx.findContaining(addr, size)
+	if !ok {
+		return nil, at, nil // object freed; nothing to refresh
+	}
+	loc, promoted := s.remap.Lookup(base)
+	if !promoted {
+		return nil, at, nil
+	}
+	data := make([]byte, size)
+	tRead, err := s.nvm.Read(at, addr.Offset(), data)
+	if err != nil {
+		return nil, at, err
+	}
+	delta := addr.Offset() - base.Offset()
+	end, err := s.registry.writeCopy(s, tRead, loc, delta, data)
+	if err != nil {
+		return nil, at, err
+	}
+	return nil, end, nil
+}
+
+// applyToCache is the proxy flusher's write-through hook: after a staged
+// record lands in NVM, refresh the promoted DRAM copy (if any) so cache
+// reads observe the new data.
+func (s *Server) applyToCache(at simnet.Time, addr region.GAddr, data []byte) simnet.Time {
+	base, _, ok := s.objIdx.findContaining(addr, int64(len(data)))
+	if !ok {
+		return at
+	}
+	loc, promoted := s.remap.Lookup(base)
+	if !promoted {
+		return at
+	}
+	delta := addr.Offset() - base.Offset()
+	if delta < 0 || delta+int64(len(data)) > loc.Size {
+		return at
+	}
+	end, err := s.registry.writeCopy(s, at, loc, delta, data)
+	if err != nil {
+		return at
+	}
+	return end
+}

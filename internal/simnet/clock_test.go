@@ -1,0 +1,98 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(5 * time.Microsecond)
+	if got := t1.Sub(t0); got != 5*time.Microsecond {
+		t.Fatalf("Sub = %v, want 5µs", got)
+	}
+	if !t1.After(t0) || t1.Before(t0) {
+		t.Fatalf("ordering wrong: t1=%v t0=%v", t1, t0)
+	}
+	if !t0.Before(t1) {
+		t.Fatalf("t0 should be before t1")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	got := Time(1500).String()
+	if got != "T+1.5µs" {
+		t.Fatalf("String = %q, want %q", got, "T+1.5µs")
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if MaxTime(3, 7) != 7 || MaxTime(7, 3) != 7 || MaxTime(5, 5) != 5 {
+		t.Fatal("MaxTime wrong")
+	}
+}
+
+func TestClockObserveMonotonic(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	c.Observe(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", c.Now())
+	}
+	// Observing an earlier time must not move the clock backwards.
+	if got := c.Observe(50); got != 100 {
+		t.Fatalf("Observe(50) returned %v, want 100", got)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("clock moved backwards to %v", c.Now())
+	}
+}
+
+func TestClockObserveConcurrent(t *testing.T) {
+	var c Clock
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Observe(Time(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := Time(goroutines*perG - 1)
+	if c.Now() != want {
+		t.Fatalf("Now = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestClockObserveProperty(t *testing.T) {
+	// Property: after any sequence of observations, Now equals the maximum
+	// non-negative value observed (or zero).
+	f := func(vals []int64) bool {
+		var c Clock
+		var want Time
+		for _, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			c.Observe(Time(v))
+			if Time(v) > want {
+				want = Time(v)
+			}
+		}
+		return c.Now() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

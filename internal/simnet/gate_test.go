@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateSingleActorNeverBlocks(t *testing.T) {
+	g := NewGate(10)
+	h := g.Join(0)
+	for i := Time(0); i < 1000; i += 100 {
+		h.Advance(i) // must return immediately
+	}
+	h.Leave()
+}
+
+func TestGateBoundsSkew(t *testing.T) {
+	const window = 50
+	g := NewGate(window)
+	fast := g.Join(0)
+	slow := g.Join(0)
+
+	released := make(chan struct{})
+	go func() {
+		fast.Advance(1000) // way ahead: must block until slow catches up
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("fast actor not blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	slow.Advance(960) // 1000 <= 960+50
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("fast actor never released")
+	}
+	fast.Leave()
+	slow.Leave()
+}
+
+func TestGateLeaveReleasesWaiters(t *testing.T) {
+	g := NewGate(10)
+	ahead := g.Join(0)
+	behind := g.Join(0)
+	released := make(chan struct{})
+	go func() {
+		ahead.Advance(10000)
+		close(released)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	behind.Leave() // now ahead is the only (and min) participant
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("Leave did not release waiter")
+	}
+	ahead.Leave()
+}
+
+func TestGateAdvanceAfterLeaveIsNoop(t *testing.T) {
+	g := NewGate(10)
+	h := g.Join(0)
+	h.Leave()
+	h.Advance(1 << 40) // must not block or panic
+}
+
+func TestGateManyActorsStayWithinWindow(t *testing.T) {
+	// Invariant: among active participants, the spread of recorded
+	// clocks never exceeds window + the largest single step (a blocked
+	// actor records its target time before waiting).
+	const (
+		actors  = 8
+		window  = 100
+		steps   = 500
+		maxStep = actors // actor i steps by 1+i
+	)
+	g := NewGate(window)
+	stop := make(chan struct{})
+	violation := make(chan Duration, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.mu.Lock()
+			if len(g.clocks) == actors { // only while everyone is active
+				var lo, hi Time
+				first := true
+				for _, c := range g.clocks {
+					if first {
+						lo, hi = c, c
+						first = false
+					}
+					if c < lo {
+						lo = c
+					}
+					if c > hi {
+						hi = c
+					}
+				}
+				if sk := hi.Sub(lo); sk > window+maxStep {
+					select {
+					case violation <- sk:
+					default:
+					}
+				}
+			}
+			g.mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < actors; i++ {
+		h := g.Join(0)
+		wg.Add(1)
+		go func(i int, h *GateHandle) {
+			defer wg.Done()
+			defer h.Leave()
+			var now Time
+			for s := 0; s < steps; s++ {
+				now += Time(1 + i) // actors advance at different rates
+				h.Advance(now)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case sk := <-violation:
+		t.Fatalf("skew %v exceeded window+maxStep", sk)
+	default:
+	}
+}

@@ -1,0 +1,78 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkModel describes the cost structure of a network link between two
+// nodes, in the style of the LogGP family: a fixed per-operation overhead
+// (doorbell ring, NIC processing, PCIe hop), a propagation delay (wire +
+// switch), and a serialization cost proportional to payload size.
+type LinkModel struct {
+	// PerOp is the fixed software+NIC overhead charged once per
+	// *initiated* operation at the sender: doorbell ring, WQE fetch,
+	// PCIe hop.
+	PerOp Duration
+	// RespPerOp is the overhead of responder-generated messages — RDMA
+	// ACKs, READ responses, atomic responses — which the responder NIC
+	// emits in hardware with no software involvement. It is typically an
+	// order of magnitude below PerOp; zero is allowed (free responses).
+	RespPerOp Duration
+	// Propagation is the one-way wire+switch delay.
+	Propagation Duration
+	// BytesPerSec is the link bandwidth used to serialize the payload.
+	// Zero means infinite bandwidth (no serialization cost).
+	BytesPerSec float64
+}
+
+// Validate reports whether the model's fields are physically meaningful.
+func (m LinkModel) Validate() error {
+	if m.PerOp < 0 || m.RespPerOp < 0 || m.Propagation < 0 || m.BytesPerSec < 0 {
+		return fmt.Errorf("simnet: negative link parameter: %+v", m)
+	}
+	return nil
+}
+
+// SerializeTime returns the time to clock size bytes onto the wire.
+func (m LinkModel) SerializeTime(size int) Duration {
+	if m.BytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return Duration(float64(size) / m.BytesPerSec * float64(time.Second))
+}
+
+// OneWay returns the end-to-end one-way latency for a payload of the given
+// size on an otherwise idle link: overhead + serialization + propagation.
+func (m LinkModel) OneWay(size int) Duration {
+	return m.PerOp + m.SerializeTime(size) + m.Propagation
+}
+
+// Link is a directed, contended network path: a LinkModel plus a Resource
+// representing the sender NIC's transmit engine. Concurrent sends
+// serialize on the NIC for their overhead+serialization portion, then
+// propagate independently.
+type Link struct {
+	model LinkModel
+	nic   *Resource
+}
+
+// NewLink returns a link with the given cost model whose transmit side is
+// serialized by the given NIC resource. The NIC resource may be shared by
+// several links to model one NIC serving several peers.
+func NewLink(model LinkModel, nic *Resource) *Link {
+	return &Link{model: model, nic: nic}
+}
+
+// Model returns the link's cost model.
+func (l *Link) Model() LinkModel { return l.model }
+
+// Send schedules a transfer of size bytes departing at the given instant
+// and returns the instant the payload is fully delivered at the receiver.
+// The NIC is held for the overhead and serialization time; propagation
+// overlaps with subsequent sends.
+func (l *Link) Send(departure Time, size int) (arrival Time) {
+	service := l.model.PerOp + l.model.SerializeTime(size)
+	_, txEnd := l.nic.Acquire(departure, service)
+	return txEnd.Add(l.model.Propagation)
+}

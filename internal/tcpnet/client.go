@@ -1,0 +1,336 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gengar/internal/region"
+)
+
+// DefaultLease is the lock lease clients request unless overridden.
+const DefaultLease = 5 * time.Second
+
+// ServerStats is a daemon's activity snapshot.
+type ServerStats struct {
+	ServerID  uint16
+	Objects   int64
+	PoolUsed  int64
+	Ops       int64
+	PoolBytes int64
+}
+
+// Pool is a client of a set of gengard daemons: one TCP connection per
+// server, requests pipelined and demultiplexed by ID. It is safe for
+// concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	conns map[uint16]*serverConn
+	order []uint16
+	rr    int
+	lease time.Duration
+}
+
+// serverConn is one pipelined connection to a daemon.
+type serverConn struct {
+	serverID  uint16
+	poolBytes int64
+
+	c       net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	done    chan struct{}
+}
+
+type response struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects to every daemon address, performs the hello handshake
+// and returns a pool client. All servers must report distinct IDs.
+func Dial(addrs []string, timeout time.Duration) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("tcpnet: no server addresses")
+	}
+	p := &Pool{conns: make(map[uint16]*serverConn), lease: DefaultLease}
+	for _, a := range addrs {
+		nc, err := net.DialTimeout("tcp", a, timeout)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("tcpnet: dial %s: %w", a, err)
+		}
+		sc := &serverConn{
+			c:       nc,
+			pending: make(map[uint64]chan response),
+			done:    make(chan struct{}),
+		}
+		go sc.demux()
+		resp, err := sc.call(OpHello, nil)
+		if err != nil {
+			sc.close()
+			p.Close()
+			return nil, fmt.Errorf("tcpnet: hello %s: %w", a, err)
+		}
+		r := newPayloadReader(resp)
+		sc.serverID = r.U16()
+		sc.poolBytes = r.I64()
+		if err := r.Err(); err != nil {
+			sc.close()
+			p.Close()
+			return nil, err
+		}
+		if _, dup := p.conns[sc.serverID]; dup {
+			sc.close()
+			p.Close()
+			return nil, fmt.Errorf("tcpnet: duplicate server ID %d at %s", sc.serverID, a)
+		}
+		p.conns[sc.serverID] = sc
+		p.order = append(p.order, sc.serverID)
+	}
+	return p, nil
+}
+
+// SetLease overrides the lock lease requested by this client.
+func (p *Pool) SetLease(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d > 0 {
+		p.lease = d
+	}
+}
+
+func (sc *serverConn) demux() {
+	defer close(sc.done)
+	for {
+		id, status, payload, err := readFrame(sc.c)
+		if err != nil {
+			sc.failAll(err)
+			return
+		}
+		sc.mu.Lock()
+		ch := sc.pending[id]
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		if status == statusOK {
+			ch <- response{payload: payload}
+		} else {
+			ch <- response{err: &RemoteError{Msg: string(payload)}}
+		}
+	}
+}
+
+func (sc *serverConn) failAll(err error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.closed = true
+	for id, ch := range sc.pending {
+		delete(sc.pending, id)
+		ch <- response{err: fmt.Errorf("tcpnet: connection lost: %w", err)}
+	}
+}
+
+// call issues one request and waits for its response payload.
+func (sc *serverConn) call(op Op, payload []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+
+	sc.writeMu.Lock()
+	err := writeFrame(sc.c, id, uint8(op), payload)
+	sc.writeMu.Unlock()
+	if err != nil {
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("tcpnet: send: %w", err)
+	}
+	resp := <-ch
+	if resp.err != nil {
+		if re, ok := resp.err.(*RemoteError); ok {
+			re.Op = op
+		}
+		return nil, resp.err
+	}
+	return resp.payload, nil
+}
+
+func (sc *serverConn) close() {
+	_ = sc.c.Close()
+	<-sc.done
+}
+
+func (p *Pool) conn(addr region.GAddr) (*serverConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sc := p.conns[addr.Server()]
+	if sc == nil {
+		return nil, fmt.Errorf("tcpnet: no connection to server %d (%v)", addr.Server(), addr)
+	}
+	return sc, nil
+}
+
+// Malloc allocates size bytes, choosing home servers round-robin.
+func (p *Pool) Malloc(size int64) (region.GAddr, error) {
+	p.mu.Lock()
+	if len(p.order) == 0 {
+		p.mu.Unlock()
+		return region.NilGAddr, ErrClosed
+	}
+	id := p.order[p.rr%len(p.order)]
+	p.rr++
+	sc := p.conns[id]
+	p.mu.Unlock()
+
+	var w payloadWriter
+	w.I64(size)
+	resp, err := sc.call(OpMalloc, w.Bytes())
+	if err != nil {
+		return region.NilGAddr, err
+	}
+	r := newPayloadReader(resp)
+	addr := region.GAddr(r.U64())
+	return addr, r.Err()
+}
+
+// Free releases an object.
+func (p *Pool) Free(addr region.GAddr) error {
+	return p.addrOp(OpFree, addr)
+}
+
+// Read fills buf from global memory at addr.
+func (p *Pool) Read(addr region.GAddr, buf []byte) error {
+	sc, err := p.conn(addr)
+	if err != nil {
+		return err
+	}
+	var w payloadWriter
+	w.U64(uint64(addr)).U32(uint32(len(buf)))
+	resp, err := sc.call(OpRead, w.Bytes())
+	if err != nil {
+		return err
+	}
+	r := newPayloadReader(resp)
+	data := r.Blob()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(data) != len(buf) {
+		return fmt.Errorf("tcpnet: short read: %d of %d bytes", len(data), len(buf))
+	}
+	copy(buf, data)
+	return nil
+}
+
+// Write stores data at addr.
+func (p *Pool) Write(addr region.GAddr, data []byte) error {
+	sc, err := p.conn(addr)
+	if err != nil {
+		return err
+	}
+	var w payloadWriter
+	w.U64(uint64(addr)).Blob(data)
+	_, err = sc.call(OpWrite, w.Bytes())
+	return err
+}
+
+// LockExclusive takes the write lock covering addr with the pool's
+// lease.
+func (p *Pool) LockExclusive(addr region.GAddr) error { return p.lockOp(OpLockEx, addr) }
+
+// UnlockExclusive releases the write lock covering addr.
+func (p *Pool) UnlockExclusive(addr region.GAddr) error { return p.addrOp(OpUnlockEx, addr) }
+
+// LockShared takes a read lock covering addr with the pool's lease.
+func (p *Pool) LockShared(addr region.GAddr) error { return p.lockOp(OpLockSh, addr) }
+
+// UnlockShared releases a read lock covering addr.
+func (p *Pool) UnlockShared(addr region.GAddr) error { return p.addrOp(OpUnlockSh, addr) }
+
+func (p *Pool) lockOp(op Op, addr region.GAddr) error {
+	sc, err := p.conn(addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	lease := p.lease
+	p.mu.Unlock()
+	var w payloadWriter
+	w.U64(uint64(addr)).U32(uint32(lease / time.Millisecond))
+	_, err = sc.call(op, w.Bytes())
+	return err
+}
+
+func (p *Pool) addrOp(op Op, addr region.GAddr) error {
+	sc, err := p.conn(addr)
+	if err != nil {
+		return err
+	}
+	var w payloadWriter
+	w.U64(uint64(addr))
+	_, err = sc.call(op, w.Bytes())
+	return err
+}
+
+// Stats fetches every server's snapshot, in dial order.
+func (p *Pool) Stats() ([]ServerStats, error) {
+	p.mu.Lock()
+	order := append([]uint16(nil), p.order...)
+	p.mu.Unlock()
+	out := make([]ServerStats, 0, len(order))
+	for _, id := range order {
+		p.mu.Lock()
+		sc := p.conns[id]
+		p.mu.Unlock()
+		if sc == nil {
+			continue
+		}
+		resp, err := sc.call(OpStats, nil)
+		if err != nil {
+			return nil, err
+		}
+		r := newPayloadReader(resp)
+		st := ServerStats{
+			ServerID:  id,
+			Objects:   r.I64(),
+			PoolUsed:  r.I64(),
+			Ops:       r.I64(),
+			PoolBytes: sc.poolBytes,
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Close tears down every connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := make([]*serverConn, 0, len(p.conns))
+	for _, sc := range p.conns {
+		conns = append(conns, sc)
+	}
+	p.conns = make(map[uint16]*serverConn)
+	p.order = nil
+	p.mu.Unlock()
+	for _, sc := range conns {
+		sc.close()
+	}
+}

@@ -1,0 +1,316 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengar/internal/alloc"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+)
+
+// ServerConfig shapes one gengard daemon.
+type ServerConfig struct {
+	// ID is this server's pool ID (the high bits of addresses it homes).
+	ID uint16
+	// PoolBytes is the exported memory capacity (power of two).
+	PoolBytes int64
+	// LockSlots sizes the lock table (power of two); 0 selects 16384.
+	LockSlots int
+	// DefaultLease bounds how long a lock grant survives a silent
+	// client; 0 selects 5s.
+	DefaultLease time.Duration
+	// AcquireTimeout bounds how long a lock request waits; 0 selects 2s.
+	AcquireTimeout time.Duration
+}
+
+func (c *ServerConfig) fill() error {
+	if c.ID == 0 {
+		return errors.New("tcpnet: server ID must be nonzero")
+	}
+	if c.PoolBytes < alloc.MinBlock || c.PoolBytes&(c.PoolBytes-1) != 0 {
+		return fmt.Errorf("tcpnet: pool bytes %d not a power of two", c.PoolBytes)
+	}
+	if c.LockSlots == 0 {
+		c.LockSlots = 1 << 14
+	}
+	if c.DefaultLease == 0 {
+		c.DefaultLease = 5 * time.Second
+	}
+	if c.AcquireTimeout == 0 {
+		c.AcquireTimeout = 2 * time.Second
+	}
+	return nil
+}
+
+// PoolServer is one gengard daemon: it exports PoolBytes of memory as
+// the home of global addresses with its server ID, serving allocation,
+// data access and leased locks over TCP.
+type PoolServer struct {
+	cfg   ServerConfig
+	pool  *alloc.Buddy
+	locks *lockTable
+
+	memMu sync.RWMutex
+	mem   []byte
+
+	ops     metrics.Counter
+	objects metrics.Counter
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	sessions atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// NewPoolServer validates cfg and builds an idle daemon; call Serve.
+func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	b, err := alloc.New(cfg.PoolBytes)
+	if err != nil {
+		return nil, err
+	}
+	// Burn offset 0 so no object sits at the nil global address.
+	if _, err := b.Alloc(alloc.MinBlock); err != nil {
+		return nil, err
+	}
+	locks, err := newLockTable(cfg.LockSlots, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &PoolServer{
+		cfg:   cfg,
+		pool:  b,
+		locks: locks,
+		mem:   make([]byte, cfg.PoolBytes),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts and serves connections on lis until Close. It returns
+// nil after a graceful Close and the accept error otherwise.
+func (s *PoolServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection and waits for handlers.
+func (s *PoolServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *PoolServer) serveConn(conn net.Conn) {
+	session := s.sessions.Add(1)
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer func() {
+		reqWG.Wait()
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		id, tag, payload, err := readFrame(conn)
+		if err != nil {
+			return // connection gone
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			resp, herr := s.handle(session, Op(tag), newPayloadReader(payload))
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if herr != nil {
+				_ = writeFrame(conn, id, statusErr, []byte(herr.Error()))
+				return
+			}
+			_ = writeFrame(conn, id, statusOK, resp)
+		}()
+	}
+}
+
+func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) ([]byte, error) {
+	s.ops.Inc()
+	switch op {
+	case OpHello:
+		var w payloadWriter
+		w.U16(s.cfg.ID).I64(s.cfg.PoolBytes)
+		return w.Bytes(), nil
+
+	case OpMalloc:
+		size := req.I64()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("tcpnet: malloc of %d bytes", size)
+		}
+		off, err := s.pool.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := region.NewGAddr(s.cfg.ID, off)
+		if err != nil {
+			ferr := s.pool.Free(off)
+			return nil, errors.Join(err, ferr)
+		}
+		s.objects.Inc()
+		var w payloadWriter
+		w.U64(uint64(addr))
+		return w.Bytes(), nil
+
+	case OpFree:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.pool.Free(addr.Offset()); err != nil {
+			return nil, err
+		}
+		s.objects.Add(-1)
+		return nil, nil
+
+	case OpRead:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		n := int64(req.U32())
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || addr.Offset()+n > s.cfg.PoolBytes {
+			return nil, fmt.Errorf("tcpnet: read [%d,%d) out of pool", addr.Offset(), addr.Offset()+n)
+		}
+		out := make([]byte, n)
+		s.memMu.RLock()
+		copy(out, s.mem[addr.Offset():addr.Offset()+n])
+		s.memMu.RUnlock()
+		var w payloadWriter
+		w.Blob(out)
+		return w.Bytes(), nil
+
+	case OpWrite:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		data := req.Blob()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if addr.Offset()+int64(len(data)) > s.cfg.PoolBytes {
+			return nil, fmt.Errorf("tcpnet: write [%d,%d) out of pool", addr.Offset(), addr.Offset()+int64(len(data)))
+		}
+		s.memMu.Lock()
+		copy(s.mem[addr.Offset():], data)
+		s.memMu.Unlock()
+		return nil, nil
+
+	case OpLockEx, OpLockSh:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		lease := time.Duration(req.U32()) * time.Millisecond
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if lease <= 0 {
+			lease = s.cfg.DefaultLease
+		}
+		if op == OpLockEx {
+			return nil, s.locks.lockExclusive(session, addr, lease, s.cfg.AcquireTimeout)
+		}
+		return nil, s.locks.lockShared(session, addr, lease, s.cfg.AcquireTimeout)
+
+	case OpUnlockEx:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.locks.unlockExclusive(session, addr)
+
+	case OpUnlockSh:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.locks.unlockShared(session, addr)
+
+	case OpStats:
+		var w payloadWriter
+		w.I64(s.objects.Load()).I64(s.pool.AllocatedBytes()).I64(s.ops.Load())
+		return w.Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown op %d", op)
+	}
+}
+
+// homeAddr decodes an address operand and checks it is homed here.
+func (s *PoolServer) homeAddr(req *payloadReader) (region.GAddr, error) {
+	addr := region.GAddr(req.U64())
+	if err := req.Err(); err != nil {
+		return region.NilGAddr, err
+	}
+	if addr.Server() != s.cfg.ID {
+		return region.NilGAddr, fmt.Errorf("tcpnet: %v not homed on server %d", addr, s.cfg.ID)
+	}
+	return addr, nil
+}

@@ -1,0 +1,155 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Pool snapshots: gengard persists its exported memory and allocation
+// state to a file on shutdown and restores it on start, so a daemon
+// restart does not lose the pool — the behavior users expect of a
+// *non-volatile* memory service even when the backing store is a file
+// standing in for NVM.
+//
+// Format:
+//
+//	magic "GGARSNAP" | version u32 | serverID u16 | poolBytes i64
+//	allocCount u32 | (off i64, size i64)*   — live allocations
+//	pool image (poolBytes raw)
+//	crc32(IEEE) of everything above, u32
+const (
+	snapshotMagic   = "GGARSNAP"
+	snapshotVersion = 1
+)
+
+// ErrBadSnapshot reports a corrupt or incompatible snapshot file.
+var ErrBadSnapshot = errors.New("tcpnet: bad snapshot")
+
+// WriteSnapshot persists the server's pool to path atomically (via a
+// temporary file and rename). Callers must ensure the server is
+// quiescent (gengard snapshots after Close).
+func (s *PoolServer) WriteSnapshot(path string) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
+
+	if _, err = w.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var hdr [4 + 2 + 8]byte
+	binary.BigEndian.PutUint32(hdr[0:], snapshotVersion)
+	binary.BigEndian.PutUint16(hdr[4:], s.cfg.ID)
+	binary.BigEndian.PutUint64(hdr[6:], uint64(s.cfg.PoolBytes))
+	if _, err = w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	allocs := s.pool.Live()
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(allocs)))
+	if _, err = w.Write(cnt[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, a := range allocs {
+		binary.BigEndian.PutUint64(rec[0:], uint64(a.Off))
+		binary.BigEndian.PutUint64(rec[8:], uint64(a.Size))
+		if _, err = w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+
+	s.memMu.RLock()
+	_, err = w.Write(s.mem)
+	s.memMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err = f.Write(sum[:]); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreSnapshot loads a snapshot written by WriteSnapshot into a
+// freshly-constructed server. The server's ID and pool size must match
+// the snapshot's.
+func (s *PoolServer) RestoreSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(snapshotMagic)+4+2+8+4+4 {
+		return fmt.Errorf("%w: truncated (%d bytes)", ErrBadSnapshot, len(raw))
+	}
+	body, sum := raw[:len(raw)-4], binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	if string(body[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("%w: magic mismatch", ErrBadSnapshot)
+	}
+	p := body[len(snapshotMagic):]
+	version := binary.BigEndian.Uint32(p[0:])
+	id := binary.BigEndian.Uint16(p[4:])
+	poolBytes := int64(binary.BigEndian.Uint64(p[6:]))
+	p = p[14:]
+	if version != snapshotVersion {
+		return fmt.Errorf("%w: version %d", ErrBadSnapshot, version)
+	}
+	if id != s.cfg.ID || poolBytes != s.cfg.PoolBytes {
+		return fmt.Errorf("%w: snapshot is server %d/%d bytes, this daemon is %d/%d",
+			ErrBadSnapshot, id, poolBytes, s.cfg.ID, s.cfg.PoolBytes)
+	}
+
+	n := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if int64(len(p)) != int64(n)*16+poolBytes {
+		return fmt.Errorf("%w: body length %d inconsistent", ErrBadSnapshot, len(p))
+	}
+	var objs int64
+	for i := uint32(0); i < n; i++ {
+		off := int64(binary.BigEndian.Uint64(p[0:]))
+		size := int64(binary.BigEndian.Uint64(p[8:]))
+		p = p[16:]
+		if off == 0 {
+			continue // the reserved nil-address guard block is re-made by NewPoolServer
+		}
+		if err := s.pool.Reserve(off, size); err != nil {
+			return fmt.Errorf("%w: allocation [%d,+%d): %v", ErrBadSnapshot, off, size, err)
+		}
+		objs++
+	}
+	s.memMu.Lock()
+	copy(s.mem, p)
+	s.memMu.Unlock()
+	s.objects.Add(objs)
+	return nil
+}

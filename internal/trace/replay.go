@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+)
+
+// ReplayResult reports one trace replay.
+type ReplayResult struct {
+	Ops         int64
+	SimDuration time.Duration
+	Throughput  float64 // ops per simulated second
+	PerKind     map[Kind]metrics.Summary
+}
+
+// Replay executes a trace against a pool client and reports simulated
+// timing. Object indexes are bound to fresh allocations as the trace's
+// malloc records are encountered; reads and writes address ranges within
+// those objects.
+func Replay(c *core.Client, ops []Op) (ReplayResult, error) {
+	objs := make(map[int64]region.GAddr)
+	sizes := make(map[int64]int64)
+	hists := make(map[Kind]*metrics.Histogram)
+	res := ReplayResult{PerKind: make(map[Kind]metrics.Summary)}
+
+	start := c.Now()
+	buf := make([]byte, 0, 64<<10)
+	for i, op := range ops {
+		addr, bound := objs[op.Obj]
+		if op.Kind != OpMalloc && !bound {
+			return res, fmt.Errorf("trace: op %d: object %d used before malloc", i, op.Obj)
+		}
+		if op.Kind == OpRead || op.Kind == OpWrite {
+			if op.Off+op.Len > sizes[op.Obj] {
+				return res, fmt.Errorf("trace: op %d: [%d,%d) exceeds object %d size %d",
+					i, op.Off, op.Off+op.Len, op.Obj, sizes[op.Obj])
+			}
+			if int64(cap(buf)) < op.Len {
+				buf = make([]byte, op.Len)
+			}
+		}
+
+		before := c.Now()
+		var err error
+		switch op.Kind {
+		case OpMalloc:
+			var a region.GAddr
+			if a, err = c.Malloc(op.Len); err == nil {
+				objs[op.Obj] = a
+				sizes[op.Obj] = op.Len
+			}
+		case OpFree:
+			err = c.Free(addr)
+			delete(objs, op.Obj)
+			delete(sizes, op.Obj)
+		case OpRead:
+			err = c.Read(addr.Add(op.Off), buf[:op.Len])
+		case OpWrite:
+			err = c.Write(addr.Add(op.Off), buf[:op.Len])
+		case OpLockX:
+			err = c.LockExclusive(addr)
+		case OpUnlockX:
+			err = c.UnlockExclusive(addr)
+		case OpLockS:
+			err = c.LockShared(addr)
+		case OpUnlockS:
+			err = c.UnlockShared(addr)
+		default:
+			err = fmt.Errorf("trace: unknown kind %d", uint8(op.Kind))
+		}
+		if err != nil {
+			return res, fmt.Errorf("trace: op %d (%s obj %d): %w", i, op.Kind, op.Obj, err)
+		}
+		h := hists[op.Kind]
+		if h == nil {
+			h = new(metrics.Histogram)
+			hists[op.Kind] = h
+		}
+		h.Record(c.Now().Sub(before))
+		res.Ops++
+	}
+	res.SimDuration = c.Now().Sub(start)
+	if res.SimDuration > 0 {
+		res.Throughput = float64(res.Ops) / res.SimDuration.Seconds()
+	}
+	for k, h := range hists {
+		res.PerKind[k] = h.Summarize()
+	}
+	return res, nil
+}
+
+// Synthesize generates a random-but-representative trace: allocate a
+// working set, then issue zipf-skewed reads and writes over it with the
+// given read fraction, locking a configurable fraction of writes.
+// Deterministic for a given seed.
+func Synthesize(seed int64, objects int, objSize int64, ops int, readFrac, lockedFrac float64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 8, uint64(objects-1))
+	out := make([]Op, 0, objects+ops)
+	for i := 0; i < objects; i++ {
+		out = append(out, Op{Kind: OpMalloc, Obj: int64(i), Len: objSize})
+	}
+	for i := 0; i < ops; i++ {
+		obj := int64(zipf.Uint64())
+		if rng.Float64() < readFrac {
+			out = append(out, Op{Kind: OpRead, Obj: obj, Off: 0, Len: objSize})
+			continue
+		}
+		n := objSize / 4
+		if n <= 0 {
+			n = 1
+		}
+		off := rng.Int63n(objSize - n + 1)
+		if rng.Float64() < lockedFrac {
+			out = append(out,
+				Op{Kind: OpLockX, Obj: obj},
+				Op{Kind: OpWrite, Obj: obj, Off: off, Len: n},
+				Op{Kind: OpUnlockX, Obj: obj},
+			)
+			continue
+		}
+		out = append(out, Op{Kind: OpWrite, Obj: obj, Off: off, Len: n})
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package trace records and replays pool operation traces. A trace is a
+// line-oriented text format (one op per line) that captures what a
+// client did — reads, writes, allocations, locks — with object-relative
+// addressing, so a workload captured against one deployment replays
+// against any other (the simulator, an ablated variant, a gengard
+// cluster) for apples-to-apples comparison.
+//
+// Format (whitespace-separated, # comments):
+//
+//	malloc <obj> <size>
+//	free   <obj>
+//	read   <obj> <off> <len>
+//	write  <obj> <off> <len>
+//	lockx  <obj>
+//	unlockx <obj>
+//	locks  <obj>
+//	unlocks <obj>
+//
+// <obj> is a trace-local object index; sizes and offsets are bytes.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Kind is a trace operation type.
+type Kind uint8
+
+// Trace operation kinds.
+const (
+	OpMalloc Kind = iota + 1
+	OpFree
+	OpRead
+	OpWrite
+	OpLockX
+	OpUnlockX
+	OpLockS
+	OpUnlockS
+)
+
+var kindNames = map[Kind]string{
+	OpMalloc:  "malloc",
+	OpFree:    "free",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpLockX:   "lockx",
+	OpUnlockX: "unlockx",
+	OpLockS:   "locks",
+	OpUnlockS: "unlocks",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String names the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is one trace record.
+type Op struct {
+	Kind Kind
+	Obj  int64 // trace-local object index
+	Off  int64 // for read/write
+	Len  int64 // for read/write; size for malloc
+}
+
+// Validate reports whether the op is structurally sound.
+func (o Op) Validate() error {
+	switch o.Kind {
+	case OpMalloc:
+		if o.Len <= 0 {
+			return fmt.Errorf("trace: malloc of %d bytes", o.Len)
+		}
+	case OpRead, OpWrite:
+		if o.Off < 0 || o.Len <= 0 {
+			return fmt.Errorf("trace: %s with off=%d len=%d", o.Kind, o.Off, o.Len)
+		}
+	case OpFree, OpLockX, OpUnlockX, OpLockS, OpUnlockS:
+	default:
+		return fmt.Errorf("trace: unknown kind %d", uint8(o.Kind))
+	}
+	if o.Obj < 0 {
+		return fmt.Errorf("trace: negative object index %d", o.Obj)
+	}
+	return nil
+}
+
+// Writer emits trace records.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int64
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append writes one record.
+func (t *Writer) Append(op Op) error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.err = op.Validate(); t.err != nil {
+		return t.err
+	}
+	switch op.Kind {
+	case OpMalloc:
+		_, t.err = fmt.Fprintf(t.w, "malloc %d %d\n", op.Obj, op.Len)
+	case OpRead, OpWrite:
+		_, t.err = fmt.Fprintf(t.w, "%s %d %d %d\n", op.Kind, op.Obj, op.Off, op.Len)
+	default:
+		_, t.err = fmt.Fprintf(t.w, "%s %d\n", op.Kind, op.Obj)
+	}
+	if t.err == nil {
+		t.n++
+	}
+	return t.err
+}
+
+// Len returns the number of records appended.
+func (t *Writer) Len() int64 { return t.n }
+
+// Flush flushes buffered records.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Read parses a whole trace.
+func Read(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		kind, ok := kindByName[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, fields[0])
+		}
+		op := Op{Kind: kind}
+		parse := func(i int) (int64, error) {
+			if i >= len(fields) {
+				return 0, fmt.Errorf("trace: line %d: missing field %d", line, i)
+			}
+			return strconv.ParseInt(fields[i], 10, 64)
+		}
+		var err error
+		if op.Obj, err = parse(1); err != nil {
+			return nil, err
+		}
+		switch kind {
+		case OpMalloc:
+			if op.Len, err = parse(2); err != nil {
+				return nil, err
+			}
+		case OpRead, OpWrite:
+			if op.Off, err = parse(2); err != nil {
+				return nil, err
+			}
+			if op.Len, err = parse(3); err != nil {
+				return nil, err
+			}
+		}
+		if err := op.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/server"
+)
+
+func TestKindString(t *testing.T) {
+	if OpMalloc.String() != "malloc" || OpUnlockS.String() != "unlocks" {
+		t.Fatal("kind names")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestOpValidate(t *testing.T) {
+	bad := []Op{
+		{Kind: OpMalloc, Obj: 0, Len: 0},
+		{Kind: OpRead, Obj: 0, Off: -1, Len: 4},
+		{Kind: OpWrite, Obj: 0, Off: 0, Len: 0},
+		{Kind: Kind(77), Obj: 0},
+		{Kind: OpFree, Obj: -1},
+	}
+	for i, op := range bad {
+		if op.Validate() == nil {
+			t.Errorf("bad op %d accepted", i)
+		}
+	}
+	good := []Op{
+		{Kind: OpMalloc, Obj: 1, Len: 64},
+		{Kind: OpRead, Obj: 1, Off: 8, Len: 8},
+		{Kind: OpLockX, Obj: 1},
+	}
+	for i, op := range good {
+		if err := op.Validate(); err != nil {
+			t.Errorf("good op %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpMalloc, Obj: 0, Len: 128},
+		{Kind: OpWrite, Obj: 0, Off: 16, Len: 32},
+		{Kind: OpLockX, Obj: 0},
+		{Kind: OpRead, Obj: 0, Off: 0, Len: 128},
+		{Kind: OpUnlockX, Obj: 0},
+		{Kind: OpLockS, Obj: 0},
+		{Kind: OpUnlockS, Obj: 0},
+		{Kind: OpFree, Obj: 0},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != int64(len(ops)) {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a trace\n\nmalloc 0 64\n  # indented comment\nread 0 0 64\n"
+	ops, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Kind != OpMalloc || ops[1].Kind != OpRead {
+		t.Fatalf("parsed %+v", ops)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"explode 1\n",
+		"malloc 0\n",        // missing size
+		"read 0 0\n",        // missing len
+		"malloc 0 -5\n",     // invalid
+		"read 0 zero four\n", // non-numeric
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("garbage %q accepted", in)
+		}
+	}
+}
+
+func TestWriterRejectsInvalidAndSticks(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Op{Kind: OpMalloc, Obj: 0, Len: -1}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if err := w.Append(Op{Kind: OpMalloc, Obj: 0, Len: 64}); err == nil {
+		t.Fatal("writer did not stick after error")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ops := Synthesize(seed, 8, 256, 50, 0.7, 0.3)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, op := range ops {
+			if w.Append(op) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	ops := Synthesize(1, 16, 512, 200, 0.5, 0.5)
+	var mallocs, reads, writes, locks, unlocks int
+	for _, op := range ops {
+		if err := op.Validate(); err != nil {
+			t.Fatalf("invalid synthesized op: %v", err)
+		}
+		switch op.Kind {
+		case OpMalloc:
+			mallocs++
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+		case OpLockX:
+			locks++
+		case OpUnlockX:
+			unlocks++
+		}
+	}
+	if mallocs != 16 {
+		t.Fatalf("mallocs = %d", mallocs)
+	}
+	if reads == 0 || writes == 0 || locks == 0 {
+		t.Fatalf("degenerate mix: r=%d w=%d l=%d", reads, writes, locks)
+	}
+	if locks != unlocks {
+		t.Fatalf("unbalanced locks: %d vs %d", locks, unlocks)
+	}
+	// Deterministic.
+	again := Synthesize(1, 16, 512, 200, 0.5, 0.5)
+	if len(again) != len(ops) || again[5] != ops[5] {
+		t.Fatal("not deterministic")
+	}
+}
+
+func newPoolClient(t *testing.T) *core.Client {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 22
+	c, err := server.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := core.Connect(c, "replayer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestReplayEndToEnd(t *testing.T) {
+	cl := newPoolClient(t)
+	ops := Synthesize(7, 12, 512, 150, 0.6, 0.2)
+	res, err := Replay(cl, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(len(ops)) {
+		t.Fatalf("replayed %d of %d ops", res.Ops, len(ops))
+	}
+	if res.Throughput <= 0 || res.SimDuration <= 0 {
+		t.Fatalf("timing: %+v", res)
+	}
+	if res.PerKind[OpRead].Count == 0 || res.PerKind[OpWrite].Count == 0 {
+		t.Fatal("per-kind histograms missing")
+	}
+}
+
+func TestReplayRejectsUnboundObject(t *testing.T) {
+	cl := newPoolClient(t)
+	_, err := Replay(cl, []Op{{Kind: OpRead, Obj: 3, Off: 0, Len: 8}})
+	if err == nil {
+		t.Fatal("read of unbound object accepted")
+	}
+}
+
+func TestReplayRejectsOutOfRange(t *testing.T) {
+	cl := newPoolClient(t)
+	_, err := Replay(cl, []Op{
+		{Kind: OpMalloc, Obj: 0, Len: 64},
+		{Kind: OpRead, Obj: 0, Off: 32, Len: 64},
+	})
+	if err == nil {
+		t.Fatal("out-of-object read accepted")
+	}
+}

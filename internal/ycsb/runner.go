@@ -1,0 +1,285 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// fieldBytes is the size of one YCSB field; updates and RMWs touch one
+// field, reads and scans fetch whole records.
+const fieldBytes = 100
+
+// Table is a keyed set of records stored in the pool: key k lives at
+// addrs[k]. Inserts append. Safe for concurrent use.
+type Table struct {
+	mu         sync.RWMutex
+	addrs      []region.GAddr
+	recordSize int
+}
+
+// Load allocates and initializes a table of records through the given
+// client, spreading records across home servers round-robin.
+func Load(c *core.Client, records int, recordSize int) (*Table, error) {
+	if records <= 0 || recordSize <= 0 {
+		return nil, fmt.Errorf("ycsb: load %d x %d", records, recordSize)
+	}
+	t := &Table{addrs: make([]region.GAddr, 0, records), recordSize: recordSize}
+	row := make([]byte, recordSize)
+	for i := 0; i < records; i++ {
+		addr, err := c.Malloc(int64(recordSize))
+		if err != nil {
+			return nil, fmt.Errorf("ycsb: load record %d: %w", i, err)
+		}
+		for j := range row {
+			row[j] = byte(i + j)
+		}
+		if err := c.Write(addr, row); err != nil {
+			return nil, fmt.Errorf("ycsb: init record %d: %w", i, err)
+		}
+		t.addrs = append(t.addrs, addr)
+	}
+	// Publish: workers are different clients, so the loader's proxied
+	// writes must reach NVM before anyone else reads the table.
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the current record count.
+func (t *Table) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(len(t.addrs))
+}
+
+// RecordSize returns the per-record size in bytes.
+func (t *Table) RecordSize() int { return t.recordSize }
+
+// Addr returns the address of record key.
+func (t *Table) Addr(key int64) (region.GAddr, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if key < 0 || key >= int64(len(t.addrs)) {
+		return region.NilGAddr, false
+	}
+	return t.addrs[key], true
+}
+
+// Append adds a freshly inserted record and returns the new count.
+func (t *Table) Append(addr region.GAddr) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs = append(t.addrs, addr)
+	return int64(len(t.addrs))
+}
+
+// Result is one workload run's outcome. All times are simulated.
+type Result struct {
+	Workload    string
+	Clients     int
+	Ops         int64
+	SimDuration time.Duration
+	Throughput  float64 // ops per simulated second
+	PerKind     map[OpKind]metrics.Summary
+	HitRate     float64 // cache hit rate across clients, this run only
+}
+
+// pacingWindow bounds the virtual-clock skew among concurrent clients
+// (see simnet.Gate) to a few operation latencies.
+const pacingWindow = 3 * time.Microsecond
+
+// Run drives opsPerClient operations from each client through the table
+// using workload w, one goroutine per client, and aggregates simulated
+// latency and throughput. Each client gets a deterministic generator
+// seeded from seed and its index. Clients are pace-synchronized so their
+// virtual timelines interleave as they would on real hardware.
+func Run(clients []*core.Client, table *Table, w Workload, opsPerClient int, seed int64) (Result, error) {
+	if len(clients) == 0 || opsPerClient <= 0 {
+		return Result{}, fmt.Errorf("ycsb: run with %d clients x %d ops", len(clients), opsPerClient)
+	}
+	// Start every client from the same virtual instant — the fabric
+	// frontier — so the gate doesn't immediately block whoever connected
+	// last, and setup traffic's resource watermarks don't surface as a
+	// phantom first-op stall.
+	var start simnet.Time
+	for _, c := range clients {
+		c.AdvanceToFrontier()
+		if now := c.Now(); now > start {
+			start = now
+		}
+	}
+	for _, c := range clients {
+		c.AdvanceTo(start)
+	}
+	// Join every client before any goroutine starts: otherwise an
+	// early-scheduled client bursts through its whole loop while alone in
+	// the gate, defeating the pacing.
+	gate := simnet.NewGate(pacingWindow)
+	paces := make([]*simnet.GateHandle, len(clients))
+	for i := range clients {
+		paces[i] = gate.Join(start)
+	}
+	type clientOut struct {
+		hists      map[OpKind]*metrics.Histogram
+		start, end simnet.Time
+		hits, miss int64
+		err        error
+	}
+	outs := make([]clientOut, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *core.Client) {
+			defer wg.Done()
+			out := &outs[i]
+			out.hists = make(map[OpKind]*metrics.Histogram)
+			gen, err := NewGenerator(w, table.Len(), seed+int64(i))
+			if err != nil {
+				out.err = err
+				return
+			}
+			st0 := c.Stats()
+			out.start = c.Now()
+			pace := paces[i]
+			defer pace.Leave()
+			buf := make([]byte, table.recordSize)
+			updateBytes := w.UpdateBytes
+			if updateBytes <= 0 {
+				updateBytes = fieldBytes
+			}
+			field := make([]byte, minInt(updateBytes, table.recordSize))
+			for n := 0; n < opsPerClient; n++ {
+				op := gen.Next()
+				before := c.Now()
+				pace.Advance(before)
+				if err := execute(c, table, gen, op, buf, field); err != nil {
+					out.err = err
+					return
+				}
+				h := out.hists[op.Kind]
+				if h == nil {
+					h = new(metrics.Histogram)
+					out.hists[op.Kind] = h
+				}
+				h.Record(c.Now().Sub(before))
+			}
+			out.end = c.Now()
+			st1 := c.Stats()
+			out.hits = st1.CacheHits - st0.CacheHits
+			out.miss = st1.CacheMiss - st0.CacheMiss
+		}(i, c)
+	}
+	wg.Wait()
+
+	res := Result{
+		Workload: w.Name,
+		Clients:  len(clients),
+		PerKind:  make(map[OpKind]metrics.Summary),
+	}
+	merged := make(map[OpKind]*metrics.Histogram)
+	var minStart, maxEnd simnet.Time
+	var hits, miss int64
+	first := true
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		for k, h := range o.hists {
+			m := merged[k]
+			if m == nil {
+				m = new(metrics.Histogram)
+				merged[k] = m
+			}
+			m.Merge(h)
+			res.Ops += h.Count()
+		}
+		if first || o.start < minStart {
+			minStart = o.start
+		}
+		if o.end > maxEnd {
+			maxEnd = o.end
+		}
+		hits += o.hits
+		miss += o.miss
+		first = false
+	}
+	for k, h := range merged {
+		res.PerKind[k] = h.Summarize()
+	}
+	res.SimDuration = maxEnd.Sub(minStart)
+	if res.SimDuration > 0 {
+		res.Throughput = float64(res.Ops) / res.SimDuration.Seconds()
+	}
+	res.HitRate = metrics.Ratio(hits, hits+miss)
+	return res, nil
+}
+
+func execute(c *core.Client, t *Table, gen *Generator, op Op, buf, field []byte) error {
+	switch op.Kind {
+	case OpRead:
+		addr, ok := t.Addr(op.Key)
+		if !ok {
+			return nil // racing insert; skip
+		}
+		return c.Read(addr, buf)
+	case OpUpdate:
+		addr, ok := t.Addr(op.Key)
+		if !ok {
+			return nil
+		}
+		return c.Write(addr, field)
+	case OpInsert:
+		addr, err := c.Malloc(int64(t.recordSize))
+		if err != nil {
+			return err
+		}
+		if err := c.Write(addr, buf); err != nil {
+			return err
+		}
+		gen.RecordInsert(t.Append(addr))
+		return nil
+	case OpScan:
+		// Scans use the vectored read path: all records of the range are
+		// posted as one doorbell-batched chain per server.
+		addrs := make([]region.GAddr, 0, op.ScanLen)
+		bufs := make([][]byte, 0, op.ScanLen)
+		for i := int64(0); i < int64(op.ScanLen); i++ {
+			addr, ok := t.Addr(op.Key + i)
+			if !ok {
+				break
+			}
+			addrs = append(addrs, addr)
+			bufs = append(bufs, make([]byte, t.recordSize))
+		}
+		if len(addrs) == 0 {
+			return nil
+		}
+		return c.ReadMulti(addrs, bufs)
+	case OpReadModifyWrite:
+		addr, ok := t.Addr(op.Key)
+		if !ok {
+			return nil
+		}
+		if err := c.Read(addr, buf); err != nil {
+			return err
+		}
+		return c.Write(addr, field)
+	default:
+		return fmt.Errorf("ycsb: unknown op kind %d", op.Kind)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

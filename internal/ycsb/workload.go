@@ -1,0 +1,212 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+// YCSB operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Distribution selects the request key distribution.
+type Distribution int
+
+// Supported request distributions.
+const (
+	DistZipfian Distribution = iota + 1
+	DistUniform
+	DistLatest
+)
+
+// Workload is one YCSB core workload definition.
+type Workload struct {
+	Name string
+	// Operation mix; proportions must sum to 1.
+	ReadProp, UpdateProp, InsertProp, ScanProp, RMWProp float64
+
+	Distribution Distribution
+	Theta        float64 // zipfian skew (ignored for uniform)
+	RecordSize   int
+	MaxScanLen   int
+	// UpdateBytes is the size of UPDATE/RMW writes; zero selects the
+	// YCSB default of one 100 B field (clamped to the record size).
+	UpdateBytes int
+}
+
+// Validate reports whether the mix sums to one.
+func (w Workload) Validate() error {
+	sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("ycsb: %s proportions sum to %f", w.Name, sum)
+	}
+	if w.RecordSize <= 0 {
+		return fmt.Errorf("ycsb: %s record size %d", w.Name, w.RecordSize)
+	}
+	return nil
+}
+
+const defaultRecordSize = 1024 // YCSB: 10 fields x 100 B, rounded up
+
+// A returns workload A: update heavy (50/50 read/update, zipfian).
+func A() Workload {
+	return Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5,
+		Distribution: DistZipfian, Theta: 0.99, RecordSize: defaultRecordSize}
+}
+
+// B returns workload B: read mostly (95/5 read/update, zipfian).
+func B() Workload {
+	return Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05,
+		Distribution: DistZipfian, Theta: 0.99, RecordSize: defaultRecordSize}
+}
+
+// C returns workload C: read only (zipfian).
+func C() Workload {
+	return Workload{Name: "C", ReadProp: 1,
+		Distribution: DistZipfian, Theta: 0.99, RecordSize: defaultRecordSize}
+}
+
+// D returns workload D: read latest (95/5 read/insert, latest).
+func D() Workload {
+	return Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05,
+		Distribution: DistLatest, Theta: 0.99, RecordSize: defaultRecordSize}
+}
+
+// E returns workload E: short ranges (95/5 scan/insert, zipfian).
+func E() Workload {
+	return Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05,
+		Distribution: DistZipfian, Theta: 0.99, RecordSize: defaultRecordSize, MaxScanLen: 16}
+}
+
+// F returns workload F: read-modify-write (50/50 read/RMW, zipfian).
+func F() Workload {
+	return Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5,
+		Distribution: DistZipfian, Theta: 0.99, RecordSize: defaultRecordSize}
+}
+
+// Core returns the six core workloads in order.
+func Core() []Workload {
+	return []Workload{A(), B(), C(), D(), E(), F()}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     int64
+	ScanLen int
+}
+
+// keyGen is the common surface of the distribution generators.
+type keyGen interface {
+	Next() int64
+	Grow(items int64)
+}
+
+// zipfNoGrow adapts ScrambledZipfian (fixed key space) to keyGen:
+// inserts extend the table, but the scrambled distribution keeps drawing
+// from the initial space, as YCSB does for zipfian workloads.
+type zipfNoGrow struct{ s *ScrambledZipfian }
+
+func (z zipfNoGrow) Next() int64 { return z.s.Next() }
+func (zipfNoGrow) Grow(int64)    {}
+
+// Generator produces a YCSB operation stream for one client. Not safe
+// for concurrent use.
+type Generator struct {
+	w     Workload
+	rng   *rand.Rand
+	keys  keyGen
+	items int64
+}
+
+// NewGenerator returns a generator over an initial key space of items
+// records, seeded deterministically.
+func NewGenerator(w Workload, items int64, seed int64) (*Generator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if items <= 0 {
+		return nil, fmt.Errorf("ycsb: item count %d", items)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{w: w, rng: rng, items: items}
+	switch w.Distribution {
+	case DistZipfian:
+		g.keys = zipfNoGrow{NewScrambledZipfian(rng, items, w.Theta)}
+	case DistLatest:
+		g.keys = NewLatest(rng, items, w.Theta)
+	case DistUniform:
+		g.keys = NewUniform(rng, items)
+	default:
+		return nil, fmt.Errorf("ycsb: unknown distribution %d", w.Distribution)
+	}
+	return g, nil
+}
+
+// Items returns the current key-space size as seen by this generator.
+func (g *Generator) Items() int64 { return g.items }
+
+// RecordInsert tells the generator the table grew (its own insert or a
+// peer's, if the harness broadcasts them).
+func (g *Generator) RecordInsert(newCount int64) {
+	if newCount > g.items {
+		g.items = newCount
+		g.keys.Grow(newCount)
+	}
+}
+
+// Next draws the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	w := g.w
+	switch {
+	case p < w.ReadProp:
+		return Op{Kind: OpRead, Key: g.nextKey()}
+	case p < w.ReadProp+w.UpdateProp:
+		return Op{Kind: OpUpdate, Key: g.nextKey()}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		return Op{Kind: OpInsert, Key: g.items}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+		n := 1
+		if w.MaxScanLen > 1 {
+			n = 1 + g.rng.Intn(w.MaxScanLen)
+		}
+		return Op{Kind: OpScan, Key: g.nextKey(), ScanLen: n}
+	default:
+		return Op{Kind: OpReadModifyWrite, Key: g.nextKey()}
+	}
+}
+
+func (g *Generator) nextKey() int64 {
+	k := g.keys.Next()
+	if k >= g.items {
+		k = g.items - 1
+	}
+	return k
+}

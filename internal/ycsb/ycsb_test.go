@@ -1,0 +1,367 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/server"
+)
+
+func TestWorkloadPresetsValid(t *testing.T) {
+	for _, w := range Core() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("workload %s: %v", w.Name, err)
+		}
+	}
+	if len(Core()) != 6 {
+		t.Fatal("expected six core workloads")
+	}
+}
+
+func TestWorkloadValidateCatchesBadMix(t *testing.T) {
+	w := A()
+	w.ReadProp = 0.9 // now sums to 1.4
+	if err := w.Validate(); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	w = A()
+	w.RecordSize = 0
+	if err := w.Validate(); err == nil {
+		t.Fatal("zero record size accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpRead: "READ", OpUpdate: "UPDATE", OpInsert: "INSERT",
+		OpScan: "SCAN", OpReadModifyWrite: "RMW", OpKind(99): "OpKind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipfian(rng, 1000, 0.99)
+	counts := make(map[int64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must be by far the most popular (~7% at theta=.99, n=1000).
+	if counts[0] < draws/50 {
+		t.Fatalf("key 0 drawn only %d times of %d", counts[0], draws)
+	}
+	// Top 10% of keys should capture the majority of draws.
+	var top int
+	for k, c := range counts {
+		if k < 100 {
+			top += c
+		}
+	}
+	if float64(top) < 0.55*draws {
+		t.Fatalf("top decile only %d/%d draws — not skewed", top, draws)
+	}
+}
+
+func TestZipfianGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipfian(rng, 100, 0.99)
+	z.Grow(200)
+	if z.Items() != 200 {
+		t.Fatalf("Items = %d", z.Items())
+	}
+	z.Grow(50) // shrink is a no-op
+	if z.Items() != 200 {
+		t.Fatal("Grow shrank the space")
+	}
+	// Incremental zeta must equal from-scratch zeta.
+	fresh := NewZipfian(rand.New(rand.NewSource(2)), 200, 0.99)
+	if math.Abs(z.zetan-fresh.zetan) > 1e-9 {
+		t.Fatalf("incremental zeta %f != fresh %f", z.zetan, fresh.zetan)
+	}
+	for i := 0; i < 1000; i++ {
+		if k := z.Next(); k < 0 || k >= 200 {
+			t.Fatalf("key %d out of grown range", k)
+		}
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewScrambledZipfian(rng, 1000, 0.99)
+	counts := make(map[int64]int)
+	for i := 0; i < 20000; i++ {
+		k := s.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key should NOT be key 0 deterministically adjacent to
+	// the next hottest; just assert strong skew exists somewhere.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 400 {
+		t.Fatalf("max key count %d — scrambling destroyed skew", maxC)
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLatest(rng, 1000, 0.99)
+	var recent int
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		k := l.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k >= 900 {
+			recent++
+		}
+	}
+	if float64(recent) < 0.5*draws {
+		t.Fatalf("only %d/%d draws in newest decile", recent, draws)
+	}
+	l.Grow(2000)
+	top := false
+	for i := 0; i < 1000; i++ {
+		if k := l.Next(); k >= 1000 {
+			top = true
+			if k >= 2000 {
+				t.Fatalf("key %d beyond grown space", k)
+			}
+		}
+	}
+	if !top {
+		t.Fatal("latest never drew from grown region")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := NewUniform(rng, 100)
+	seen := make(map[int64]bool)
+	for i := 0; i < 5000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform covered only %d/100 keys", len(seen))
+	}
+	u.Grow(200)
+	if u.items != 200 {
+		t.Fatal("Grow failed")
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	g, err := NewGenerator(A(), 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, updates int
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("workload A generated a non-read/update op")
+		}
+	}
+	if reads < 4500 || reads > 5500 {
+		t.Fatalf("A: reads = %d of %d", reads, draws)
+	}
+	if reads+updates != draws {
+		t.Fatal("mix accounting")
+	}
+}
+
+func TestGeneratorScanLens(t *testing.T) {
+	g, err := NewGenerator(E(), 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawScan := false
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan {
+			sawScan = true
+			if op.ScanLen < 1 || op.ScanLen > E().MaxScanLen {
+				t.Fatalf("scan len %d", op.ScanLen)
+			}
+		}
+	}
+	if !sawScan {
+		t.Fatal("workload E generated no scans")
+	}
+}
+
+func TestGeneratorInsertGrowsKeySpace(t *testing.T) {
+	g, err := NewGenerator(D(), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RecordInsert(101)
+	if g.Items() != 101 {
+		t.Fatalf("Items = %d", g.Items())
+	}
+	// Keys stay in range after growth.
+	for i := 0; i < 500; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert && op.Key >= g.Items() {
+			t.Fatalf("key %d >= items %d", op.Key, g.Items())
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(A(), 0, 1); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	bad := A()
+	bad.Distribution = Distribution(99)
+	if _, err := NewGenerator(bad, 10, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestGeneratorDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, err1 := NewGenerator(B(), 500, seed)
+		g2, err2 := NewGenerator(B(), 500, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			if g1.Next() != g2.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- integration with the pool ---
+
+func testCluster(t *testing.T) *server.Cluster {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 22
+	cfg.DRAMBufferBytes = 1 << 18
+	cfg.RingBytes = 1 << 24
+	cfg.Hotness.DigestEvery = 64
+	cfg.Hotness.PlanEvery = 100 * time.Microsecond
+	c, err := server.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestLoadAndTableAccessors(t *testing.T) {
+	c := testCluster(t)
+	cl, err := core.Connect(c, "loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	table, err := Load(cl, 50, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 50 || table.RecordSize() != 256 {
+		t.Fatalf("table: %d x %d", table.Len(), table.RecordSize())
+	}
+	if _, ok := table.Addr(49); !ok {
+		t.Fatal("last record missing")
+	}
+	if _, ok := table.Addr(50); ok {
+		t.Fatal("phantom record")
+	}
+	if _, ok := table.Addr(-1); ok {
+		t.Fatal("negative key accepted")
+	}
+	if _, err := Load(cl, 0, 256); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	c := testCluster(t)
+	loader, err := core.Connect(c, "loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loader.Close()
+	for _, w := range Core() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			w.RecordSize = 256
+			table, err := Load(loader, 100, w.RecordSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var clients []*core.Client
+			for i := 0; i < 2; i++ {
+				cl, err := core.Connect(c, "w"+w.Name+string(rune('a'+i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				clients = append(clients, cl)
+			}
+			res, err := Run(clients, table, w, 200, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 400 {
+				t.Fatalf("ops = %d, want 400", res.Ops)
+			}
+			if res.Throughput <= 0 || res.SimDuration <= 0 {
+				t.Fatalf("throughput %f over %v", res.Throughput, res.SimDuration)
+			}
+			if len(res.PerKind) == 0 {
+				t.Fatal("no per-kind latency recorded")
+			}
+			for k, s := range res.PerKind {
+				if s.Mean <= 0 {
+					t.Fatalf("%v mean latency %v", k, s.Mean)
+				}
+			}
+		})
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, &Table{}, A(), 10, 1); err == nil {
+		t.Fatal("no clients accepted")
+	}
+}

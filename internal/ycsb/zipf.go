@@ -1,0 +1,141 @@
+// Package ycsb implements the YCSB core workloads (A–F) against the
+// Gengar pool: key-distribution generators (zipfian, scrambled zipfian,
+// latest, uniform), the standard operation mixes, and a closed-loop
+// multi-client runner that reports simulated throughput and latency.
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws keys in [0, Items) with the YCSB zipfian distribution
+// (Gray et al.): key 0 most popular. It supports growing the item count
+// (needed by the latest distribution) with incremental zeta updates.
+// Not safe for concurrent use; give each actor its own generator.
+type Zipfian struct {
+	rng   *rand.Rand
+	items int64
+	theta float64
+
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+// NewZipfian returns a generator over [0, items) with skew theta
+// (0 < theta < 1; YCSB default 0.99).
+func NewZipfian(rng *rand.Rand, items int64, theta float64) *Zipfian {
+	z := &Zipfian{rng: rng, items: items, theta: theta}
+	z.zeta2 = zetaStatic(0, 2, theta, 0)
+	z.zetan = zetaStatic(0, items, theta, 0)
+	z.recompute()
+	return z
+}
+
+func zetaStatic(st, n int64, theta, initial float64) float64 {
+	sum := initial
+	for i := st; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+func (z *Zipfian) recompute() {
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// Grow extends the key space to items, updating zeta incrementally.
+func (z *Zipfian) Grow(items int64) {
+	if items <= z.items {
+		return
+	}
+	z.zetan = zetaStatic(z.items, items, z.theta, z.zetan)
+	z.items = items
+	z.recompute()
+}
+
+// Items returns the current key-space size.
+func (z *Zipfian) Items() int64 { return z.items }
+
+// Next draws the next key.
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads zipfian popularity across the key space by
+// hashing, as YCSB does, so hot keys are not physically adjacent.
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items int64
+}
+
+// NewScrambledZipfian returns a scrambled generator over [0, items).
+func NewScrambledZipfian(rng *rand.Rand, items int64, theta float64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(rng, items, theta), items: items}
+}
+
+// Next draws the next key.
+func (s *ScrambledZipfian) Next() int64 {
+	h := fnv.New64a()
+	v := s.z.Next()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return int64(h.Sum64() % uint64(s.items)) //nolint:gosec // distribution, not crypto
+}
+
+// Latest favors recently-inserted keys: key N-1 is the most popular, as
+// in YCSB workload D.
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a latest-distribution generator over [0, items).
+func NewLatest(rng *rand.Rand, items int64, theta float64) *Latest {
+	return &Latest{z: NewZipfian(rng, items, theta)}
+}
+
+// Grow extends the key space after an insert.
+func (l *Latest) Grow(items int64) { l.z.Grow(items) }
+
+// Next draws the next key.
+func (l *Latest) Next() int64 {
+	k := l.z.Items() - 1 - l.z.Next()
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Uniform draws keys uniformly from [0, items).
+type Uniform struct {
+	rng   *rand.Rand
+	items int64
+}
+
+// NewUniform returns a uniform generator over [0, items).
+func NewUniform(rng *rand.Rand, items int64) *Uniform {
+	return &Uniform{rng: rng, items: items}
+}
+
+// Grow extends the key space.
+func (u *Uniform) Grow(items int64) {
+	if items > u.items {
+		u.items = items
+	}
+}
+
+// Next draws the next key.
+func (u *Uniform) Next() int64 { return u.rng.Int63n(u.items) }

@@ -1,0 +1,145 @@
+package gengar_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gengar"
+	"gengar/internal/trace"
+)
+
+// TestVariantsFunctionallyEquivalent replays one deterministic workload
+// against every system variant and checks that the *functional* outcome
+// — the final bytes of every live object — is identical. The variants
+// (full Gengar, each ablation, the NVM-direct baseline) may differ only
+// in timing; any divergence in data is a consistency bug in a mechanism
+// (cache coherence, proxy ordering, write-through).
+func TestVariantsFunctionallyEquivalent(t *testing.T) {
+	ops := trace.Synthesize(2026, 24, 512, 400, 0.6, 0.25)
+
+	// Live objects at the end of the trace, in a stable order.
+	live := map[int64]int64{}
+	for _, op := range ops {
+		switch op.Kind {
+		case trace.OpMalloc:
+			live[op.Obj] = op.Len
+		case trace.OpFree:
+			delete(live, op.Obj)
+		}
+	}
+	var order []int64
+	for obj := int64(0); obj < 64; obj++ {
+		if _, ok := live[obj]; ok {
+			order = append(order, obj)
+		}
+	}
+	if len(order) == 0 {
+		t.Fatal("degenerate trace: nothing lives")
+	}
+
+	variants := []struct {
+		name   string
+		mutate func(*gengar.Config)
+	}{
+		{"gengar", func(*gengar.Config) {}},
+		{"no-cache", func(c *gengar.Config) { c.Features.Cache = false }},
+		{"no-proxy", func(c *gengar.Config) { c.Features.Proxy = false }},
+		{"nvm-direct", func(c *gengar.Config) { c.Features = gengar.Features{} }},
+	}
+
+	var reference [][]byte
+	for _, v := range variants {
+		cfg := gengar.DefaultConfig()
+		cfg.Servers = 2
+		cfg.NVMBytes = 1 << 21
+		cfg.DRAMBufferBytes = 1 << 14 // tiny: force churn and fallback paths
+		cfg.Hotness.DigestEvery = 32
+		v.mutate(&cfg)
+		finals, err := replayAndCapture(cfg, ops, order, live)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if reference == nil {
+			reference = finals
+			continue
+		}
+		for i := range finals {
+			if !bytes.Equal(finals[i], reference[i]) {
+				t.Fatalf("variant %s diverged from gengar on object %d", v.name, order[i])
+			}
+		}
+	}
+}
+
+// replayAndCapture executes the trace on a fresh pool built from cfg —
+// writing deterministic, op-derived content so every variant stores
+// identical bytes — and returns the final contents of the objects in
+// order.
+func replayAndCapture(cfg gengar.Config, ops []trace.Op, order []int64, live map[int64]int64) ([][]byte, error) {
+	pool, err := gengar.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	client, err := pool.NewClient("replayer")
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	addrs := make(map[int64]gengar.GAddr)
+	for i, op := range ops {
+		switch op.Kind {
+		case trace.OpMalloc:
+			a, err := client.Malloc(op.Len)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			addrs[op.Obj] = a
+		case trace.OpFree:
+			if err := client.Free(addrs[op.Obj]); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpRead:
+			buf := make([]byte, op.Len)
+			if err := client.Read(addrs[op.Obj].Add(op.Off), buf); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpWrite:
+			data := make([]byte, op.Len)
+			for j := range data {
+				data[j] = byte(int64(i) + op.Obj + op.Off + int64(j))
+			}
+			if err := client.Write(addrs[op.Obj].Add(op.Off), data); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpLockX:
+			if err := client.LockExclusive(addrs[op.Obj]); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpUnlockX:
+			if err := client.UnlockExclusive(addrs[op.Obj]); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpLockS:
+			if err := client.LockShared(addrs[op.Obj]); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case trace.OpUnlockS:
+			if err := client.UnlockShared(addrs[op.Obj]); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+	}
+
+	finals := make([][]byte, 0, len(order))
+	for _, obj := range order {
+		buf := make([]byte, live[obj])
+		if err := client.Read(addrs[obj], buf); err != nil {
+			return nil, err
+		}
+		finals = append(finals, buf)
+	}
+	return finals, nil
+}
