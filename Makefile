@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench quick tidy clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Fast full-evaluation pass; writes CSVs + telemetry snapshots.
+quick:
+	$(GO) run ./cmd/gengar-bench -quick -outdir out
+
+tidy:
+	$(GO) mod tidy
+	gofmt -w .
+
+clean:
+	rm -rf out

@@ -71,6 +71,16 @@ func run() error {
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				return fmt.Errorf("%s: write %s: %w", id, path, err)
 			}
+			if t.Telemetry != nil {
+				tpath := filepath.Join(*outdir, strings.ToLower(id)+".telemetry.json")
+				var b strings.Builder
+				if err := t.Telemetry.WriteJSON(&b); err != nil {
+					return fmt.Errorf("%s: encode telemetry: %w", id, err)
+				}
+				if err := os.WriteFile(tpath, []byte(b.String()), 0o644); err != nil {
+					return fmt.Errorf("%s: write %s: %w", id, tpath, err)
+				}
+			}
 		}
 		return nil
 	}

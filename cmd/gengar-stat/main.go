@@ -1,0 +1,156 @@
+// Command gengar-stat is a live status display for a gengard daemon's
+// debug endpoint (gengard -debug-addr): it polls /metrics.json and
+// renders the counters, gauges and latency digests as a compact table.
+//
+// Usage:
+//
+//	gengar-stat -addr localhost:8081              # refresh every 2s
+//	gengar-stat -addr localhost:8081 -once        # one snapshot and exit
+//	gengar-stat -addr localhost:8081 -filter tcp  # only gengar_tcp_* rows
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"gengar/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengar-stat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "localhost:8081", "debug endpoint address (host:port or full URL)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+		filter   = flag.String("filter", "", "only show metrics whose name contains this substring")
+	)
+	flag.Parse()
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/metrics.json"
+
+	var prev telemetry.Snapshot
+	var prevAt time.Time
+	for {
+		snap, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		if !*once {
+			fmt.Print("\033[H\033[2J") // clear screen between refreshes
+		}
+		render(os.Stdout, snap, prev, now.Sub(prevAt), *filter)
+		if *once {
+			return nil
+		}
+		prev, prevAt = snap, now
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(url string) (telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return s, json.NewDecoder(resp.Body).Decode(&s)
+}
+
+// render prints counters (with a per-second rate once a previous
+// snapshot exists), gauges and histogram digests.
+func render(w *os.File, snap, prev telemetry.Snapshot, elapsed time.Duration, filter string) {
+	rate := func(name string, labels map[string]string, v int64) string {
+		if elapsed <= 0 || prev.Counters == nil {
+			return ""
+		}
+		for _, p := range prev.Counters {
+			if p.Name == name && sameLabels(p.Labels, labels) {
+				return fmt.Sprintf("%.1f/s", float64(v-p.Value)/elapsed.Seconds())
+			}
+		}
+		return ""
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "METRIC\tLABELS\tVALUE\tRATE")
+	for _, c := range snap.Counters {
+		if !strings.Contains(c.Name, filter) {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", c.Name, labelString(c.Labels), c.Value, rate(c.Name, c.Labels, c.Value))
+	}
+	for _, g := range snap.Gauges {
+		if !strings.Contains(g.Name, filter) {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t\n", g.Name, labelString(g.Labels), g.Value)
+	}
+	tw.Flush()
+
+	shown := false
+	for _, h := range snap.Histograms {
+		if !strings.Contains(h.Name, filter) || h.Count == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Fprintln(w)
+			fmt.Fprintln(tw, "LATENCY\tLABELS\tCOUNT\tP50\tP95\tP99\tMAX")
+			shown = true
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			h.Name, labelString(h.Labels), h.Count,
+			time.Duration(h.P50Nanos), time.Duration(h.P95Nanos),
+			time.Duration(h.P99Nanos), time.Duration(h.MaxNanos))
+	}
+	tw.Flush()
+}
+
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func sameLabels(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gengar/internal/tcpnet"
+	"gengar/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func run() error {
 		lease     = flag.Duration("lease", 5*time.Second, "default lock lease")
 		lockWait  = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
 		dataFile  = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/events on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +71,20 @@ func run() error {
 	}
 	log.Printf("gengard: server %d exporting %d MiB on %s", *id, *poolBytes>>20, lis.Addr())
 
+	if *debugAddr != "" {
+		dlis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("gengard: debug endpoints on http://%s/{metrics,metrics.json,healthz,debug/events}", dlis.Addr())
+		go func() {
+			if err := http.Serve(dlis, telemetry.Handler(srv.Telemetry(), srv.Recorder())); err != nil {
+				log.Printf("gengard: debug server: %v", err)
+			}
+		}()
+	}
+
+	start := time.Now()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -78,6 +95,7 @@ func run() error {
 	if err := srv.Serve(lis); err != nil {
 		return err
 	}
+	logFinalStats(srv, time.Since(start))
 	if *dataFile != "" {
 		if err := srv.WriteSnapshot(*dataFile); err != nil {
 			return fmt.Errorf("snapshot %s: %w", *dataFile, err)
@@ -85,4 +103,19 @@ func run() error {
 		log.Printf("gengard: pool snapshotted to %s", *dataFile)
 	}
 	return nil
+}
+
+// logFinalStats summarizes the daemon's lifetime activity from its
+// telemetry snapshot as it exits.
+func logFinalStats(srv *tcpnet.PoolServer, uptime time.Duration) {
+	s := srv.Telemetry().Snapshot()
+	log.Printf("gengard: final stats: uptime=%s ops=%d rx_bytes=%d tx_bytes=%d failures=%d objects=%d pool_used=%d events=%d",
+		uptime.Round(time.Millisecond),
+		s.Sum("gengar_tcp_ops_total"),
+		s.Sum("gengar_tcp_rx_bytes_total"),
+		s.Sum("gengar_tcp_tx_bytes_total"),
+		s.Sum("gengar_tcp_failures_total"),
+		s.Sum("gengar_tcp_objects"),
+		s.Sum("gengar_tcp_pool_used_bytes"),
+		srv.Recorder().Total())
 }

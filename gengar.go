@@ -47,6 +47,7 @@ import (
 	"gengar/internal/core"
 	"gengar/internal/region"
 	"gengar/internal/server"
+	"gengar/internal/telemetry"
 )
 
 // Config describes a pool deployment: cluster shape, device and network
@@ -138,6 +139,18 @@ func (p *Pool) Settle() error {
 	}
 	return nil
 }
+
+// Telemetry returns the pool's metrics registry: every component —
+// fabric verb mix, server promotion activity, proxy flushers, per-client
+// op counters and latency histograms — registers its live instruments
+// here. Snapshot it for a point-in-time view, or serve it over HTTP with
+// telemetry.Handler.
+func (p *Pool) Telemetry() *telemetry.Registry { return p.cluster.Telemetry() }
+
+// FlightRecorder returns the pool's ring of recent operation events
+// (reads, writes, mallocs, frees with their serving path and simulated
+// latency), dumpable as JSONL.
+func (p *Pool) FlightRecorder() *telemetry.FlightRecorder { return p.cluster.Recorder() }
 
 // Cluster exposes the underlying cluster for the in-repo benchmark
 // harness; applications should not need it.

@@ -40,7 +40,7 @@ type ClientCache struct {
 
 	mu    sync.Mutex
 	used  int64
-	lru   *list.List               // front = most recent; values are *ccEntry
+	lru   *list.List // front = most recent; values are *ccEntry
 	items map[region.GAddr]*ccEntry
 
 	hits        metrics.Counter

@@ -8,6 +8,7 @@ import (
 	"gengar/internal/config"
 	"gengar/internal/core"
 	"gengar/internal/server"
+	"gengar/internal/telemetry"
 	"gengar/internal/ycsb"
 )
 
@@ -131,30 +132,33 @@ func systems(s Scale) []sys {
 }
 
 // ycsbRun loads a table and runs one workload on a fresh cluster built
-// from cfg, returning the result and the final server stats.
-func ycsbRun(cfg config.Cluster, w ycsb.Workload, s Scale, clients int, seed int64) (ycsb.Result, []server.Stats, error) {
+// from cfg, returning the result, the final server stats, and a
+// telemetry snapshot of the whole deployment taken at the end of the
+// measured run.
+func ycsbRun(cfg config.Cluster, w ycsb.Workload, s Scale, clients int, seed int64) (ycsb.Result, []server.Stats, telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
 	cl, err := server.NewCluster(cfg)
 	if err != nil {
-		return ycsb.Result{}, nil, err
+		return ycsb.Result{}, nil, snap, err
 	}
 	defer cl.Close()
 
 	loader, err := core.Connect(cl, "loader")
 	if err != nil {
-		return ycsb.Result{}, nil, err
+		return ycsb.Result{}, nil, snap, err
 	}
 	defer loader.Close()
 	w.RecordSize = s.RecordSize
 	table, err := ycsb.Load(loader, s.Records, w.RecordSize)
 	if err != nil {
-		return ycsb.Result{}, nil, err
+		return ycsb.Result{}, nil, snap, err
 	}
 
 	var cs []*core.Client
 	for i := 0; i < clients; i++ {
 		cc, err := core.Connect(cl, fmt.Sprintf("c%d", i))
 		if err != nil {
-			return ycsb.Result{}, nil, err
+			return ycsb.Result{}, nil, snap, err
 		}
 		defer cc.Close()
 		cs = append(cs, cc)
@@ -164,28 +168,31 @@ func ycsbRun(cfg config.Cluster, w ycsb.Workload, s Scale, clients int, seed int
 	// measurement, as the paper's steady-state numbers assume; then
 	// quiesce the flushers and give every client a current remap view.
 	if _, err := ycsb.Run(cs, table, w, s.OpsPerClient/3+1, seed+7777); err != nil {
-		return ycsb.Result{}, nil, err
+		return ycsb.Result{}, nil, snap, err
 	}
 	for pass := 0; pass < 2; pass++ {
 		for _, srv := range cl.Registry().Servers() {
 			if err := srv.Engine().Barrier(); err != nil {
-				return ycsb.Result{}, nil, err
+				return ycsb.Result{}, nil, snap, err
 			}
 		}
 		for _, cc := range cs {
 			if err := cc.SyncAllViews(); err != nil {
-				return ycsb.Result{}, nil, err
+				return ycsb.Result{}, nil, snap, err
 			}
 		}
 	}
+	// Measure only the steady-state run: warm-up traffic would otherwise
+	// dominate the snapshot's counters.
+	cl.Telemetry().Reset()
 
 	res, err := ycsb.Run(cs, table, w, s.OpsPerClient, seed)
 	if err != nil {
-		return ycsb.Result{}, nil, err
+		return ycsb.Result{}, nil, snap, err
 	}
 	var stats []server.Stats
 	for _, srv := range cl.Registry().Servers() {
 		stats = append(stats, srv.Stats())
 	}
-	return res, stats, nil
+	return res, stats, cl.Telemetry().Snapshot(), nil
 }

@@ -37,11 +37,12 @@ func E14NVMSensitivity(s Scale) (*Table, error) {
 		direct.Features = featuresOff()
 
 		w := ycsb.A()
-		g, _, err := ycsbRun(gengar, w, s, s.Clients, 47)
+		g, _, snap, err := ycsbRun(gengar, w, s, s.Clients, 47)
 		if err != nil {
 			return nil, fmt.Errorf("E14 gengar lat=%v: %w", p.readLat, err)
 		}
-		d, _, err := ycsbRun(direct, w, s, s.Clients, 47)
+		t.Telemetry = &snap
+		d, _, _, err := ycsbRun(direct, w, s, s.Clients, 47)
 		if err != nil {
 			return nil, fmt.Errorf("E14 direct lat=%v: %w", p.readLat, err)
 		}

@@ -218,8 +218,8 @@ func TestShapeE13CachePlacementCrossover(t *testing.T) {
 
 func TestShapeE14AsymmetryDrivesValue(t *testing.T) {
 	tb := mustRun(t, "E14")
-	first := cell(t, tb, 0, 4)                // fastest NVM
-	last := cell(t, tb, len(tb.Rows)-1, 4)    // slowest NVM
+	first := cell(t, tb, 0, 4)             // fastest NVM
+	last := cell(t, tb, len(tb.Rows)-1, 4) // slowest NVM
 	if last <= first {
 		t.Errorf("improvement did not grow with NVM degradation: %.1f%% -> %.1f%%", first, last)
 	}

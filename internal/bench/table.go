@@ -8,16 +8,22 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"gengar/internal/telemetry"
 )
 
 // Table is one experiment's output: a titled grid of cells plus
 // free-form notes (the "shape" assertions EXPERIMENTS.md records).
+// Telemetry, when set, is the deployment-wide metrics snapshot from the
+// experiment's headline (full-Gengar) run, written alongside the CSV by
+// cmd/gengar-bench.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID        string
+	Title     string
+	Columns   []string
+	Rows      [][]string
+	Notes     []string
+	Telemetry *telemetry.Snapshot
 }
 
 // AddRow appends a row; it must match the column count.

@@ -24,13 +24,14 @@ func E03SkewRead(s Scale) (*Table, error) {
 		row := []string{fmt.Sprintf("%.2f", theta)}
 		var hit float64
 		for _, sy := range systems(s) {
-			res, _, err := ycsbRun(sy.cfg, w, s, s.Clients, 11)
+			res, _, snap, err := ycsbRun(sy.cfg, w, s, s.Clients, 11)
 			if err != nil {
 				return nil, fmt.Errorf("E3 %s theta=%.2f: %w", sy.name, theta, err)
 			}
 			row = append(row, us(res.PerKind[ycsb.OpRead].Mean))
 			if sy.name == "Gengar" {
 				hit = res.HitRate
+				t.Telemetry = &snap
 			}
 		}
 		row = append(row, pct(hit))
@@ -56,7 +57,7 @@ func E04ProxyWrite(s Scale) (*Table, error) {
 		row := []string{strconv.Itoa(size)}
 		var p99 time.Duration
 		for _, sy := range systems(sz) {
-			res, _, err := ycsbRun(sy.cfg, w, sz, 1, 13)
+			res, _, snap, err := ycsbRun(sy.cfg, w, sz, 1, 13)
 			if err != nil {
 				return nil, fmt.Errorf("E4 %s size=%d: %w", sy.name, size, err)
 			}
@@ -64,6 +65,7 @@ func E04ProxyWrite(s Scale) (*Table, error) {
 			row = append(row, us(sum.Mean))
 			if sy.name == "Gengar" {
 				p99 = sum.P99
+				t.Telemetry = &snap
 			}
 		}
 		row = append(row, us(p99))
@@ -84,11 +86,12 @@ func E05ClientScale(s Scale) (*Table, error) {
 	sys := systems(s)
 	for _, n := range clientSweep(s) {
 		w := ycsb.B()
-		g, _, err := ycsbRun(sys[0].cfg, w, s, n, 17)
+		g, _, snap, err := ycsbRun(sys[0].cfg, w, s, n, 17)
 		if err != nil {
 			return nil, fmt.Errorf("E5 gengar n=%d: %w", n, err)
 		}
-		d, _, err := ycsbRun(sys[1].cfg, w, s, n, 17)
+		t.Telemetry = &snap
+		d, _, _, err := ycsbRun(sys[1].cfg, w, s, n, 17)
 		if err != nil {
 			return nil, fmt.Errorf("E5 direct n=%d: %w", n, err)
 		}
@@ -112,11 +115,12 @@ func E06WriteScale(s Scale) (*Table, error) {
 		Distribution: ycsb.DistUniform, RecordSize: s.RecordSize}
 	sys := systems(s)
 	for _, n := range clientSweep(s) {
-		g, _, err := ycsbRun(sys[0].cfg, w, s, n, 19)
+		g, _, snap, err := ycsbRun(sys[0].cfg, w, s, n, 19)
 		if err != nil {
 			return nil, fmt.Errorf("E6 gengar n=%d: %w", n, err)
 		}
-		d, _, err := ycsbRun(sys[1].cfg, w, s, n, 19)
+		t.Telemetry = &snap
+		d, _, _, err := ycsbRun(sys[1].cfg, w, s, n, 19)
 		if err != nil {
 			return nil, fmt.Errorf("E6 direct n=%d: %w", n, err)
 		}
@@ -140,7 +144,7 @@ func E07YCSB(s Scale) (*Table, error) {
 		row := []string{w.Name}
 		var g, d float64
 		for _, sy := range systems(s) {
-			res, _, err := ycsbRun(sy.cfg, w, s, s.Clients, 23)
+			res, _, snap, err := ycsbRun(sy.cfg, w, s, s.Clients, 23)
 			if err != nil {
 				return nil, fmt.Errorf("E7 %s/%s: %w", w.Name, sy.name, err)
 			}
@@ -148,6 +152,7 @@ func E07YCSB(s Scale) (*Table, error) {
 			switch sy.name {
 			case "Gengar":
 				g = res.Throughput
+				t.Telemetry = &snap
 			case "NVM-Direct":
 				d = res.Throughput
 			}
@@ -173,10 +178,11 @@ func E08BufferSize(s Scale) (*Table, error) {
 	}
 	for _, frac := range []float64{0.02, 0.05, 0.125, 0.25, 0.5} {
 		cfg := baseConfig(s, frac)
-		res, _, err := ycsbRun(cfg, ycsb.C(), s, s.Clients, 29)
+		res, _, snap, err := ycsbRun(cfg, ycsb.C(), s, s.Clients, 29)
 		if err != nil {
 			return nil, fmt.Errorf("E8 frac=%.2f: %w", frac, err)
 		}
+		t.Telemetry = &snap
 		t.AddRow(fmt.Sprintf("%.3f", frac), pct(res.HitRate),
 			kops(res.Throughput), us(res.PerKind[ycsb.OpRead].Mean))
 	}
@@ -204,10 +210,11 @@ func E09Hotness(s Scale) (*Table, error) {
 		cfg := baseConfig(s, 0.125)
 		cfg.Hotness.DigestEvery = p.every
 		cfg.Hotness.SketchK = p.k
-		res, stats, err := ycsbRun(cfg, ycsb.C(), s, s.Clients, 31)
+		res, stats, snap, err := ycsbRun(cfg, ycsb.C(), s, s.Clients, 31)
 		if err != nil {
 			return nil, fmt.Errorf("E9 every=%d k=%d: %w", p.every, p.k, err)
 		}
+		t.Telemetry = &snap
 		var digests int64
 		for _, st := range stats {
 			digests += st.Digests
@@ -239,9 +246,12 @@ func E12Ablation(s Scale) (*Table, error) {
 	for _, v := range variants {
 		cfg := baseConfig(s, 0.125)
 		cfg.Features = v.f
-		res, _, err := ycsbRun(cfg, ycsb.A(), s, s.Clients, 37)
+		res, _, snap, err := ycsbRun(cfg, ycsb.A(), s, s.Clients, 37)
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", v.name, err)
+		}
+		if v.name == "Gengar" {
+			t.Telemetry = &snap
 		}
 		t.AddRow(v.name, kops(res.Throughput), pct(res.HitRate),
 			us(res.PerKind[ycsb.OpRead].Mean), us(res.PerKind[ycsb.OpUpdate].Mean))

@@ -174,11 +174,11 @@ func TestClientViewLookupContainment(t *testing.T) {
 		base region.GAddr
 	}{
 		{ga(128), 128, true, ga(128)}, // exact
-		{ga(160), 32, true, ga(128)}, // interior range
-		{ga(255), 1, true, ga(128)},  // last byte
-		{ga(255), 2, false, 0},       // crosses object end
-		{ga(127), 1, false, 0},       // before first object
-		{ga(64), 4, false, 0},        // below all bases
+		{ga(160), 32, true, ga(128)},  // interior range
+		{ga(255), 1, true, ga(128)},   // last byte
+		{ga(255), 2, false, 0},        // crosses object end
+		{ga(127), 1, false, 0},        // before first object
+		{ga(64), 4, false, 0},         // below all bases
 		{ga(512), 64, true, ga(512)},
 		{ga(600), 4, false, 0}, // past second object
 		{ga(300), 8, false, 0}, // gap between objects

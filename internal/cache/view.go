@@ -4,7 +4,9 @@ import (
 	"sort"
 	"sync"
 
+	"gengar/internal/metrics"
 	"gengar/internal/region"
+	"gengar/internal/telemetry"
 )
 
 // ClientView is a client's cached copy of one home server's remap table.
@@ -17,6 +19,29 @@ type ClientView struct {
 	epoch   uint64
 	bases   []region.GAddr // sorted object bases
 	entries map[region.GAddr]Location
+
+	lookups   metrics.Counter
+	redirects metrics.Counter // lookups that hit a promoted object
+}
+
+// Lookups returns how many Lookup calls the view has served.
+func (v *ClientView) Lookups() int64 { return v.lookups.Load() }
+
+// Redirects returns how many lookups resolved to a promoted DRAM copy.
+func (v *ClientView) Redirects() int64 { return v.redirects.Load() }
+
+// RegisterTelemetry exposes the view's lookup counters and state in reg
+// under the gengar_view_* names with the given labels (typically the
+// owning client and home server).
+func (v *ClientView) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterCounter("gengar_view_lookups_total", "remap-view lookups served", &v.lookups, labels...)
+	reg.RegisterCounter("gengar_view_redirects_total", "lookups redirected to a DRAM copy", &v.redirects, labels...)
+	reg.GaugeFunc("gengar_view_entries", "promoted objects in the cached remap view", func() int64 {
+		return int64(v.Len())
+	}, labels...)
+	reg.GaugeFunc("gengar_view_epoch", "epoch of the cached remap view", func() int64 {
+		return int64(v.Epoch())
+	}, labels...)
 }
 
 // NewClientView returns an empty view at epoch zero.
@@ -58,6 +83,7 @@ func (v *ClientView) Replace(epoch uint64, entries map[region.GAddr]Location) {
 // promoted object contains it. It returns the copy's location, the
 // object's base address, and whether the redirect applies.
 func (v *ClientView) Lookup(addr region.GAddr, size int64) (Location, region.GAddr, bool) {
+	v.lookups.Inc()
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	if len(v.bases) == 0 || size < 0 {
@@ -74,6 +100,7 @@ func (v *ClientView) Lookup(addr region.GAddr, size int64) (Location, region.GAd
 	if !span.Contains(addr, size) {
 		return Location{}, region.NilGAddr, false
 	}
+	v.redirects.Inc()
 	return loc, base, true
 }
 

@@ -28,6 +28,7 @@ import (
 	"gengar/internal/rpc"
 	"gengar/internal/server"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
 )
 
 // Errors returned by client operations.
@@ -44,12 +45,12 @@ var (
 
 // serverConn is the client's session with one home server.
 type serverConn struct {
-	srv    *server.Server
-	ctl    *rpc.Client
-	qp     *rdma.QP
-	locks  *lock.Client
-	writer *proxy.Writer
-	view   *cache.ClientView
+	srv      *server.Server
+	ctl      *rpc.Client
+	qp       *rdma.QP
+	locks    *lock.Client
+	writer   *proxy.Writer
+	view     *cache.ClientView
 	nvm      rdma.RegionHandle
 	rec      *hotness.Recorder
 	ringBase int64
@@ -74,6 +75,10 @@ type Client struct {
 	nodeQPs map[string]*rdma.QP
 	rr      int
 	closed  bool
+
+	// flight is the cluster's shared operation recorder; every data-path
+	// op appends one structured event.
+	flight *telemetry.FlightRecorder
 
 	readLat  metrics.Histogram
 	writeLat metrics.Histogram
@@ -102,9 +107,11 @@ func Connect(c *server.Cluster, name string) (*Client, error) {
 		hot:     cfg.Hotness,
 		maxStg:  cfg.MaxProxiedWrite(),
 		poolNVM: cfg.PoolMedia.Kind == hmem.KindNVM,
+		flight:  c.Recorder(),
 		conns:   make(map[uint16]*serverConn),
 		nodeQPs: make(map[string]*rdma.QP),
 	}
+	cl.registerTelemetry(c.Telemetry())
 	for _, s := range c.Registry().Servers() {
 		conn, err := cl.openSession(s)
 		if err != nil {
@@ -114,6 +121,21 @@ func Connect(c *server.Cluster, name string) (*Client, error) {
 		cl.conns[s.ID()] = conn
 	}
 	return cl, nil
+}
+
+// registerTelemetry exposes the client's op counters and latency
+// histograms in the cluster registry under the gengar_client_* names,
+// labeled with the client's name. The registered instruments are the
+// same ones Stats reads, so both views always agree.
+func (c *Client) registerTelemetry(reg *telemetry.Registry) {
+	cl := telemetry.L("client", c.name)
+	reg.RegisterCounter("gengar_client_reads_total", "greads issued", &c.reads, cl)
+	reg.RegisterCounter("gengar_client_writes_total", "gwrites issued", &c.writes, cl)
+	reg.RegisterCounter("gengar_client_cache_hits_total", "reads served from a DRAM copy", &c.hits, cl)
+	reg.RegisterCounter("gengar_client_cache_misses_total", "reads served from home NVM", &c.misses, cl)
+	reg.RegisterCounter("gengar_client_stale_retries_total", "DRAM-copy reads retried on a stale generation", &c.staleGen, cl)
+	reg.RegisterHistogram("gengar_client_read_latency_seconds", "simulated gread latency", &c.readLat, cl)
+	reg.RegisterHistogram("gengar_client_write_latency_seconds", "simulated gwrite latency", &c.writeLat, cl)
 }
 
 func (c *Client) openSession(s *server.Server) (*serverConn, error) {
@@ -169,7 +191,7 @@ func (c *Client) openSession(s *server.Server) (*serverConn, error) {
 			return nil, err
 		}
 	}
-	return &serverConn{
+	conn := &serverConn{
 		srv:      s,
 		ctl:      ctl,
 		qp:       qp,
@@ -179,7 +201,22 @@ func (c *Client) openSession(s *server.Server) (*serverConn, error) {
 		nvm:      rdma.RegionHandle{Node: s.Node().ID(), RKey: nvmRKey},
 		rec:      hotness.NewRecorder(),
 		ringBase: ringBase,
-	}, nil
+	}
+
+	// Per-session instruments, labeled (client, home server).
+	reg := c.cluster.Telemetry()
+	labels := []telemetry.Label{
+		telemetry.L("client", c.name),
+		telemetry.L("server", fmt.Sprintf("%d", s.ID())),
+	}
+	conn.locks.RegisterTelemetry(reg, labels...)
+	conn.view.RegisterTelemetry(reg, labels...)
+	if conn.writer != nil {
+		w := conn.writer
+		reg.GaugeFunc("gengar_client_ring_occupancy_high_water",
+			"most staging-ring slots ever simultaneously in use", w.OccupancyHighWater, labels...)
+	}
+	return conn, nil
 }
 
 // qpToNode returns (creating on demand) a connected queue pair to the

@@ -135,7 +135,7 @@ func (c *Client) ReadOptimistic(addr region.GAddr, buf []byte) error {
 		if v1%2 == 1 {
 			continue // writer in progress
 		}
-		if c.now, err = c.readAt(conn, c.now, addr, buf); err != nil {
+		if c.now, _, err = c.readAt(conn, c.now, addr, buf); err != nil {
 			return err
 		}
 		v2, end, err := conn.locks.ReadVersion(c.now, addr)

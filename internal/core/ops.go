@@ -10,6 +10,15 @@ import (
 	"gengar/internal/rpc"
 	"gengar/internal/server"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
+)
+
+// Flight-recorder path labels: how an op was served.
+const (
+	pathDRAMCopy  = "dram_copy"  // read redirected to a promoted DRAM copy
+	pathNVM       = "nvm"        // read from the home NVM pool
+	pathProxyRing = "proxy_ring" // write staged into the DRAM ring
+	pathNVMDirect = "nvm_direct" // write straight to NVM (proxy off)
 )
 
 // Malloc allocates size bytes in the pool, choosing home servers
@@ -55,6 +64,10 @@ func (c *Client) mallocOn(serverID uint16, size int64) (region.GAddr, error) {
 		return region.NilGAddr, err
 	}
 	c.now = simnet.MaxTime(c.now, end)
+	c.flight.Record(telemetry.Event{
+		TimeNanos: int64(c.now), Client: c.name, Op: "malloc",
+		Addr: uint64(addr), Len: int(size),
+	})
 	return addr, nil
 }
 
@@ -82,6 +95,9 @@ func (c *Client) Free(addr region.GAddr) error {
 		return err
 	}
 	c.now = simnet.MaxTime(c.now, end)
+	c.flight.Record(telemetry.Event{
+		TimeNanos: int64(c.now), Client: c.name, Op: "free", Addr: uint64(addr),
+	})
 	return nil
 }
 
@@ -100,20 +116,26 @@ func (c *Client) Read(addr region.GAddr, buf []byte) error {
 		return err
 	}
 	start := c.now
-	end, err := c.readAt(conn, start, addr, buf)
+	end, path, err := c.readAt(conn, start, addr, buf)
 	if err != nil {
 		return err
 	}
 	c.now = end
 	c.reads.Inc()
 	c.readLat.Record(end.Sub(start))
+	c.flight.Record(telemetry.Event{
+		TimeNanos: int64(end), Client: c.name, Op: "read",
+		Addr: uint64(addr), Len: len(buf), Path: path,
+		Hit: path == pathDRAMCopy, LatNanos: int64(end.Sub(start)),
+	})
 	conn.rec.RecordRead(addr)
 	c.afterAccess(conn)
 	return nil
 }
 
-// readAt performs the redirected read at the given simulated instant.
-func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, error) {
+// readAt performs the redirected read at the given simulated instant,
+// reporting which path served it.
+func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, string, error) {
 	var end simnet.Time
 	served := false
 
@@ -128,18 +150,20 @@ func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf
 			}
 		}
 	}
+	path := pathDRAMCopy
 	if !served {
 		var err error
 		end, err = conn.qp.Read(at, buf, rdma.RemoteAddr{Region: conn.nvm, Offset: addr.Offset()})
 		if err != nil {
-			return at, fmt.Errorf("core: read %v: %w", addr, err)
+			return at, pathNVM, fmt.Errorf("core: read %v: %w", addr, err)
 		}
 		c.misses.Inc()
+		path = pathNVM
 	}
 	if conn.writer != nil {
 		conn.writer.ApplyPending(addr, buf)
 	}
-	return end, nil
+	return end, path, nil
 }
 
 // readCopy attempts to serve a read from a DRAM copy. It reads from the
@@ -186,8 +210,10 @@ func (c *Client) Write(addr region.GAddr, data []byte) error {
 	}
 	start := c.now
 	var end simnet.Time
+	path, ringDepth := pathNVMDirect, 0
 	if conn.writer != nil {
 		end, err = c.writeProxied(conn, start, addr, data)
+		path, ringDepth = pathProxyRing, conn.writer.PendingCount()
 	} else {
 		end, err = c.writeDirect(conn, start, addr, data)
 	}
@@ -197,6 +223,11 @@ func (c *Client) Write(addr region.GAddr, data []byte) error {
 	c.now = end
 	c.writes.Inc()
 	c.writeLat.Record(end.Sub(start))
+	c.flight.Record(telemetry.Event{
+		TimeNanos: int64(end), Client: c.name, Op: "write",
+		Addr: uint64(addr), Len: len(data), Path: path,
+		RingDepth: ringDepth, LatNanos: int64(end.Sub(start)),
+	})
 	conn.rec.RecordWrite(addr)
 	c.afterAccess(conn)
 	return nil
@@ -263,7 +294,7 @@ func (c *Client) afterAccess(conn *serverConn) {
 	if conn.accesses < c.hot.DigestEvery {
 		return
 	}
-	
+
 	conn.accesses = 0
 	c.digestExchange(conn, c.now)
 }

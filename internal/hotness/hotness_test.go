@@ -209,7 +209,7 @@ func TestPolicyPlanStable(t *testing.T) {
 
 func TestPolicyHysteresisProtectsIncumbent(t *testing.T) {
 	s := NewSpaceSaving(16)
-	s.Add(ga(0), 100) // incumbent
+	s.Add(ga(0), 100)  // incumbent
 	s.Add(ga(64), 110) // challenger, only 10% hotter
 	promoted := map[region.GAddr]bool{ga(0): true}
 	p := Policy{BudgetBytes: 64, MinWeight: 1, Hysteresis: 1.25}

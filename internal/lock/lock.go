@@ -27,9 +27,11 @@ import (
 	"runtime"
 
 	"gengar/internal/hmem"
+	"gengar/internal/metrics"
 	"gengar/internal/rdma"
 	"gengar/internal/region"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
 )
 
 // SlotBytes is the per-slot footprint in the lock table: an 8-byte lock
@@ -134,6 +136,29 @@ type Client struct {
 	owner   uint32
 	retries int
 	backoff simnet.Duration
+
+	// Contention telemetry: acquisitions counts successful exclusive and
+	// shared acquires; acqRetries counts failed attempts (CAS losses and
+	// shared back-outs) — retries per acquisition is the lock-contention
+	// signal the evaluation tracks.
+	acquisitions metrics.Counter
+	acqRetries   metrics.Counter
+}
+
+// Acquisitions returns how many exclusive and shared locks this client
+// has successfully acquired.
+func (c *Client) Acquisitions() int64 { return c.acquisitions.Load() }
+
+// Retries returns how many acquisition attempts failed and were retried
+// (CAS losses plus shared-lock back-outs).
+func (c *Client) Retries() int64 { return c.acqRetries.Load() }
+
+// RegisterTelemetry exposes the client's contention counters in reg
+// under the gengar_lock_* names with the given labels (typically the
+// owning client and home server).
+func (c *Client) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterCounter("gengar_lock_acquisitions_total", "locks acquired (exclusive and shared)", &c.acquisitions, labels...)
+	reg.RegisterCounter("gengar_lock_retries_total", "failed acquisition attempts retried", &c.acqRetries, labels...)
 }
 
 // NewClient returns a lock client. owner must be a nonzero fabric-unique
@@ -176,8 +201,10 @@ func (c *Client) LockExclusive(at simnet.Time, addr region.GAddr) (simnet.Time, 
 			return end, fmt.Errorf("lock: exclusive %v: %w", addr, err)
 		}
 		if prev == 0 {
+			c.acquisitions.Inc()
 			return end, nil
 		}
+		c.acqRetries.Inc()
 		now = c.backoffAt(end, i)
 		runtime.Gosched() // let the holder's goroutine make progress
 	}
@@ -209,8 +236,10 @@ func (c *Client) LockShared(at simnet.Time, addr region.GAddr) (simnet.Time, err
 			return end, fmt.Errorf("lock: shared %v: %w", addr, err)
 		}
 		if prev>>32 == 0 {
+			c.acquisitions.Inc()
 			return end, nil // no writer; our increment stands
 		}
+		c.acqRetries.Inc()
 		// A writer holds the lock: back out and retry.
 		_, end, err = c.qp.FetchAdd(end, word, ^uint64(0))
 		if err != nil {

@@ -1,0 +1,33 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a concurrent instantaneous value — a level rather than a
+// monotone count (queue depth, bytes in use, high-water marks). The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the current value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to v if v is larger — the lock-free update
+// high-water-mark tracking wants on a hot path.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -113,16 +113,17 @@ func (h *Histogram) Max() time.Duration {
 // Quantile returns an approximation of the q-quantile (0 < q <= 1),
 // such as 0.5 for the median or 0.99 for P99.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if math.IsNaN(q) || q <= 0 {
-		return h.Min()
-	}
-	if q >= 1 {
-		return h.Max()
-	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if math.IsNaN(q) || q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 || h.n == 0 {
+		return time.Duration(h.max)
 	}
 	rank := int64(math.Ceil(q * float64(h.n)))
 	var seen int64
@@ -133,6 +134,28 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(h.max)
+}
+
+// Quantiles returns one approximation per requested quantile, in input
+// order, under a single lock acquisition — the registry's snapshot path
+// asks for several at once.
+func (h *Histogram) Quantiles(qs []float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, q := range qs {
+		out[i] = h.quantileLocked(q)
+	}
+	return out
+}
+
+// Reset discards all observations, returning the histogram to its zero
+// state.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts = [maxBuckets * subBuckets]int64{}
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
 }
 
 // Merge folds other's observations into h.
@@ -164,24 +187,31 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Summary is an immutable digest of a histogram for reporting.
 type Summary struct {
-	Count          int64
-	Mean, P50, P99 time.Duration
-	Min, Max       time.Duration
+	Count               int64
+	Mean, P50, P95, P99 time.Duration
+	Min, Max            time.Duration
 }
 
-// Summarize returns a report-ready digest.
+// Summarize returns a report-ready digest, computed under one lock
+// acquisition so the fields are mutually consistent.
 func (h *Histogram) Summarize() Summary {
-	return Summary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.5),
-		P99:   h.Quantile(0.99),
-		Min:   h.Min(),
-		Max:   h.Max(),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{
+		Count: h.n,
+		P50:   h.quantileLocked(0.5),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
+		Min:   time.Duration(h.min),
+		Max:   time.Duration(h.max),
 	}
+	if h.n > 0 {
+		s.Mean = time.Duration(h.sum / h.n)
+	}
+	return s
 }
 
 // String formats the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
 }

@@ -132,6 +132,95 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i))
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("reset histogram not all-zero: %+v", h.Summarize())
+	}
+	// A reset histogram is reusable.
+	h.Record(42)
+	if h.Count() != 1 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("record after reset: %+v", h.Summarize())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i))
+	}
+	qs := h.Quantiles([]float64{0.99, 0, 0.5, 1})
+	if len(qs) != 4 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if qs[1] != h.Min() || qs[3] != h.Max() {
+		t.Fatalf("edge quantiles wrong: %v", qs)
+	}
+	if qs[0] != h.Quantile(0.99) || qs[2] != h.Quantile(0.5) {
+		t.Fatalf("batch quantiles disagree with Quantile: %v", qs)
+	}
+	if qs[2] > qs[0] {
+		t.Fatalf("p50 %v > p99 %v", qs[2], qs[0])
+	}
+	if got := h.Quantiles(nil); len(got) != 0 {
+		t.Fatalf("Quantiles(nil) = %v", got)
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i))
+	}
+	s := h.Summarize()
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	if s.P95 < 900 || s.P95 > 1000 {
+		t.Fatalf("P95 = %v, want ~950", s.P95)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("Load = %d", g.Load())
+	}
+	g.SetMax(5)
+	if g.Load() != 7 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Load() != 9 {
+		t.Fatalf("SetMax(9): Load = %d", g.Load())
+	}
+}
+
+func TestGaugeConcurrentSetMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Load() != 7999 {
+		t.Fatalf("high water = %d, want 7999", g.Load())
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	var h Histogram
 	h.Record(time.Microsecond)

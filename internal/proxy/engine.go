@@ -22,6 +22,7 @@ import (
 	"gengar/internal/metrics"
 	"gengar/internal/region"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
 )
 
 // Errors returned by the proxy.
@@ -75,10 +76,12 @@ type record struct {
 
 // EngineStats is a snapshot of flusher activity.
 type EngineStats struct {
-	Staged       int64
-	Flushed      int64
-	FlushLag     metrics.Summary // staged->applied simulated delay
-	BytesFlushed int64
+	Staged         int64
+	Flushed        int64
+	FlushLag       metrics.Summary // staged->applied simulated delay
+	BytesFlushed   int64
+	Barriers       int64 // drain barriers executed
+	QueueHighWater int64 // deepest flusher queue observed
 }
 
 // Engine is one server's proxy flusher pool: it drains staged records
@@ -102,6 +105,8 @@ type Engine struct {
 	staged   metrics.Counter
 	flushed  metrics.Counter
 	bytes    metrics.Counter
+	barriers metrics.Counter
+	queueHW  metrics.Gauge // flusher-queue depth high-water mark
 	flushLag metrics.Histogram
 }
 
@@ -211,7 +216,9 @@ func (e *Engine) enqueue(rec record) error {
 		return ErrEngineClosed
 	}
 	e.staged.Inc()
-	e.workers[rec.ringID%len(e.workers)] <- rec
+	ch := e.workers[rec.ringID%len(e.workers)]
+	e.queueHW.SetMax(int64(len(ch)) + 1)
+	ch <- rec
 	return nil
 }
 
@@ -249,6 +256,7 @@ func (e *Engine) Submit(task func()) error {
 // Barrier blocks until every record enqueued before the call has been
 // processed by its worker.
 func (e *Engine) Barrier() error {
+	e.barriers.Inc()
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -269,11 +277,28 @@ func (e *Engine) Barrier() error {
 // Stats returns a snapshot of flusher activity.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Staged:       e.staged.Load(),
-		Flushed:      e.flushed.Load(),
-		FlushLag:     e.flushLag.Summarize(),
-		BytesFlushed: e.bytes.Load(),
+		Staged:         e.staged.Load(),
+		Flushed:        e.flushed.Load(),
+		FlushLag:       e.flushLag.Summarize(),
+		BytesFlushed:   e.bytes.Load(),
+		Barriers:       e.barriers.Load(),
+		QueueHighWater: e.queueHW.Load(),
 	}
+}
+
+// RegisterTelemetry exposes the engine's live flusher instruments in reg
+// under the gengar_proxy_* names, tagged with the given labels (the
+// owning server's identity).
+func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterCounter("gengar_proxy_staged_total", "writes staged into rings", &e.staged, labels...)
+	reg.RegisterCounter("gengar_proxy_flushed_total", "staged records applied to NVM", &e.flushed, labels...)
+	reg.RegisterCounter("gengar_proxy_flushed_bytes_total", "payload bytes applied to NVM", &e.bytes, labels...)
+	reg.RegisterCounter("gengar_proxy_barriers_total", "drain barriers executed", &e.barriers, labels...)
+	reg.RegisterGauge("gengar_proxy_queue_high_water", "deepest flusher queue observed", &e.queueHW, labels...)
+	reg.RegisterHistogram("gengar_proxy_flush_lag_seconds", "staged-to-applied simulated delay", &e.flushLag, labels...)
+	reg.GaugeFunc("gengar_proxy_inflight", "records staged but not yet flushed", func() int64 {
+		return e.staged.Load() - e.flushed.Load()
+	}, labels...)
 }
 
 // Close stops accepting records, drains the backlog and joins the

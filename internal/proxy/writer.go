@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gengar/internal/metrics"
 	"gengar/internal/rdma"
 	"gengar/internal/region"
 	"gengar/internal/simnet"
@@ -68,6 +69,11 @@ type Writer struct {
 
 	stageMu sync.Mutex
 	nextSeq uint64
+
+	// occHW tracks the staging ring's occupancy high-water mark (slots
+	// taken and not yet copied out by the flusher) — where write
+	// backpressure builds before Stage starts blocking.
+	occHW metrics.Gauge
 
 	pendMu      sync.Mutex
 	cond        *sync.Cond
@@ -146,6 +152,7 @@ func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []b
 
 	// Take a ring slot; blocks when the flusher is behind.
 	<-w.credits
+	w.occHW.SetMax(int64(w.ring.Slots - len(w.credits)))
 
 	w.stageMu.Lock()
 	seq := w.nextSeq
@@ -235,6 +242,13 @@ func (w *Writer) PendingCount() int {
 	defer w.pendMu.Unlock()
 	return len(w.pending)
 }
+
+// OccupancyHighWater returns the most ring slots ever simultaneously in
+// use by this writer.
+func (w *Writer) OccupancyHighWater() int64 { return w.occHW.Load() }
+
+// RingSlots returns the staging ring's slot count.
+func (w *Writer) RingSlots() int { return w.ring.Slots }
 
 // Drain blocks until every write staged so far has been applied to NVM
 // and returns the simulated instant the last one completed. It is the

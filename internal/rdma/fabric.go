@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sync"
 
+	"gengar/internal/metrics"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
 )
 
 // Sentinel errors returned by verb operations.
@@ -48,8 +50,54 @@ type Fabric struct {
 	model simnet.LinkModel
 	clock *simnet.Clock
 
+	// Fabric-wide verb mix: how the workload exercises the network is a
+	// first-order input to Gengar's hotness arguments, so every verb
+	// initiation is counted by kind.
+	verbReads    metrics.Counter
+	verbWrites   metrics.Counter
+	verbCAS      metrics.Counter
+	verbFetchAdd metrics.Counter
+	verbSends    metrics.Counter
+
 	mu    sync.RWMutex
 	nodes map[string]*Node
+}
+
+// VerbCounts is a snapshot of the fabric-wide verb mix.
+type VerbCounts struct {
+	Reads, Writes, CAS, FetchAdd, Sends int64
+}
+
+// VerbCounts returns how many one- and two-sided verbs have been
+// initiated on the fabric, by kind.
+func (f *Fabric) VerbCounts() VerbCounts {
+	return VerbCounts{
+		Reads:    f.verbReads.Load(),
+		Writes:   f.verbWrites.Load(),
+		CAS:      f.verbCAS.Load(),
+		FetchAdd: f.verbFetchAdd.Load(),
+		Sends:    f.verbSends.Load(),
+	}
+}
+
+// RegisterTelemetry exposes the fabric's verb mix and aggregate traffic
+// volume in reg under the gengar_rdma_* names.
+func (f *Fabric) RegisterTelemetry(reg *telemetry.Registry) {
+	const name, help = "gengar_rdma_verbs_total", "RDMA verbs initiated, by kind"
+	reg.RegisterCounter(name, help, &f.verbReads, telemetry.L("verb", "read"))
+	reg.RegisterCounter(name, help, &f.verbWrites, telemetry.L("verb", "write"))
+	reg.RegisterCounter(name, help, &f.verbCAS, telemetry.L("verb", "cas"))
+	reg.RegisterCounter(name, help, &f.verbFetchAdd, telemetry.L("verb", "fetch_add"))
+	reg.RegisterCounter(name, help, &f.verbSends, telemetry.L("verb", "send"))
+	reg.GaugeFunc("gengar_rdma_tx_bytes", "bytes put on the wire, all nodes", func() int64 {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		var total int64
+		for _, n := range f.nodes {
+			total += n.TxBytes()
+		}
+		return total
+	})
 }
 
 // NewFabric returns an empty fabric with the given link cost model.

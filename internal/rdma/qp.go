@@ -159,6 +159,7 @@ func deliver(from, to *Node, txEnd simnet.Time, size int) simnet.Time {
 // "write + remote flush" cycle a DSHM system must pay for a durable
 // remote store. at is the initiator's current simulated time.
 func (qp *QP) Write(at simnet.Time, src []byte, raddr RemoteAddr) (simnet.Time, error) {
+	qp.node.fabric.verbWrites.Inc()
 	peer, err := qp.remote()
 	if err != nil {
 		return at, err
@@ -184,6 +185,7 @@ func (qp *QP) Write(at simnet.Time, src []byte, raddr RemoteAddr) (simnet.Time, 
 // Read performs a one-sided RDMA READ filling dst from the remote
 // address and returns the completion instant at the initiator.
 func (qp *QP) Read(at simnet.Time, dst []byte, raddr RemoteAddr) (simnet.Time, error) {
+	qp.node.fabric.verbReads.Inc()
 	peer, err := qp.remote()
 	if err != nil {
 		return at, err
@@ -210,6 +212,7 @@ func (qp *QP) Read(at simnet.Time, dst []byte, raddr RemoteAddr) (simnet.Time, e
 // the remote address and returns the value observed there before the
 // operation. The swap happened iff prev == old.
 func (qp *QP) CompareAndSwap(at simnet.Time, raddr RemoteAddr, old, new uint64) (prev uint64, end simnet.Time, err error) {
+	qp.node.fabric.verbCAS.Inc()
 	peer, err := qp.remote()
 	if err != nil {
 		return 0, at, err
@@ -232,6 +235,7 @@ func (qp *QP) CompareAndSwap(at simnet.Time, raddr RemoteAddr, old, new uint64) 
 // FetchAdd performs a one-sided 8-byte atomic fetch-and-add on the remote
 // address and returns the pre-add value.
 func (qp *QP) FetchAdd(at simnet.Time, raddr RemoteAddr, delta uint64) (prev uint64, end simnet.Time, err error) {
+	qp.node.fabric.verbFetchAdd.Inc()
 	peer, err := qp.remote()
 	if err != nil {
 		return 0, at, err
@@ -256,6 +260,7 @@ func (qp *QP) FetchAdd(at simnet.Time, raddr RemoteAddr, delta uint64) (prev uin
 // time if the peer's queue is full) with the local send-completion
 // instant. The payload is copied; the caller may reuse it immediately.
 func (qp *QP) Send(at simnet.Time, payload []byte) (end simnet.Time, err error) {
+	qp.node.fabric.verbSends.Inc()
 	peer, err := qp.remote()
 	if err != nil {
 		return at, err

@@ -5,14 +5,21 @@ import (
 
 	"gengar/internal/config"
 	"gengar/internal/rdma"
+	"gengar/internal/telemetry"
 )
 
 // Cluster owns a fabric and a set of meshed Gengar servers — the
-// in-process stand-in for the paper's testbed rack.
+// in-process stand-in for the paper's testbed rack. It also owns the
+// deployment's telemetry: a metrics registry every component registers
+// into and a flight recorder of recent operations. Both are per-cluster
+// so concurrent clusters (e.g. parallel benchmark runs) never mix
+// samples.
 type Cluster struct {
 	fabric     *rdma.Fabric
 	cfg        config.Cluster
 	registry   *Registry
+	telem      *telemetry.Registry
+	flight     *telemetry.FlightRecorder
 	nextClient atomic.Uint32
 }
 
@@ -27,7 +34,17 @@ func NewCluster(cfg config.Cluster) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{fabric: fabric, cfg: cfg, registry: NewRegistry()}
+	c := &Cluster{
+		fabric:   fabric,
+		cfg:      cfg,
+		registry: NewRegistry(),
+		telem:    telemetry.NewRegistry(),
+		flight:   telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents),
+	}
+	fabric.RegisterTelemetry(c.telem)
+	c.telem.GaugeFunc("gengar_flight_events", "operation events recorded since start", func() int64 {
+		return int64(c.flight.Total())
+	})
 	for i := 1; i <= cfg.Servers; i++ {
 		s, err := New(fabric, uint16(i), cfg)
 		if err != nil {
@@ -39,6 +56,7 @@ func NewCluster(cfg config.Cluster) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
+		s.RegisterTelemetry(c.telem)
 	}
 	if err := c.registry.ConnectMesh(); err != nil {
 		c.Close()
@@ -52,6 +70,13 @@ func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
 
 // Registry returns the placement registry (and through it the servers).
 func (c *Cluster) Registry() *Registry { return c.registry }
+
+// Telemetry returns the cluster-wide metrics registry.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.telem }
+
+// Recorder returns the cluster-wide flight recorder of recent
+// operations.
+func (c *Cluster) Recorder() *telemetry.FlightRecorder { return c.flight }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() config.Cluster { return c.cfg }

@@ -32,6 +32,7 @@ import (
 	"gengar/internal/region"
 	"gengar/internal/rpc"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
 )
 
 // Control-plane RPC kinds served by every Gengar server.
@@ -245,6 +246,38 @@ func (s *Server) Stats() Stats {
 		Proxy:      s.engine.Stats(),
 		RemapEpoch: s.remap.Epoch(),
 	}
+}
+
+// RegisterTelemetry exposes the server's live counters and derived state
+// in reg under the gengar_server_* names, labeled with the server's pool
+// ID. The same counter instances back both Stats and the registry, so
+// the two views never disagree.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	sl := telemetry.L("server", fmt.Sprintf("%d", s.id))
+	reg.RegisterCounter("gengar_server_promotions_total", "objects promoted to DRAM", &s.promotions, sl)
+	reg.RegisterCounter("gengar_server_demotions_total", "objects demoted from DRAM", &s.demotions, sl)
+	reg.RegisterCounter("gengar_server_digests_total", "hotness digests received", &s.digests, sl)
+	reg.RegisterCounter("gengar_server_mallocs_total", "gmalloc requests served", &s.mallocs, sl)
+	reg.RegisterCounter("gengar_server_frees_total", "gfree requests served", &s.frees, sl)
+	reg.GaugeFunc("gengar_server_objects", "live objects homed here", func() int64 {
+		return int64(s.objIdx.count())
+	}, sl)
+	reg.GaugeFunc("gengar_server_pool_used_bytes", "NVM pool bytes allocated", func() int64 {
+		return s.pool.AllocatedBytes()
+	}, sl)
+	reg.GaugeFunc("gengar_server_buffer_used_bytes", "DRAM buffer bytes holding promoted copies", func() int64 {
+		return s.bufp.UsedBytes()
+	}, sl)
+	reg.GaugeFunc("gengar_server_buffer_capacity_bytes", "DRAM buffer arena size", func() int64 {
+		return s.cacheDev.Size()
+	}, sl)
+	reg.GaugeFunc("gengar_server_promoted_objects", "objects with a live DRAM copy", func() int64 {
+		return int64(s.remap.Len())
+	}, sl)
+	reg.GaugeFunc("gengar_server_remap_epoch", "remap table epoch", func() int64 {
+		return int64(s.remap.Epoch())
+	}, sl)
+	s.engine.RegisterTelemetry(reg, sl)
 }
 
 // Close stops the server's flusher and RPC endpoint.

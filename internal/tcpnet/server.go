@@ -11,6 +11,7 @@ import (
 	"gengar/internal/alloc"
 	"gengar/internal/metrics"
 	"gengar/internal/region"
+	"gengar/internal/telemetry"
 )
 
 // ServerConfig shapes one gengard daemon.
@@ -58,8 +59,14 @@ type PoolServer struct {
 	memMu sync.RWMutex
 	mem   []byte
 
-	ops     metrics.Counter
-	objects metrics.Counter
+	ops      metrics.Counter
+	objects  metrics.Counter
+	rxBytes  metrics.Counter // payload bytes written into the pool
+	txBytes  metrics.Counter // payload bytes read out of the pool
+	failures metrics.Counter // requests answered with an error status
+
+	telem  *telemetry.Registry
+	flight *telemetry.FlightRecorder
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -86,14 +93,42 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PoolServer{
-		cfg:   cfg,
-		pool:  b,
-		locks: locks,
-		mem:   make([]byte, cfg.PoolBytes),
-		conns: make(map[net.Conn]struct{}),
-	}, nil
+	s := &PoolServer{
+		cfg:    cfg,
+		pool:   b,
+		locks:  locks,
+		mem:    make([]byte, cfg.PoolBytes),
+		conns:  make(map[net.Conn]struct{}),
+		telem:  telemetry.NewRegistry(),
+		flight: telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents),
+	}
+	sl := telemetry.L("server", fmt.Sprintf("%d", cfg.ID))
+	s.telem.RegisterCounter("gengar_tcp_ops_total", "wire requests served", &s.ops, sl)
+	s.telem.RegisterCounter("gengar_tcp_rx_bytes_total", "payload bytes written into the pool", &s.rxBytes, sl)
+	s.telem.RegisterCounter("gengar_tcp_tx_bytes_total", "payload bytes read out of the pool", &s.txBytes, sl)
+	s.telem.RegisterCounter("gengar_tcp_failures_total", "requests answered with an error", &s.failures, sl)
+	s.telem.GaugeFunc("gengar_tcp_objects", "live objects homed here", s.objects.Load, sl)
+	s.telem.GaugeFunc("gengar_tcp_pool_used_bytes", "pool bytes allocated", s.pool.AllocatedBytes, sl)
+	s.telem.GaugeFunc("gengar_tcp_pool_capacity_bytes", "exported pool size", func() int64 {
+		return s.cfg.PoolBytes
+	}, sl)
+	s.telem.GaugeFunc("gengar_tcp_sessions", "sessions opened since start", func() int64 {
+		return int64(s.sessions.Load())
+	}, sl)
+	s.telem.GaugeFunc("gengar_tcp_open_conns", "currently open connections", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	}, sl)
+	return s, nil
 }
+
+// Telemetry returns the daemon's metrics registry (served by gengard's
+// debug endpoint).
+func (s *PoolServer) Telemetry() *telemetry.Registry { return s.telem }
+
+// Recorder returns the daemon's flight recorder of recent operations.
+func (s *PoolServer) Recorder() *telemetry.FlightRecorder { return s.flight }
 
 // Serve accepts and serves connections on lis until Close. It returns
 // nil after a graceful Close and the accept error otherwise.
@@ -176,6 +211,7 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
+				s.failures.Inc()
 				_ = writeFrame(conn, id, statusErr, []byte(herr.Error()))
 				return
 			}
@@ -184,8 +220,16 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) ([]byte, error) {
+func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []byte, err error) {
 	s.ops.Inc()
+	s.telem.Counter("gengar_tcp_requests_total", "wire requests by kind",
+		telemetry.L("op", op.String())).Inc()
+	start := time.Now()
+	defer func() {
+		s.telem.Histogram("gengar_tcp_request_latency_seconds",
+			"wall-clock request handling latency by kind",
+			telemetry.L("op", op.String())).Record(time.Since(start))
+	}()
 	switch op {
 	case OpHello:
 		var w payloadWriter
@@ -241,6 +285,11 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) ([]byte, 
 		s.memMu.RLock()
 		copy(out, s.mem[addr.Offset():addr.Offset()+n])
 		s.memMu.RUnlock()
+		s.txBytes.Add(n)
+		s.flight.Record(telemetry.Event{
+			TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
+			Len: int(n), Path: "tcp", LatNanos: int64(time.Since(start)),
+		})
 		var w payloadWriter
 		w.Blob(out)
 		return w.Bytes(), nil
@@ -260,6 +309,11 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) ([]byte, 
 		s.memMu.Lock()
 		copy(s.mem[addr.Offset():], data)
 		s.memMu.Unlock()
+		s.rxBytes.Add(int64(len(data)))
+		s.flight.Record(telemetry.Event{
+			TimeNanos: start.UnixNano(), Op: "write", Addr: uint64(addr),
+			Len: len(data), Path: "tcp", LatNanos: int64(time.Since(start)),
+		})
 		return nil, nil
 
 	case OpLockEx, OpLockSh:

@@ -26,17 +26,45 @@ type Op uint8
 
 // Wire operations.
 const (
-	OpHello Op = iota + 1 // -> serverID u16, poolBytes i64
-	OpMalloc              // size i64 -> gaddr u64
-	OpFree                // gaddr u64
-	OpRead                // gaddr u64, len u32 -> blob
-	OpWrite               // gaddr u64, blob
-	OpLockEx              // gaddr u64, leaseMs u32
-	OpUnlockEx            // gaddr u64
-	OpLockSh              // gaddr u64, leaseMs u32
-	OpUnlockSh            // gaddr u64
-	OpStats               // -> objects i64, poolUsed i64, ops i64
+	OpHello    Op = iota + 1 // -> serverID u16, poolBytes i64
+	OpMalloc                 // size i64 -> gaddr u64
+	OpFree                   // gaddr u64
+	OpRead                   // gaddr u64, len u32 -> blob
+	OpWrite                  // gaddr u64, blob
+	OpLockEx                 // gaddr u64, leaseMs u32
+	OpUnlockEx               // gaddr u64
+	OpLockSh                 // gaddr u64, leaseMs u32
+	OpUnlockSh               // gaddr u64
+	OpStats                  // -> objects i64, poolUsed i64, ops i64
 )
+
+// String returns the op's wire name, for telemetry labels and errors.
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpMalloc:
+		return "malloc"
+	case OpFree:
+		return "free"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpLockEx:
+		return "lock_ex"
+	case OpUnlockEx:
+		return "unlock_ex"
+	case OpLockSh:
+		return "lock_sh"
+	case OpUnlockSh:
+		return "unlock_sh"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op%d", uint8(o))
+	}
+}
 
 // maxFrame bounds a single message, including headers.
 const maxFrame = 16 << 20

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultFlightEvents is the ring capacity a cluster's recorder gets
+// when no explicit size is chosen: large enough to hold the tail of a
+// benchmark run, small enough to dump over a debug endpoint.
+const DefaultFlightEvents = 8192
+
+// Event is one structured flight-recorder record: what one operation
+// did and which path it took. Fields that do not apply to an op are
+// left zero and omitted from JSON.
+type Event struct {
+	Seq       uint64 `json:"seq"`
+	TimeNanos int64  `json:"t_ns"`             // completion instant (simulated or wall)
+	Client    string `json:"client,omitempty"` // issuing client, if any
+	Op        string `json:"op"`               // read, write, malloc, free, lock, ...
+	Addr      uint64 `json:"addr,omitempty"`   // target global address
+	Len       int    `json:"len,omitempty"`    // payload bytes
+	Path      string `json:"path,omitempty"`   // verb path taken: dram_copy, nvm, proxy_ring, nvm_direct
+	Hit       bool   `json:"hit,omitempty"`    // served by a DRAM copy
+	RingDepth int    `json:"ring_depth,omitempty"`
+	LatNanos  int64  `json:"lat_ns,omitempty"` // operation latency
+}
+
+// FlightRecorder is a fixed-size concurrent ring of Events: recording
+// never blocks on consumers and never allocates once the ring is full —
+// old events are overwritten. A nil *FlightRecorder is valid and drops
+// every record, so instrumented code needs no nil checks.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded; buf[ (total-1) % cap ] is newest
+}
+
+// NewFlightRecorder returns a recorder holding the last capacity events
+// (DefaultFlightEvents if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightEvents
+	}
+	return &FlightRecorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, assigning its sequence number (and stamping
+// it into e.Seq). The oldest event is overwritten when the ring is full.
+func (r *FlightRecorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.Seq = r.total
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[e.Seq%uint64(cap(r.buf))] = e
+	}
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (not just retained).
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (r *FlightRecorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.total % uint64(cap(r.buf)) // index of the oldest retained event
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// WriteJSONL dumps the retained events as one JSON object per line,
+// oldest first — the offline-analysis format.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasics(t *testing.T) {
+	r := NewFlightRecorder(4)
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(Event{Op: "read", Addr: 1})
+	r.Record(Event{Op: "write", Addr: 2})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Seq != 0 || ev[1].Seq != 1 || ev[0].Op != "read" {
+		t.Fatalf("events: %+v", ev)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Op: "op", Addr: uint64(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	// Oldest-first: sequences 6,7,8,9.
+	for i, e := range ev {
+		if e.Seq != uint64(6+i) || e.Addr != uint64(6+i) {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, 6+i)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(Event{Op: "read"}) // must not panic
+	if r.Total() != 0 || r.Events() != nil || r.Cap() != 0 {
+		t.Fatal("nil recorder misbehaved")
+	}
+	if err := r.WriteJSONL(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Op: "read"})
+				if i%100 == 0 {
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	ev := r.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("retained sequence not contiguous at %d: %+v %+v", i, ev[i-1], ev[i])
+		}
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Record(Event{Op: "read", Addr: 0x40, Len: 64, Path: "dram_copy", Hit: true, LatNanos: 1500})
+	r.Record(Event{Op: "write", Addr: 0x80, Len: 32, Path: "proxy_ring", RingDepth: 3, LatNanos: 900})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", lines)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != "write" || e.Path != "proxy_ring" || e.RingDepth != 3 || e.LatNanos != 900 {
+		t.Fatalf("round-trip: %+v", e)
+	}
+	// Zero-valued optional fields are omitted.
+	if strings.Contains(lines[1], "hit") {
+		t.Fatalf("omitempty broken: %s", lines[1])
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total", "").Add(5)
+	reg.Histogram("lat_seconds", "").Record(1024)
+	rec := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		rec.Record(Event{Op: "read", Addr: uint64(i)})
+	}
+	srv := httptest.NewServer(Handler(reg, rec))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, ct := get("/metrics"); !strings.Contains(body, "ops_total 5") ||
+		!strings.Contains(body, "# TYPE lat_seconds summary") ||
+		!strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: ct=%q body=%q", ct, body)
+	}
+	if body, _ := get("/metrics.json"); !strings.Contains(body, `"ops_total"`) {
+		t.Fatalf("/metrics.json: %q", body)
+	}
+	if body, _ := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: %q", body)
+	}
+	body, _ := get("/debug/events?n=2")
+	sc := bufio.NewScanner(strings.NewReader(body))
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 || events[0].Seq != 3 || events[1].Seq != 4 {
+		t.Fatalf("/debug/events?n=2: %+v", events)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "ops", L("client", "a"))
+	b := r.Counter("ops_total", "", L("client", "a"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("ops_total", "", L("client", "b"))
+	if a == other {
+		t.Fatal("distinct labels share a counter")
+	}
+	// Label order must not matter.
+	x := r.Gauge("depth", "", L("k1", "v1"), L("k2", "v2"))
+	y := r.Gauge("depth", "", L("k2", "v2"), L("k1", "v1"))
+	if x != y {
+		t.Fatal("label order split one instance into two")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	// Concurrent get-or-create plus updates plus snapshots: the -race
+	// test for the registry's hot path.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			labels := []Label{{"worker", string(rune('a' + w%4))}}
+			for i := 0; i < per; i++ {
+				r.Counter("ops_total", "", labels...).Inc()
+				r.Gauge("depth", "", labels...).SetMax(int64(i))
+				r.Histogram("lat", "", labels...).Record(time.Duration(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Sum("ops_total"); got != workers*per {
+		t.Fatalf("ops_total = %d, want %d", got, workers*per)
+	}
+	var histCount int64
+	for _, h := range s.Histograms {
+		if h.Name == "lat" {
+			histCount += h.Count
+		}
+	}
+	if histCount != workers*per {
+		t.Fatalf("lat count = %d, want %d", histCount, workers*per)
+	}
+}
+
+func TestRegistryGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("level", "", func() int64 { return v })
+	if got, ok := r.Snapshot().Find("level"); !ok || got.Value != 7 {
+		t.Fatalf("gauge func sample = %+v, ok=%v", got, ok)
+	}
+	v = 9
+	if got, _ := r.Snapshot().Find("level"); got.Value != 9 {
+		t.Fatalf("gauge func not re-evaluated: %+v", got)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(5)
+	r.Gauge("g", "").Set(5)
+	r.Histogram("h", "").Record(5)
+	ext := int64(3)
+	r.GaugeFunc("fn", "", func() int64 { return ext })
+	r.Reset()
+	s := r.Snapshot()
+	if s.Sum("c") != 0 || s.Sum("g") != 0 {
+		t.Fatalf("reset left values: %+v", s)
+	}
+	if s.Histograms[0].Count != 0 {
+		t.Fatalf("reset left histogram observations: %+v", s.Histograms[0])
+	}
+	if got, _ := s.Find("fn"); got.Value != 3 {
+		t.Fatal("reset clobbered a gauge function")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "", L("s", "2"))
+	r.Counter("a", "")
+	r.Counter("z", "", L("s", "1"))
+	s := r.Snapshot()
+	if len(s.Counters) != 3 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if s.Counters[0].Name != "a" || s.Counters[1].Labels["s"] != "1" || s.Counters[2].Labels["s"] != "2" {
+		t.Fatalf("snapshot order not deterministic: %+v", s.Counters)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gengar_ops_total", "ops served", L("server", "1")).Add(42)
+	r.Gauge("gengar_pool_used_bytes", "bytes in use").Set(1024)
+	// 1024ns is a bucket boundary, so the log-scale quantile estimate is
+	// exact and the golden text below is stable.
+	h := r.Histogram("gengar_read_latency_seconds", "read latency", L("client", "c0"))
+	h.Record(1024 * time.Nanosecond)
+	h.Record(1024 * time.Nanosecond)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE gengar_ops_total counter
+gengar_ops_total{server="1"} 42
+# TYPE gengar_pool_used_bytes gauge
+gengar_pool_used_bytes 1024
+# TYPE gengar_read_latency_seconds summary
+gengar_read_latency_seconds{client="c0",quantile="0.5"} 1.024e-06
+gengar_read_latency_seconds{client="c0",quantile="0.95"} 1.024e-06
+gengar_read_latency_seconds{client="c0",quantile="0.99"} 1.024e-06
+gengar_read_latency_seconds_sum{client="c0"} 2.048e-06
+gengar_read_latency_seconds_count{client="c0"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", "", L("server", "1")).Add(3)
+	r.Gauge("depth", "").Set(2)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": [
+    {
+      "name": "ops_total",
+      "labels": {
+        "server": "1"
+      },
+      "value": 3
+    }
+  ],
+  "gauges": [
+    {
+      "name": "depth",
+      "value": 2
+    }
+  ],
+  "histograms": null
+}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("json output:\n got: %s\nwant: %s", got, want)
+	}
+}

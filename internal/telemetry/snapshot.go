@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Sample is one counter or gauge reading.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramSample is one histogram digest. Durations are simulated (or,
+// in the TCP deployment mode, wall-clock) nanoseconds.
+type HistogramSample struct {
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Count    int64             `json:"count"`
+	SumNanos int64             `json:"sum_ns"`
+	MinNanos int64             `json:"min_ns"`
+	MaxNanos int64             `json:"max_ns"`
+	P50Nanos int64             `json:"p50_ns"`
+	P95Nanos int64             `json:"p95_ns"`
+	P99Nanos int64             `json:"p99_ns"`
+}
+
+// Snapshot is a point-in-time reading of every instrument in a Registry,
+// in deterministic (name, then label signature) order.
+type Snapshot struct {
+	Counters   []Sample          `json:"counters"`
+	Gauges     []Sample          `json:"gauges"`
+	Histograms []HistogramSample `json:"histograms"`
+}
+
+// Snapshot reads every instrument. Gauge functions are evaluated here;
+// they must not call back into the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type cell struct {
+		fam  *family
+		sig  string
+		inst *instrument
+	}
+	var cells []cell
+	for _, name := range names {
+		f := r.families[name]
+		sigs := make([]string, 0, len(f.insts))
+		for sig := range f.insts {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			cells = append(cells, cell{f, sig, f.insts[sig]})
+		}
+	}
+	r.mu.Unlock()
+
+	// Read instruments outside the registry lock: gauge functions reach
+	// into component state and must be free to take their own locks.
+	var s Snapshot
+	for _, c := range cells {
+		labels := labelMap(c.inst.labels)
+		switch c.fam.kind {
+		case KindCounter:
+			if c.inst.counter == nil {
+				continue
+			}
+			s.Counters = append(s.Counters, Sample{c.fam.name, labels, c.inst.counter.Load()})
+		case KindGauge:
+			var v int64
+			switch {
+			case c.inst.gaugeFn != nil:
+				v = c.inst.gaugeFn()
+			case c.inst.gauge != nil:
+				v = c.inst.gauge.Load()
+			default:
+				continue
+			}
+			s.Gauges = append(s.Gauges, Sample{c.fam.name, labels, v})
+		case KindHistogram:
+			if c.inst.hist == nil {
+				continue
+			}
+			sum := c.inst.hist.Summarize()
+			s.Histograms = append(s.Histograms, HistogramSample{
+				Name:     c.fam.name,
+				Labels:   labels,
+				Count:    sum.Count,
+				SumNanos: int64(sum.Mean) * sum.Count,
+				MinNanos: int64(sum.Min),
+				MaxNanos: int64(sum.Max),
+				P50Nanos: int64(sum.P50),
+				P95Nanos: int64(sum.P95),
+				P99Nanos: int64(sum.P99),
+			})
+		}
+	}
+	return s
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Find returns the first counter or gauge sample with the given name
+// whose labels contain every given label, and whether one exists —
+// convenience for tests and status displays.
+func (s Snapshot) Find(name string, labels ...Label) (Sample, bool) {
+	match := func(c Sample) bool {
+		if c.Name != name {
+			return false
+		}
+		for _, l := range labels {
+			if c.Labels[l.Key] != l.Value {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range s.Counters {
+		if match(c) {
+			return c, true
+		}
+	}
+	for _, g := range s.Gauges {
+		if match(g) {
+			return g, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Sum adds up every counter and gauge sample with the given name across
+// label sets — e.g. total cache hits over all clients.
+func (s Snapshot) Sum(name string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			total += g.Value
+		}
+	}
+	return total
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms are rendered as summaries with
+// quantile labels; durations are converted to seconds per Prometheus
+// convention.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	var lastName string
+	typeHeader := func(name, kind string) {
+		if name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			lastName = name
+		}
+	}
+	for _, c := range s.Counters {
+		typeHeader(c.Name, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", c.Name, promLabels(c.Labels, "", ""), c.Value)
+	}
+	for _, g := range s.Gauges {
+		typeHeader(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", g.Name, promLabels(g.Labels, "", ""), g.Value)
+	}
+	for _, h := range s.Histograms {
+		typeHeader(h.Name, "summary")
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50Nanos}, {"0.95", h.P95Nanos}, {"0.99", h.P99Nanos}} {
+			fmt.Fprintf(&b, "%s%s %g\n", h.Name, promLabels(h.Labels, "quantile", q.q), seconds(q.v))
+		}
+		fmt.Fprintf(&b, "%s_sum%s %g\n", h.Name, promLabels(h.Labels, "", ""), seconds(h.SumNanos))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func seconds(nanos int64) float64 { return float64(nanos) / 1e9 }
+
+// promLabels renders a sorted {k="v",...} block, optionally with one
+// extra label appended (the quantile), or "" when empty.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

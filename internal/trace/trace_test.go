@@ -97,9 +97,9 @@ func TestReadSkipsCommentsAndBlanks(t *testing.T) {
 func TestReadRejectsGarbage(t *testing.T) {
 	for _, in := range []string{
 		"explode 1\n",
-		"malloc 0\n",        // missing size
-		"read 0 0\n",        // missing len
-		"malloc 0 -5\n",     // invalid
+		"malloc 0\n",         // missing size
+		"read 0 0\n",         // missing len
+		"malloc 0 -5\n",      // invalid
 		"read 0 zero four\n", // non-numeric
 	} {
 		if _, err := Read(strings.NewReader(in)); err == nil {

@@ -1,0 +1,184 @@
+package gengar_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gengar"
+	"gengar/internal/telemetry"
+)
+
+// TestTelemetryEndToEnd drives a small workload through the public API
+// and checks that the full telemetry path lights up: cache hits and
+// proxy flushes appear in the registry, the flight recorder holds the
+// ops, and the HTTP debug endpoint serves it all in Prometheus format.
+func TestTelemetryEndToEnd(t *testing.T) {
+	cfg := gengar.DefaultConfig()
+	cfg.Servers = 2
+	cfg.NVMBytes = 1 << 20
+	cfg.DRAMBufferBytes = 1 << 16
+	cfg.RingBytes = 1 << 23
+	cfg.Hotness.DigestEvery = 8
+	cfg.Hotness.PlanEvery = time.Microsecond
+	cfg.Hotness.MinWeight = 2
+	p, err := gengar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := p.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	addr, err := c.MallocOn(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := c.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the object hot so it gets promoted, then quiesce twice so
+	// the promotion plan lands and the client's remap view catches up.
+	buf := make([]byte, 1024)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 32; i++ {
+			if err := c.Read(addr, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SyncView(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Read(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := p.Telemetry().Snapshot()
+	if hits := snap.Sum("gengar_client_cache_hits_total"); hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if flushed := snap.Sum("gengar_proxy_flushed_total"); flushed == 0 {
+		t.Error("no proxy flushes recorded")
+	}
+	if verbs := snap.Sum("gengar_rdma_verbs_total"); verbs == 0 {
+		t.Error("no RDMA verbs recorded")
+	}
+	if s, ok := snap.Find("gengar_client_reads_total", telemetry.L("client", "app")); !ok || s.Value == 0 {
+		t.Errorf("per-client read counter: %+v ok=%v", s, ok)
+	}
+	// Registry-backed Stats views agree with the registry itself.
+	if st := c.Stats(); st.CacheHits != snap.Sum("gengar_client_cache_hits_total") {
+		t.Errorf("ClientStats hits %d != registry %d", st.CacheHits, snap.Sum("gengar_client_cache_hits_total"))
+	}
+
+	// The flight recorder saw the ops, including cache-hit reads.
+	rec := p.FlightRecorder()
+	if rec.Total() == 0 {
+		t.Fatal("no flight events recorded")
+	}
+	var sawHit, sawWrite bool
+	for _, e := range rec.Events() {
+		if e.Op == "read" && e.Hit {
+			sawHit = true
+		}
+		if e.Op == "write" && e.Path == "proxy_ring" {
+			sawWrite = true
+		}
+	}
+	if !sawHit {
+		t.Error("no cache-hit read event in flight recorder")
+	}
+	if !sawWrite {
+		t.Error("no proxied-write event in flight recorder")
+	}
+
+	// The debug endpoint serves it all: Prometheus text with at least
+	// one counter, gauge and histogram (summary) family.
+	srv := httptest.NewServer(telemetry.Handler(p.Telemetry(), rec))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE gengar_client_reads_total counter",
+		"# TYPE gengar_server_pool_used_bytes gauge",
+		"# TYPE gengar_client_read_latency_seconds summary",
+		`verb="read"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get(srv.URL + "/debug/events?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if lines := strings.Count(strings.TrimSpace(string(events)), "\n") + 1; lines != 4 {
+		t.Errorf("/debug/events?n=4 returned %d lines", lines)
+	}
+}
+
+// TestTelemetryIsolatedPerPool guards the per-cluster registry design:
+// two concurrent pools must not share instruments.
+func TestTelemetryIsolatedPerPool(t *testing.T) {
+	cfg := gengar.DefaultConfig()
+	cfg.Servers = 1
+	cfg.NVMBytes = 1 << 20
+	cfg.DRAMBufferBytes = 1 << 16
+	cfg.RingBytes = 1 << 22
+	p1, err := gengar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := gengar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	c1, err := p1.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	addr, err := c1.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Write(addr, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := p1.Telemetry().Snapshot().Sum("gengar_client_writes_total"); n != 1 {
+		t.Fatalf("pool 1 writes = %d", n)
+	}
+	if n := p2.Telemetry().Snapshot().Sum("gengar_client_writes_total"); n != 0 {
+		t.Fatalf("pool 2 leaked %d writes from pool 1", n)
+	}
+	if p2.FlightRecorder().Total() != 0 {
+		t.Fatal("pool 2 leaked flight events from pool 1")
+	}
+}
