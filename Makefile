@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench quick tidy clean
+.PHONY: all build vet test race bench bench-full quick tidy clean
 
 all: vet build test
 
@@ -16,7 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Smoke pass over every experiment benchmark: one iteration each at
+# Quick scale, so a broken experiment fails fast in CI.
 bench:
+	$(GO) test -short -bench=. -benchtime=1x -run=^$$ ./...
+
+bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Fast full-evaluation pass; writes CSVs + telemetry snapshots.

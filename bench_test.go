@@ -83,3 +83,7 @@ func BenchmarkE14NVMSensitivity(b *testing.B) { runExperiment(b, "E14") }
 // BenchmarkE15ScanBatching regenerates E15: doorbell-batched scans vs
 // sequential reads.
 func BenchmarkE15ScanBatching(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkE16WriteBatching regenerates E16: doorbell-batched write
+// bursts vs sequential writes, proxied and direct.
+func BenchmarkE16WriteBatching(b *testing.B) { runExperiment(b, "E16") }

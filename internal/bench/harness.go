@@ -62,6 +62,7 @@ func Experiments() []struct {
 		{"E13", E13ClientCache},
 		{"E14", E14NVMSensitivity},
 		{"E15", E15ScanBatching},
+		{"E16", E16WriteBatching},
 	}
 }
 

@@ -248,3 +248,31 @@ func TestShapeE15BatchingSpeedsScans(t *testing.T) {
 		t.Errorf("32-record scan speedup only %.2fx", sp)
 	}
 }
+
+func TestShapeE16BatchingSpeedsWrites(t *testing.T) {
+	tb := mustRun(t, "E16")
+	if len(tb.Rows) != 10 {
+		t.Fatalf("E16 has %d rows, want 2 systems x 5 batch lengths", len(tb.Rows))
+	}
+	sawK16 := 0
+	for r, row := range tb.Rows {
+		sp := cell(t, tb, r, 4)
+		if sp <= 1 {
+			t.Errorf("row %d (%s k=%s): batching speedup only %.2fx", r, row[0], row[1], sp)
+		}
+		// The headline claim: at a 16-record burst, batched writes are at
+		// least 2x cheaper per op on BOTH the proxied and direct paths.
+		if row[1] == "16" {
+			sawK16++
+			if sp < 2 {
+				t.Errorf("%s k=16: batched writes only %.2fx cheaper, want >=2x", row[0], sp)
+			}
+		}
+	}
+	if sawK16 != 2 {
+		t.Fatalf("found %d k=16 rows, want 2", sawK16)
+	}
+	if tb.Telemetry == nil {
+		t.Fatal("E16 table missing telemetry snapshot")
+	}
+}

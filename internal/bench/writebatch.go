@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+)
+
+// E16WriteBatching: the write side of the doorbell-batching study — a
+// k-record burst posted as one chained work request per home server
+// versus k dependent writes. On the proxied path the chain lands in
+// consecutive staging-ring slots under one doorbell; on the direct path
+// it additionally coalesces the per-record persist fences into one
+// read-after-write per chain. This is the optimization behind the
+// batched YCSB load phase and the MapReduce shuffle emit.
+func E16WriteBatching(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Write latency: doorbell-batched vs sequential writes",
+		Columns: []string{"system", "batch_len", "sequential_us", "batched_us", "speedup"},
+	}
+	for _, system := range systems(s)[:2] { // Gengar (proxied), NVM-Direct
+		cl, err := server.NewCluster(system.cfg)
+		if err != nil {
+			return nil, err
+		}
+		client, err := core.Connect(cl, "writer")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+
+		const records = 256
+		addrs, err := e13Load(client, records, s.RecordSize)
+		if err != nil {
+			client.Close()
+			cl.Close()
+			return nil, err
+		}
+		for _, k := range []int{2, 4, 8, 16, 32} {
+			seq, bat, err := writePair(client, addrs, s.RecordSize, k, s.OpsPerClient/4+8)
+			if err != nil {
+				client.Close()
+				cl.Close()
+				return nil, fmt.Errorf("E16 %s k=%d: %w", system.name, k, err)
+			}
+			t.AddRow(system.name, strconv.Itoa(k),
+				us(seq.Mean), us(bat.Mean), speedup(float64(bat.Mean), float64(seq.Mean)))
+		}
+		// The attached telemetry is the last system's (NVM-Direct), whose
+		// coalesced-fence and write-through counters only the direct path
+		// moves; both systems populate the batch-length histogram.
+		snap := cl.Telemetry().Snapshot()
+		t.Telemetry = &snap
+		client.Close()
+		cl.Close()
+	}
+	t.Note("shape: batched bursts approach one round trip + serialization per home server; " +
+		"direct-path chains also pay one persist fence instead of k")
+	return t, nil
+}
+
+// writePair measures one burst length both ways over rotating windows of
+// the table.
+func writePair(client *core.Client, addrs []region.GAddr, recordSize, k, iters int) (seq, bat metrics.Summary, err error) {
+	var seqH, batH metrics.Histogram
+	bufs := make([][]byte, k)
+	for i := range bufs {
+		bufs[i] = make([]byte, recordSize)
+		for j := range bufs[i] {
+			bufs[i][j] = byte(i + j)
+		}
+	}
+	window := make([]region.GAddr, k)
+	for it := 0; it < iters; it++ {
+		base := (it * k) % (len(addrs) - k)
+		copy(window, addrs[base:base+k])
+
+		before := client.Now()
+		for i := 0; i < k; i++ {
+			if err := client.Write(window[i], bufs[i]); err != nil {
+				return seq, bat, err
+			}
+		}
+		seqH.Record(client.Now().Sub(before))
+
+		before = client.Now()
+		if err := client.WriteMulti(window, bufs); err != nil {
+			return seq, bat, err
+		}
+		batH.Record(client.Now().Sub(before))
+	}
+	return seqH.Summarize(), batH.Summarize(), nil
+}

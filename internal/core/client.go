@@ -87,6 +87,12 @@ type Client struct {
 	staleGen metrics.Counter
 	reads    metrics.Counter
 	writes   metrics.Counter
+
+	// Batched-write accounting: chain lengths, and how many per-record
+	// persist fences / write-through RPCs batching coalesced away.
+	writeBatchLen   metrics.Histogram
+	coalescedFences metrics.Counter
+	coalescedRPCs   metrics.Counter
 }
 
 // Connect joins the pool as a new user named name, opening a session
@@ -136,6 +142,9 @@ func (c *Client) registerTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCounter("gengar_client_stale_retries_total", "DRAM-copy reads retried on a stale generation", &c.staleGen, cl)
 	reg.RegisterHistogram("gengar_client_read_latency_seconds", "simulated gread latency", &c.readLat, cl)
 	reg.RegisterHistogram("gengar_client_write_latency_seconds", "simulated gwrite latency", &c.writeLat, cl)
+	reg.RegisterHistogram("gengar_client_write_batch_len", "records per batched write chain", &c.writeBatchLen, cl)
+	reg.RegisterCounter("gengar_client_coalesced_fences_total", "persist fences saved by write batching", &c.coalescedFences, cl)
+	reg.RegisterCounter("gengar_client_coalesced_writethrough_total", "write-through RPCs saved by write batching", &c.coalescedRPCs, cl)
 }
 
 func (c *Client) openSession(s *server.Server) (*serverConn, error) {

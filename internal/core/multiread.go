@@ -18,7 +18,9 @@ import (
 //
 // Cache redirection applies per entry, with the same generation-stamp
 // validation as Read: entries whose copy turned out stale are re-fetched
-// from their home NVM in a follow-up batch.
+// from their home NVM in one batched follow-up chain per node. All
+// per-entry temporaries come from a pooled scratch, so the steady state
+// allocates nothing per entry.
 func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 	if len(addrs) != len(bufs) {
 		return fmt.Errorf("core: ReadMulti with %d addrs and %d buffers", len(addrs), len(bufs))
@@ -31,36 +33,27 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 	if c.closed {
 		return ErrClosed
 	}
-
-	type cachedEntry struct {
-		idx   int
-		loc   cache.Location
-		delta int64
-		tmp   []byte
-	}
-	conns := make([]*serverConn, len(addrs))
-	groups := make(map[string][]rdma.ReadReq)
-	cachedByNode := make(map[string][]cachedEntry)
-	var nvmRetry []int // indexes to fetch from home NVM
+	s := getScratch()
+	defer putScratch(s)
 
 	for i, addr := range addrs {
 		conn, err := c.conn(addr)
 		if err != nil {
 			return err
 		}
-		conns[i] = conn
+		s.conns = append(s.conns, conn)
 		if c.opts.Cache {
 			if loc, base, ok := conn.view.Lookup(addr, int64(len(bufs[i]))); ok {
 				delta := addr.Offset() - base.Offset()
-				ent := cachedEntry{
+				tmp := s.tmp(int(cache.CopyHeaderBytes + delta + int64(len(bufs[i]))))
+				s.cached[loc.Node] = append(s.cached[loc.Node], cachedEntry{
 					idx:   i,
 					loc:   loc,
 					delta: delta,
-					tmp:   make([]byte, cache.CopyHeaderBytes+delta+int64(len(bufs[i]))),
-				}
-				cachedByNode[loc.Node] = append(cachedByNode[loc.Node], ent)
-				groups[loc.Node] = append(groups[loc.Node], rdma.ReadReq{
-					Dst: ent.tmp,
+					tmp:   tmp,
+				})
+				s.readGroups[loc.Node] = append(s.readGroups[loc.Node], rdma.ReadReq{
+					Dst: tmp,
 					Raddr: rdma.RemoteAddr{
 						Region: rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey},
 						Offset: loc.Off,
@@ -70,7 +63,7 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 			}
 		}
 		node := conn.nvm.Node
-		groups[node] = append(groups[node], rdma.ReadReq{
+		s.readGroups[node] = append(s.readGroups[node], rdma.ReadReq{
 			Dst:   bufs[i],
 			Raddr: rdma.RemoteAddr{Region: conn.nvm, Offset: addr.Offset()},
 		})
@@ -78,7 +71,10 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 
 	start := c.now
 	end := start
-	for node, reqs := range groups {
+	for node, reqs := range s.readGroups {
+		if len(reqs) == 0 {
+			continue
+		}
 		qp, err := c.qpToNode(node)
 		if err != nil {
 			return err
@@ -94,7 +90,7 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 
 	// Validate cached entries; stale generations fall back to home NVM.
 	hits := 0
-	for _, ents := range cachedByNode {
+	for _, ents := range s.cached {
 		for _, ent := range ents {
 			if binary.BigEndian.Uint64(ent.tmp) == ent.loc.Gen {
 				copy(bufs[ent.idx], ent.tmp[cache.CopyHeaderBytes+ent.delta:])
@@ -102,22 +98,27 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 				continue
 			}
 			c.staleGen.Inc()
-			nvmRetry = append(nvmRetry, ent.idx)
+			s.nvmRetry = append(s.nvmRetry, ent.idx)
 		}
 	}
 	c.hits.Add(int64(hits))
 	c.misses.Add(int64(len(addrs) - hits))
-	if len(nvmRetry) > 0 {
-		retryGroups := make(map[string][]rdma.ReadReq)
-		for _, i := range nvmRetry {
-			conn := conns[i]
-			retryGroups[conn.nvm.Node] = append(retryGroups[conn.nvm.Node], rdma.ReadReq{
+	if len(s.nvmRetry) > 0 {
+		// The follow-ups go out as one batched chain per home node, not
+		// as sequential per-entry reads: a burst of stale copies (a remap
+		// epoch just moved) costs one extra round trip, not one per entry.
+		for _, i := range s.nvmRetry {
+			conn := s.conns[i]
+			s.retryGroups[conn.nvm.Node] = append(s.retryGroups[conn.nvm.Node], rdma.ReadReq{
 				Dst:   bufs[i],
 				Raddr: rdma.RemoteAddr{Region: conn.nvm, Offset: addrs[i].Offset()},
 			})
 		}
 		retryStart := end
-		for node, reqs := range retryGroups {
+		for node, reqs := range s.retryGroups {
+			if len(reqs) == 0 {
+				continue
+			}
 			qp, err := c.qpToNode(node)
 			if err != nil {
 				return err
@@ -133,12 +134,12 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 	}
 	c.now = end
 	for i, addr := range addrs {
-		if conns[i].writer != nil {
-			conns[i].writer.ApplyPending(addr, bufs[i])
+		if s.conns[i].writer != nil {
+			s.conns[i].writer.ApplyPending(addr, bufs[i])
 		}
 		c.reads.Inc()
-		conns[i].rec.RecordRead(addr)
-		c.afterAccess(conns[i])
+		s.conns[i].rec.RecordRead(addr)
+		c.afterAccess(s.conns[i])
 	}
 	c.readLat.Record(simnet.Duration(end - start))
 	return nil

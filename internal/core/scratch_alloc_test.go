@@ -1,0 +1,95 @@
+//go:build !race
+
+// Allocation-regression tests: the vectored data-path ops run from
+// pooled scratch, so their steady state must not allocate per entry.
+// The race detector instruments allocations, so these run only in
+// normal builds.
+
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gengar/internal/config"
+	"gengar/internal/region"
+)
+
+func TestReadMultiCachedSteadyStateAllocs(t *testing.T) {
+	// Promote one object, then hammer it with vectored cached reads. Each
+	// entry needs a header+payload staging buffer; those come from the
+	// scratch pool, so allocations must stay far below one per entry.
+	cfg := testConfig()
+	cfg.Servers = 1
+	cfg.Hotness.DigestEvery = 1 << 30 // keep digest traffic out of the loop
+	c := newTestCluster(t, cfg)
+	cl := connect(t, c, "u1")
+	a, _ := cl.Malloc(512)
+	if err := cl.Write(a, bytes.Repeat([]byte{0x5a}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for i := 0; i < 32; i++ {
+		if err := cl.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(t, c, cl, a)
+	settle(t, c, cl, a)
+	srv, _ := c.Registry().ByID(1)
+	if srv.Stats().Promoted == 0 {
+		t.Skip("promotion did not land")
+	}
+
+	const k = 16
+	addrs := make([]region.GAddr, k)
+	bufs := make([][]byte, k)
+	for i := range addrs {
+		addrs[i] = a
+		bufs[i] = make([]byte, 512)
+	}
+	run := func() {
+		if err := cl.ReadMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool and per-node groups
+	if hits := cl.Stats().CacheHits; hits < k {
+		t.Skipf("cached path not taken (hits=%d)", hits)
+	}
+	allocs := testing.AllocsPerRun(50, run)
+	// One chain bookkeeping alloc per call is fine; one per entry is the
+	// regression this guards against.
+	if allocs >= k/2 {
+		t.Fatalf("ReadMulti allocates %.1f times per call for %d cached entries", allocs, k)
+	}
+}
+
+func TestWriteMultiDirectSteadyStateAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Servers = 1
+	cfg.Features = config.Features{} // direct path: chain + one fence
+	c := newTestCluster(t, cfg)
+	cl := connect(t, c, "u1")
+	const k = 16
+	addrs := make([]region.GAddr, k)
+	bufs := make([][]byte, k)
+	for i := range addrs {
+		a, err := cl.Malloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+		bufs[i] = bytes.Repeat([]byte{byte(i)}, 128)
+	}
+	run := func() {
+		if err := cl.WriteMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	allocs := testing.AllocsPerRun(50, run)
+	if allocs >= k/2 {
+		t.Fatalf("WriteMulti allocates %.1f times per call for %d entries", allocs, k)
+	}
+}

@@ -433,3 +433,149 @@ func TestSubmitMutualExclusionWithFlushes(t *testing.T) {
 		t.Fatalf("%d tasks overlapped a flush", v)
 	}
 }
+
+func TestStageMultiFlushesToNVM(t *testing.T) {
+	h := newHarness(t, 8, 4096+slotHeaderBytes, nil)
+	reqs := make([]StageReq, 4)
+	for i := range reqs {
+		off := int64(i) * 256
+		reqs[i] = StageReq{Addr: gaddr(off), NvmOff: off, Data: bytes.Repeat([]byte{byte('a' + i)}, 64)}
+	}
+	stagedAt, err := h.writer.StageMulti(0, reqs)
+	if err != nil {
+		t.Fatalf("StageMulti: %v", err)
+	}
+	if stagedAt <= 0 {
+		t.Fatal("batch charged no time")
+	}
+	appliedAt := h.writer.Drain()
+	if appliedAt < stagedAt {
+		t.Fatalf("applied %v before staged %v", appliedAt, stagedAt)
+	}
+	got := make([]byte, 64)
+	for i := range reqs {
+		if err := h.nvm.ReadRaw(int64(i)*256, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, reqs[i].Data) {
+			t.Fatalf("record %d: NVM content mismatch after flush", i)
+		}
+	}
+	if st := h.engine.Stats(); st.Staged != 4 || st.Flushed != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStageMultiCheaperThanSequential(t *testing.T) {
+	// A k-record burst staged as one chain should cost far less than k
+	// sequential stages — one doorbell and one overlapped round trip
+	// instead of k.
+	const k = 8
+	payload := make([]byte, 256)
+	mk := func() []StageReq {
+		reqs := make([]StageReq, k)
+		for i := range reqs {
+			off := int64(i) * 256
+			reqs[i] = StageReq{Addr: gaddr(off), NvmOff: off, Data: payload}
+		}
+		return reqs
+	}
+
+	hb := newHarness(t, 32, 4096+slotHeaderBytes, nil)
+	batchEnd, err := hb.writer.StageMulti(0, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hs := newHarness(t, 32, 4096+slotHeaderBytes, nil)
+	var now simnet.Time
+	for _, r := range mk() {
+		end, err := hs.writer.Stage(now, r.Addr, r.NvmOff, r.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = end
+	}
+	if simnet.Duration(batchEnd)*2 > simnet.Duration(now) {
+		t.Fatalf("batch %v not <1/2 of sequential %v", simnet.Duration(batchEnd), simnet.Duration(now))
+	}
+}
+
+func TestStageMultiReadYourWrites(t *testing.T) {
+	h := newHarness(t, 8, 1024, nil)
+	if err := h.nvm.WriteRaw(0, bytes.Repeat([]byte{'o'}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []StageReq{
+		{Addr: gaddr(8), NvmOff: 8, Data: []byte("NEW!")},
+		{Addr: gaddr(12), NvmOff: 12, Data: []byte("MORE")},
+	}
+	if _, err := h.writer.StageMulti(0, reqs); err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{'o'}, 16)
+	if h.writer.PendingCount() > 0 {
+		if !h.writer.ApplyPending(gaddr(0), buf) {
+			t.Fatal("overlay did not apply")
+		}
+		if string(buf) != "oooooooo"+"NEW!"+"MORE" {
+			t.Fatalf("overlay result %q", buf)
+		}
+	}
+	h.writer.Drain()
+	got := make([]byte, 8)
+	if err := h.nvm.ReadRaw(8, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "NEW!MORE" {
+		t.Fatalf("NVM after drain = %q", got)
+	}
+}
+
+func TestStageMultiLargerThanRing(t *testing.T) {
+	// A burst wider than the ring must chunk into ring-sized chains
+	// (blocking on backpressure, not deadlocking) and flush everything
+	// in FIFO order.
+	h := newHarness(t, 2, 4096+slotHeaderBytes, nil)
+	const k = 9
+	reqs := make([]StageReq, k)
+	for i := range reqs {
+		off := int64(i) * 4096
+		reqs[i] = StageReq{Addr: gaddr(off), NvmOff: off, Data: []byte{byte(i)}}
+	}
+	// Same-address pair at the end: last must win.
+	reqs[k-1] = StageReq{Addr: gaddr(0), NvmOff: 0, Data: []byte{0xFF}}
+	if _, err := h.writer.StageMulti(0, reqs); err != nil {
+		t.Fatal(err)
+	}
+	h.writer.Drain()
+	if st := h.engine.Stats(); st.Flushed != k {
+		t.Fatalf("flushed %d, want %d", st.Flushed, k)
+	}
+	var got [1]byte
+	if err := h.nvm.ReadRaw(0, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xFF {
+		t.Fatalf("NVM[0] = %#x, want last write", got[0])
+	}
+}
+
+func TestStageMultiValidation(t *testing.T) {
+	h := newHarness(t, 4, 64, nil)
+	// Empty burst is a no-op.
+	if end, err := h.writer.StageMulti(7, nil); err != nil || end != 7 {
+		t.Fatalf("empty burst: %v %v", end, err)
+	}
+	// One oversize payload fails the whole burst before anything stages.
+	reqs := []StageReq{
+		{Addr: gaddr(0), NvmOff: 0, Data: make([]byte, 8)},
+		{Addr: gaddr(64), NvmOff: 64, Data: make([]byte, 64)},
+	}
+	if _, err := h.writer.StageMulti(0, reqs); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversize burst: %v", err)
+	}
+	if h.writer.PendingCount() != 0 {
+		t.Fatal("failed burst left pending records")
+	}
+}

@@ -39,7 +39,27 @@ type pendingWrite struct {
 	seq  uint64
 	addr region.GAddr
 	data []byte
+	buf  *[]byte // pooled backing of data, recycled when the ack pops it
 }
+
+// bufPool recycles the per-record byte buffers of the staging hot path:
+// slot images (header + payload) and the pending read-your-writes
+// copies. Both are short-lived and sized by the ring slot, so pooling
+// them removes the two per-record allocations Stage/StageMulti would
+// otherwise pay.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a pooled buffer of length n.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
 
 // Writer is the client side of the proxy write path for one
 // (client, server) pair. Stage RDMA-WRITEs a record into the next ring
@@ -125,6 +145,10 @@ func (w *Writer) ackLoop() {
 			// Flushing is FIFO per ring, so completed records form a
 			// prefix.
 			for len(w.pending) > 0 && w.pending[0].seq <= ack.Seq {
+				if bp := w.pending[0].buf; bp != nil {
+					putBuf(bp)
+				}
+				w.pending[0] = pendingWrite{}
 				w.pending = w.pending[1:]
 			}
 			w.cond.Broadcast()
@@ -159,24 +183,31 @@ func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []b
 	w.nextSeq++
 	slot := int(seq % uint64(w.ring.Slots))
 
-	// One RDMA WRITE carries header + payload into the slot.
-	buf := make([]byte, slotHeaderBytes+len(data))
+	// One RDMA WRITE carries header + payload into the slot. The slot
+	// image is pooled: the device copies it during the WRITE, so it is
+	// reusable the moment the verb returns.
+	slotBuf := getBuf(slotHeaderBytes + len(data))
+	buf := *slotBuf
 	binary.BigEndian.PutUint64(buf, uint64(addr))
 	binary.BigEndian.PutUint32(buf[8:], uint32(len(data)))
 	copy(buf[slotHeaderBytes:], data)
 	slotOff := w.ring.Base + int64(slot)*int64(w.ring.SlotSize)
 	stagedAt, err := w.qp.Write(at, buf, rdma.RemoteAddr{Region: w.ring.Handle, Offset: slotOff})
+	putBuf(slotBuf)
 	if err != nil {
 		w.stageMu.Unlock()
 		w.credits <- struct{}{}
 		return at, fmt.Errorf("proxy: stage: %w", err)
 	}
 
+	pb := getBuf(len(data))
+	copy(*pb, data)
 	w.pendMu.Lock()
 	w.pending = append(w.pending, pendingWrite{
 		seq:  seq,
 		addr: addr,
-		data: append([]byte(nil), data...),
+		data: *pb,
+		buf:  pb,
 	})
 	w.pendMu.Unlock()
 
@@ -198,17 +229,165 @@ func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []b
 	w.stageMu.Unlock()
 	if err != nil {
 		// The record will never flush; undo the pending entry and credit.
-		w.pendMu.Lock()
-		for i := range w.pending {
-			if w.pending[i].seq == seq {
-				w.pending = append(w.pending[:i], w.pending[i+1:]...)
-				break
-			}
-		}
-		w.pendMu.Unlock()
+		w.dropPending(seq)
 		w.credits <- struct{}{}
 		return at, err
 	}
+	return stagedAt, nil
+}
+
+// dropPending removes (and recycles) the pending entry with the given
+// sequence number — the undo path when an enqueue fails.
+func (w *Writer) dropPending(seq uint64) {
+	w.pendMu.Lock()
+	for i := range w.pending {
+		if w.pending[i].seq == seq {
+			if bp := w.pending[i].buf; bp != nil {
+				putBuf(bp)
+			}
+			w.pending = append(w.pending[:i], w.pending[i+1:]...)
+			break
+		}
+	}
+	w.pendMu.Unlock()
+}
+
+// StageReq is one record in a batched stage: a proxied write of Data to
+// the global address Addr, whose NVM backing lives at NvmOff in the
+// server's pool device.
+type StageReq struct {
+	Addr   region.GAddr
+	NvmOff int64
+	Data   []byte
+}
+
+// StageMulti stages a burst of records into consecutive ring slots,
+// posting each ring-sized run as a single doorbell-batched WRITE chain
+// — one PerOp for the whole burst instead of one per record. Per-slot
+// credits and backpressure are unchanged (the call blocks while the
+// flusher is behind), records enter the flusher in staging order, and
+// every record joins the pending set before the call returns, so
+// read-your-writes holds exactly as for Stage.
+//
+// The returned instant is when the chain's last WQE is acknowledged —
+// the client-visible latency of the whole burst.
+func (w *Writer) StageMulti(at simnet.Time, reqs []StageReq) (simnet.Time, error) {
+	for _, r := range reqs {
+		if len(r.Data) > w.ring.MaxPayload() {
+			return at, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(r.Data), w.ring.MaxPayload())
+		}
+	}
+	end := at
+	// A chain longer than the ring would deadlock on credits; split the
+	// burst into ring-sized chains, each fully credited before posting.
+	for len(reqs) > 0 {
+		n := len(reqs)
+		if n > w.ring.Slots {
+			n = w.ring.Slots
+		}
+		var err error
+		end, err = w.stageChain(end, reqs[:n])
+		if err != nil {
+			return at, err
+		}
+		reqs = reqs[n:]
+	}
+	return end, nil
+}
+
+// stageChain stages up to ring.Slots records as one doorbell-batched
+// chain. Caller has validated payload sizes.
+func (w *Writer) stageChain(at simnet.Time, reqs []StageReq) (simnet.Time, error) {
+	w.pendMu.Lock()
+	closed := w.closed
+	w.pendMu.Unlock()
+	if closed {
+		return at, ErrEngineClosed
+	}
+
+	// Take one ring slot per record; blocks when the flusher is behind.
+	for range reqs {
+		<-w.credits
+	}
+	w.occHW.SetMax(int64(w.ring.Slots - len(w.credits)))
+
+	w.stageMu.Lock()
+	seq0 := w.nextSeq
+	w.nextSeq += uint64(len(reqs))
+
+	// Build the chain: one WQE per slot image, all pooled.
+	wreqs := make([]rdma.WriteReq, len(reqs))
+	slotBufs := make([]*[]byte, len(reqs))
+	for i, r := range reqs {
+		slot := int((seq0 + uint64(i)) % uint64(w.ring.Slots))
+		sb := getBuf(slotHeaderBytes + len(r.Data))
+		buf := *sb
+		binary.BigEndian.PutUint64(buf, uint64(r.Addr))
+		binary.BigEndian.PutUint32(buf[8:], uint32(len(r.Data)))
+		copy(buf[slotHeaderBytes:], r.Data)
+		slotBufs[i] = sb
+		wreqs[i] = rdma.WriteReq{
+			Src: buf,
+			Raddr: rdma.RemoteAddr{
+				Region: w.ring.Handle,
+				Offset: w.ring.Base + int64(slot)*int64(w.ring.SlotSize),
+			},
+		}
+	}
+	stagedAt, err := w.qp.WriteBatch(at, wreqs)
+	for _, sb := range slotBufs {
+		putBuf(sb)
+	}
+	if err != nil {
+		w.stageMu.Unlock()
+		for range reqs {
+			w.credits <- struct{}{}
+		}
+		return at, fmt.Errorf("proxy: stage batch: %w", err)
+	}
+
+	w.pendMu.Lock()
+	for i, r := range reqs {
+		pb := getBuf(len(r.Data))
+		copy(*pb, r.Data)
+		w.pending = append(w.pending, pendingWrite{
+			seq:  seq0 + uint64(i),
+			addr: r.Addr,
+			data: *pb,
+			buf:  pb,
+		})
+	}
+	w.pendMu.Unlock()
+
+	// Enqueue in sequence order before releasing stageMu (slot-reuse
+	// safety rests on FIFO credit return). The whole chain completes at
+	// the final WQE's ack — the single signaled work request.
+	for i, r := range reqs {
+		seq := seq0 + uint64(i)
+		slot := int(seq % uint64(w.ring.Slots))
+		rec := record{
+			ringID:   w.ring.ID,
+			seq:      seq,
+			addr:     r.Addr,
+			nvmOff:   r.NvmOff,
+			ringOff:  w.ring.DevBase + int64(slot)*int64(w.ring.SlotSize) + slotHeaderBytes,
+			size:     len(r.Data),
+			stagedAt: stagedAt,
+			acks:     w.ackCh,
+			slotFree: w.credits,
+		}
+		if err := w.engine.enqueue(rec); err != nil {
+			// Records before i are in flight and will ack normally; undo
+			// the tail that will never flush.
+			w.stageMu.Unlock()
+			for j := i; j < len(reqs); j++ {
+				w.dropPending(seq0 + uint64(j))
+				w.credits <- struct{}{}
+			}
+			return at, err
+		}
+	}
+	w.stageMu.Unlock()
 	return stagedAt, nil
 }
 

@@ -519,3 +519,88 @@ func TestReadBatchValidation(t *testing.T) {
 		t.Fatalf("unconnected batch: %v", err)
 	}
 }
+
+func TestWriteBatchRoundtrip(t *testing.T) {
+	client, _, mr := testPair(t, hmem.KindNVM, 1<<16)
+	reqs := make([]WriteReq, 4)
+	for i := range reqs {
+		reqs[i] = WriteReq{
+			Src:   []byte{byte('a' + i)},
+			Raddr: RemoteAddr{Region: mr.Handle(), Offset: int64(i) * 256},
+		}
+	}
+	end, err := client.WriteBatch(0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("batch charged no time")
+	}
+	got := make([]byte, 1)
+	for i := range reqs {
+		if err := mr.Device().ReadRaw(int64(i)*256, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte('a'+i) {
+			t.Fatalf("req %d stored %q", i, got)
+		}
+	}
+}
+
+func TestWriteBatchCheaperThanSequential(t *testing.T) {
+	// k small writes batched should cost far less than k round trips.
+	client, _, mr := testPair(t, hmem.KindDRAM, 1<<16)
+	const k = 8
+	reqs := make([]WriteReq, k)
+	for i := range reqs {
+		reqs[i] = WriteReq{Src: make([]byte, 64), Raddr: RemoteAddr{Region: mr.Handle(), Offset: int64(i) * 64}}
+	}
+	batchEnd, err := client.WriteBatch(0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now simnet.Time
+	for i := 0; i < k; i++ {
+		end, err := client.Write(now, make([]byte, 64), RemoteAddr{Region: mr.Handle(), Offset: int64(i) * 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = end
+	}
+	if simnet.Duration(batchEnd)*3 > simnet.Duration(now) {
+		t.Fatalf("batch %v not <1/3 of sequential %v", simnet.Duration(batchEnd), simnet.Duration(now))
+	}
+}
+
+func TestWriteBatchValidation(t *testing.T) {
+	client, _, mr := testPair(t, hmem.KindDRAM, 1024)
+	// Empty batch is a no-op.
+	if end, err := client.WriteBatch(5, nil); err != nil || end != 5 {
+		t.Fatalf("empty batch: %v %v", end, err)
+	}
+	// A bad request fails the whole batch before any data moves.
+	reqs := []WriteReq{
+		{Src: make([]byte, 8), Raddr: RemoteAddr{Region: mr.Handle(), Offset: 0}},
+		{Src: make([]byte, 8), Raddr: RemoteAddr{Region: mr.Handle(), Offset: 4096}},
+	}
+	if _, err := client.WriteBatch(0, reqs); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("oob batch: %v", err)
+	}
+	var first [1]byte
+	if err := mr.Device().ReadRaw(0, first[:]); err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != 0 {
+		t.Fatal("failed batch wrote data")
+	}
+	wrong := []WriteReq{{Src: make([]byte, 8), Raddr: RemoteAddr{Region: RegionHandle{Node: "nope", RKey: 1}}}}
+	if _, err := client.WriteBatch(0, wrong); err == nil {
+		t.Fatal("wrong-node batch accepted")
+	}
+	// Unconnected QP.
+	f, _ := NewFabric(testModel())
+	n, _ := f.AddNode("x")
+	if _, err := n.NewQP().WriteBatch(0, reqs); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("unconnected batch: %v", err)
+	}
+}

@@ -44,6 +44,7 @@ const (
 	KindOpenSession
 	KindWriteThrough
 	KindCloseSession
+	KindWriteThroughBatch
 )
 
 // ErrNotHome is returned for operations addressed to the wrong home
@@ -188,6 +189,7 @@ func New(f *rdma.Fabric, id uint16, cfg config.Cluster) (*Server, error) {
 	s.rpcSrv.Handle(KindOpenSession, s.handleOpenSession)
 	s.rpcSrv.Handle(KindWriteThrough, s.handleWriteThrough)
 	s.rpcSrv.Handle(KindCloseSession, s.handleCloseSession)
+	s.rpcSrv.Handle(KindWriteThroughBatch, s.handleWriteThroughBatch)
 	return s, nil
 }
 
@@ -439,28 +441,53 @@ func (s *Server) handleWriteThrough(at simnet.Time, req *rpc.Reader) ([]byte, si
 	if err := req.Err(); err != nil {
 		return nil, at, err
 	}
+	end, err := s.refreshCopy(at, addr, size)
+	return nil, end, err
+}
+
+// handleWriteThroughBatch is the vectored form of handleWriteThrough:
+// one RPC refreshes the promoted copies of a whole batched write chain,
+// so a k-record direct-path burst pays one control-plane round trip
+// instead of k. Ranges are refreshed in request order.
+func (s *Server) handleWriteThroughBatch(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
+	n := int(req.U32())
+	end := at
+	for i := 0; i < n; i++ {
+		addr := region.GAddr(req.U64())
+		size := int64(req.U32())
+		if err := req.Err(); err != nil {
+			return nil, at, err
+		}
+		var err error
+		end, err = s.refreshCopy(end, addr, size)
+		if err != nil {
+			return nil, at, err
+		}
+	}
+	return nil, end, req.Err()
+}
+
+// refreshCopy re-reads the just-written NVM range and refreshes the
+// promoted DRAM copy covering it, if any.
+func (s *Server) refreshCopy(at simnet.Time, addr region.GAddr, size int64) (simnet.Time, error) {
 	if addr.Server() != s.id {
-		return nil, at, fmt.Errorf("%w: %v", ErrNotHome, addr)
+		return at, fmt.Errorf("%w: %v", ErrNotHome, addr)
 	}
 	base, _, ok := s.objIdx.findContaining(addr, size)
 	if !ok {
-		return nil, at, nil // object freed; nothing to refresh
+		return at, nil // object freed; nothing to refresh
 	}
 	loc, promoted := s.remap.Lookup(base)
 	if !promoted {
-		return nil, at, nil
+		return at, nil
 	}
 	data := make([]byte, size)
 	tRead, err := s.nvm.Read(at, addr.Offset(), data)
 	if err != nil {
-		return nil, at, err
+		return at, err
 	}
 	delta := addr.Offset() - base.Offset()
-	end, err := s.registry.writeCopy(s, tRead, loc, delta, data)
-	if err != nil {
-		return nil, at, err
-	}
-	return nil, end, nil
+	return s.registry.writeCopy(s, tRead, loc, delta, data)
 }
 
 // applyToCache is the proxy flusher's write-through hook: after a staged

@@ -24,6 +24,7 @@ type Event struct {
 	Path      string `json:"path,omitempty"`   // verb path taken: dram_copy, nvm, proxy_ring, nvm_direct
 	Hit       bool   `json:"hit,omitempty"`    // served by a DRAM copy
 	RingDepth int    `json:"ring_depth,omitempty"`
+	Batch     int    `json:"batch,omitempty"`  // records in a batched chain
 	LatNanos  int64  `json:"lat_ns,omitempty"` // operation latency
 }
 
