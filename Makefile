@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full quick tidy clean
+.PHONY: all build vet lint test race race-short bench bench-full quick tidy clean
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariant analyzers (locks across blocking ops, WQE
+# buffer aliasing, telemetry hygiene, hotpath allocations, dropped
+# errors). Exits non-zero on any finding; see DESIGN.md "Static
+# analysis" for the suppression syntax.
+lint:
+	$(GO) run ./cmd/gengar-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short-mode race pass: skips the whole-module self-lint and the long
+# experiment sweeps, keeping the race detector on every core path.
+race-short:
+	$(GO) test -race -short ./...
 
 # Smoke pass over every experiment benchmark: one iteration each at
 # Quick scale, so a broken experiment fails fast in CI.

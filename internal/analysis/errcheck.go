@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// errcheckCore flags call statements that silently discard an error
+// returned by a Gengar pool API (core, proxy, rdma, rpc, tcpnet, lock,
+// server, cache). Every one of those errors is a pool-consistency
+// signal — a failed post, a dead session, an unlocked lock — and the
+// cmd/ tools especially have a history of dropping them on teardown
+// paths. An explicit `_ =` assignment is an intentional, reviewable
+// discard and is not flagged.
+const errcheckCoreName = "errcheck-core"
+
+var errcheckCore = &Analyzer{
+	Name: errcheckCoreName,
+	Doc:  "discarded error from a core/proxy/rdma (pool) API call",
+	Run:  runErrcheckCore,
+}
+
+// errcheckPkgs are the module packages whose errors must not be dropped.
+var errcheckPkgs = map[string]bool{
+	"core": true, "proxy": true, "rdma": true, "rpc": true,
+	"tcpnet": true, "lock": true, "server": true, "cache": true,
+}
+
+func isErrcheckPkg(path string) bool {
+	if !strings.HasPrefix(path, "gengar/internal/") {
+		return false
+	}
+	return errcheckPkgs[pkgBase(path)]
+}
+
+func runErrcheckCore(p *Pass) []Finding {
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c, ok := resolveCallee(p.Pkg.Info, call)
+			if !ok || !isErrcheckPkg(c.pkgPath) {
+				return true
+			}
+			if !returnsError(p.Pkg.Info, call) {
+				return true
+			}
+			target := c.name
+			if c.recv != "" {
+				target = c.recv + "." + c.name
+			}
+			out = append(out, p.finding(errcheckCoreName, call.Pos(),
+				"error from %s.%s discarded: handle it or discard explicitly with _ =", pkgBase(c.pkgPath), target))
+			return true
+		})
+	}
+	return out
+}

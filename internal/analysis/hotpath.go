@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathAlloc guards functions annotated //gengar:hotpath — the
+// per-operation data paths (ReadMulti, WriteMulti, StageMulti) whose
+// allocation behavior PR 2's sync.Pool work pinned down. Inside a
+// hotpath function:
+//
+//   - no time.Now (wall-clock reads; simulated time comes from the
+//     operation's own simnet timestamps),
+//   - no fmt.Sprint/Sprintf/Sprintln (per-op formatting allocates;
+//     fmt.Errorf is tolerated — error construction is the cold path),
+//   - no make with a non-constant size (per-op slice/map growth), and
+//   - no append whose destination is a bare local slice — appends must
+//     target pooled or amortized storage (a struct field such as
+//     s.conns or s.stage[i], reused across operations).
+//
+// Function literals are skipped: pool New closures and deferred cleanup
+// run off the per-op path.
+const hotpathAllocName = "hotpath-alloc"
+
+var hotpathAlloc = &Analyzer{
+	Name: hotpathAllocName,
+	Doc:  "//gengar:hotpath function calls time.Now/fmt.Sprintf or allocates outside a pool",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(p *Pass) []Finding {
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		if !hasHotpathDirective(fn) {
+			continue
+		}
+		out = append(out, hotpathCheckFunc(p, fn)...)
+	}
+	return out
+}
+
+func hotpathCheckFunc(p *Pass, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			// Builtins resolve to *types.Builtin; a shadowing local
+			// named "make" would resolve to a Var and is not our make.
+			_, isBuiltin := info.Uses[id].(*types.Builtin)
+			switch {
+			case isBuiltin && id.Name == "make":
+				if !makeSizeConstant(p, call) {
+					out = append(out, p.finding(hotpathAllocName, call.Pos(),
+						"make with non-constant size in hotpath %s: allocate from a pool or a reused scratch field", fn.Name.Name))
+				}
+				return true
+			case isBuiltin && id.Name == "append" && len(call.Args) > 0:
+				if appendsToLocal(p, call.Args[0]) {
+					out = append(out, p.finding(hotpathAllocName, call.Pos(),
+						"append to local slice %s in hotpath %s: grow a pooled or struct-field buffer instead", exprText(call.Args[0]), fn.Name.Name))
+				}
+				return true
+			}
+		}
+		c, ok := resolveCallee(info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case c.pkgPath == "time" && c.name == "Now":
+			out = append(out, p.finding(hotpathAllocName, call.Pos(),
+				"time.Now in hotpath %s: use the operation's simulated timestamps", fn.Name.Name))
+		case c.pkgPath == "fmt" && (c.name == "Sprintf" || c.name == "Sprint" ||
+			c.name == "Sprintln"):
+			out = append(out, p.finding(hotpathAllocName, call.Pos(),
+				"fmt.%s in hotpath %s: per-operation formatting allocates", c.name, fn.Name.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// makeSizeConstant reports whether every size argument of a make call is
+// a compile-time constant (make(T) with no size is fine: maps/chans of
+// default capacity are still per-op allocs, but the flagged class is
+// data-dependent growth — and make of a map with no hint is caught by
+// being non-constant-free anyway, so treat no-size as constant).
+func makeSizeConstant(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args[1:] { // Args[0] is the type
+		if !isConstExpr(p.Pkg.Info, arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendsToLocal reports whether the append destination is a bare local
+// variable (an Ident bound in this function) rather than a struct field
+// or an element of one.
+func appendsToLocal(p *Pass, dst ast.Expr) bool {
+	id, ok := ast.Unparen(dst).(*ast.Ident)
+	if !ok {
+		return false // selector/index destination: amortized storage
+	}
+	obj := objOf(p, id)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	// Package-scope destinations are someone else's problem (and rare);
+	// the hotpath hazard is the per-op local that escapes the pool.
+	return obj.Parent() != obj.Pkg().Scope()
+}

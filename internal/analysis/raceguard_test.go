@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// raceExcludeAllowlist are the only files permitted to carry a
+// `//go:build !race` constraint: allocation-count tests, because
+// testing.AllocsPerRun measures nothing under the race detector's
+// instrumented allocator. Everything else must run under `make race` —
+// excluding a test from -race is how data races hide (policy: see
+// "Static analysis" in DESIGN.md).
+var raceExcludeAllowlist = map[string]bool{
+	"internal/core/scratch_alloc_test.go": true,
+}
+
+// TestRaceGuardAudit walks every Go file in the module and fails if a
+// file outside the allowlist opts out of the race detector, or if an
+// allowlisted file stops existing (stale allowlist) or no longer
+// contains an AllocsPerRun measurement (no reason to be excluded).
+func TestRaceGuardAudit(t *testing.T) {
+	root := moduleRoot(t)
+	found := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "//go:build") {
+				continue
+			}
+			if strings.Contains(line, "!race") {
+				found[filepath.ToSlash(rel)] = true
+				if !raceExcludeAllowlist[filepath.ToSlash(rel)] {
+					t.Errorf("%s opts out of -race (%s); only AllocsPerRun tests may (see allowlist in raceguard_test.go)", rel, line)
+				}
+				if !strings.Contains(string(data), "AllocsPerRun") {
+					t.Errorf("%s excludes -race but has no AllocsPerRun measurement; remove the constraint", rel)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel := range raceExcludeAllowlist {
+		if !found[rel] {
+			t.Errorf("allowlist entry %s has no //go:build !race file behind it; prune the allowlist", rel)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ignoreAnalyzerName is the pseudo analyzer that reports malformed
+// //gengar:lint-ignore directives. It cannot be suppressed.
+const ignoreAnalyzerName = "lint-ignore"
+
+const ignorePrefix = "//gengar:lint-ignore"
+
+// directive is one parsed //gengar:lint-ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // "" when missing
+	reason   string // "" when missing
+}
+
+// suppressions indexes a package's ignore directives by file and line.
+type suppressions struct {
+	// byKey maps "<analyzer>\x00<file>" to the sorted lines holding a
+	// well-formed directive for that analyzer.
+	byKey  map[string][]int
+	broken []directive
+}
+
+// collectSuppressions parses every //gengar:lint-ignore directive in the
+// package. A directive must name an analyzer and give a reason; ones
+// that do not are recorded as broken and reported as findings.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byKey: make(map[string][]int)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //gengar:lint-ignorexyz — not ours
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if d.analyzer == "" || d.reason == "" {
+					s.broken = append(s.broken, d)
+					continue
+				}
+				key := d.analyzer + "\x00" + d.pos.Filename
+				s.byKey[key] = append(s.byKey[key], d.pos.Line)
+			}
+		}
+	}
+	for _, lines := range s.byKey {
+		sort.Ints(lines)
+	}
+	return s
+}
+
+// covers reports whether a well-formed directive for the analyzer sits
+// on the finding's line or on the line directly above it.
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	lines := s.byKey[analyzer+"\x00"+pos.Filename]
+	for _, l := range lines {
+		if l == pos.Line || l == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// brokenDirectives reports findings for directives missing a reason or
+// naming an analyzer that does not exist (a typo would otherwise
+// silently suppress nothing — or worse, the author believes it does).
+func (s *suppressions) brokenDirectives(pkg *Package, known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.broken {
+		msg := "lint-ignore directive needs an analyzer name and a reason: //gengar:lint-ignore <analyzer> <reason>"
+		out = append(out, Finding{
+			Analyzer: ignoreAnalyzerName,
+			Pos:      d.pos,
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+			Message:  msg,
+		})
+	}
+	for key, lines := range s.byKey {
+		name := key[:strings.IndexByte(key, '\x00')]
+		file := key[strings.IndexByte(key, '\x00')+1:]
+		if known[name] {
+			continue
+		}
+		for _, line := range lines {
+			out = append(out, Finding{
+				Analyzer: ignoreAnalyzerName,
+				Pos:      token.Position{Filename: file, Line: line, Column: 1},
+				File:     file,
+				Line:     line,
+				Col:      1,
+				Message:  "lint-ignore names unknown analyzer " + strconv.Quote(name),
+			})
+		}
+	}
+	return out
+}
+
+// hasHotpathDirective reports whether the function declaration carries a
+// //gengar:hotpath annotation in its doc comment.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == "//gengar:hotpath" || strings.HasPrefix(text, "//gengar:hotpath ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// telemetryHygiene enforces the registry discipline from PR 2's unified
+// telemetry work:
+//
+//   - no package-level registries: a *telemetry.Registry lives on the
+//     cluster (one scrape surface, resettable in tests), never in a
+//     package-scope var, where it would outlive clusters and merge
+//     series across tests;
+//   - bounded label values: a label value must be a compile-time
+//     constant or an enum's String() — except inside constructors and
+//     registration helpers (New*/Open*/Connect*/Dial*/Join*/Register*),
+//     where identity labels like the client name are bound once.
+//     Anything else (per-op formatting, addresses, counters) makes
+//     series cardinality unbounded;
+//   - no double registration: two registrations with the same constant
+//     metric name in one function is the copy-paste bug the registry
+//     only catches at runtime.
+const telemetryHygieneName = "telemetry-hygiene"
+
+var telemetryHygiene = &Analyzer{
+	Name: telemetryHygieneName,
+	Doc:  "package-level registries, unbounded label values, double registration",
+	Run:  runTelemetryHygiene,
+}
+
+const telemetryPkgPath = "gengar/internal/telemetry"
+
+func runTelemetryHygiene(p *Pass) []Finding {
+	if p.Pkg.Path == telemetryPkgPath {
+		return nil // the registry implementation is exempt from its own client rules
+	}
+	var out []Finding
+	out = append(out, packageLevelRegistries(p)...)
+	for _, fn := range funcDecls(p.Pkg) {
+		out = append(out, labelAndRegistrationChecks(p, fn)...)
+	}
+	return out
+}
+
+// packageLevelRegistries flags package-scope vars of type
+// telemetry.Registry (or pointer to it).
+func packageLevelRegistries(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.Pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if isNamedType(obj.Type(), telemetryPkgPath, "Registry") {
+						out = append(out, p.finding(telemetryHygieneName, name.Pos(),
+							"package-level telemetry registry %s: registries belong to a cluster, not package scope", name.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// registrationMethods are the telemetry.Registry methods that create a
+// series; their first argument is the metric name.
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"RegisterCounter": true, "RegisterGauge": true, "RegisterHistogram": true,
+	"GaugeFunc": true,
+}
+
+// constructorPrefixes are function-name prefixes inside which dynamic
+// label values are allowed: the label is bound once per constructed
+// object, so cardinality tracks object count, not operation count.
+var constructorPrefixes = []string{"new", "open", "connect", "dial", "join", "register", "init"}
+
+func inConstructor(fn *ast.FuncDecl) bool {
+	name := strings.ToLower(fn.Name.Name)
+	for _, pre := range constructorPrefixes {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+func labelAndRegistrationChecks(p *Pass, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	constructor := inConstructor(fn)
+	// metric name (constant) -> first registration position
+	seen := make(map[string]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c, ok := resolveCallee(info, n)
+			if !ok || c.pkgPath != telemetryPkgPath {
+				return true
+			}
+			if c.recv == "Registry" && registrationMethods[c.name] && len(n.Args) > 0 {
+				if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					name := constant.StringVal(tv.Value)
+					// Same name with different constant labels is a family
+					// (one series per label value), not a duplicate; key on
+					// both. Dynamic labels can't be compared statically, so
+					// those registrations are skipped.
+					key, comparable := registrationKey(p, name, n.Args[1:])
+					if comparable {
+						if first, dup := seen[key]; dup {
+							out = append(out, p.finding(telemetryHygieneName, n.Pos(),
+								"metric %q registered twice with identical labels in %s (first at line %d)",
+								name, fn.Name.Name, p.Pkg.Fset.Position(first).Line))
+						} else {
+							seen[key] = n.Pos()
+						}
+					}
+				}
+			}
+			// telemetry.L(key, value): check the value argument.
+			if c.recv == "" && c.name == "L" && len(n.Args) == 2 && !constructor {
+				if f, bad := checkLabelValue(p, n.Args[1]); bad {
+					out = append(out, f)
+				}
+			}
+		case *ast.CompositeLit:
+			// telemetry.Label{Key: …, Value: …} literals.
+			if constructor {
+				return true
+			}
+			if tv, ok := info.Types[n]; !ok || !isNamedType(tv.Type, telemetryPkgPath, "Label") {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Value" {
+					if f, bad := checkLabelValue(p, kv.Value); bad {
+						out = append(out, f)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// registrationKey folds a registration call's constant labels into a
+// comparable key. Arguments that are telemetry.L calls with two constant
+// arguments contribute "k=v"; the instrument pointer/callback arguments
+// contribute nothing; anything of type telemetry.Label (or a slice or
+// spread of them) that is not constant-foldable makes the registration
+// incomparable.
+func registrationKey(p *Pass, name string, rest []ast.Expr) (string, bool) {
+	info := p.Pkg.Info
+	parts := []string{name}
+	for _, arg := range rest {
+		t := typeOf(p, arg)
+		if t == nil {
+			continue
+		}
+		isLabel := isNamedType(t, telemetryPkgPath, "Label")
+		if sl, ok := t.Underlying().(*types.Slice); ok && isNamedType(sl.Elem(), telemetryPkgPath, "Label") {
+			return "", false // labels... forwarded from a variable
+		}
+		if !isLabel {
+			continue // help string, instrument pointer, callback
+		}
+		call, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return "", false
+		}
+		kv, okK := info.Types[call.Args[0]]
+		vv, okV := info.Types[call.Args[1]]
+		if !okK || kv.Value == nil || !okV || vv.Value == nil {
+			return "", false
+		}
+		parts = append(parts, kv.Value.ExactString()+"="+vv.Value.ExactString())
+	}
+	return strings.Join(parts, "\x00"), true
+}
+
+// checkLabelValue accepts compile-time constants and enum String()
+// calls; everything else is unbounded cardinality.
+func checkLabelValue(p *Pass, v ast.Expr) (Finding, bool) {
+	v = ast.Unparen(v)
+	if isConstExpr(p.Pkg.Info, v) {
+		return Finding{}, false
+	}
+	if call, ok := v.(*ast.CallExpr); ok {
+		if c, ok := resolveCallee(p.Pkg.Info, call); ok && c.name == "String" && c.recv != "" {
+			return Finding{}, false // enum stringer: value set is the enum's
+		}
+	}
+	return p.finding(telemetryHygieneName, v.Pos(),
+		"unbounded label value %s: label values must be constants or enum String() outside constructors", exprText(v)), true
+}

@@ -1,0 +1,38 @@
+// Package errcheck is the golden corpus for the errcheck-core analyzer.
+package errcheck
+
+import (
+	"fmt"
+
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+type mover struct {
+	qp *rdma.QP
+}
+
+// dropsPostError discards the error of an RDMA post entirely.
+func (m *mover) dropsPostError(at simnet.Time, buf []byte) {
+	m.qp.Write(at, buf, rdma.RemoteAddr{}) // want "error from rdma.QP.Write discarded"
+	m.qp.Connect(nil)                      // want "error from rdma.QP.Connect discarded"
+}
+
+// explicitDiscard is a reviewed, intentional drop: allowed.
+func (m *mover) explicitDiscard(at simnet.Time, buf []byte) {
+	_, _ = m.qp.Write(at, buf, rdma.RemoteAddr{})
+}
+
+// handled propagates the error: allowed.
+func (m *mover) handled(at simnet.Time, buf []byte) error {
+	_, err := m.qp.Write(at, buf, rdma.RemoteAddr{})
+	if err != nil {
+		return fmt.Errorf("post: %w", err)
+	}
+	return nil
+}
+
+// nonPoolCallsAreIgnored: fmt is not a pool API.
+func (m *mover) nonPoolCallsAreIgnored() {
+	fmt.Println("not a pool API")
+}

@@ -1,0 +1,52 @@
+// Package hotpath is the golden corpus for the hotpath-alloc analyzer.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type client struct {
+	scratch []int
+	stage   map[int][]byte
+}
+
+// readMulti is annotated: the per-operation rules apply.
+//
+//gengar:hotpath
+func (c *client) readMulti(n int, evs []int) string {
+	now := time.Now() // want "time.Now in hotpath readMulti"
+	_ = now
+	tmp := make([]byte, n) // want "make with non-constant size in hotpath readMulti"
+	_ = tmp
+	fixed := make([]byte, 64) // constant size: amortizable, allowed
+	_ = fixed
+	var local []int
+	local = append(local, evs...) // want "append to local slice local in hotpath readMulti"
+	c.scratch = append(c.scratch, evs...)
+	c.stage[0] = append(c.stage[0], 1)
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf in hotpath readMulti"
+}
+
+// coldPath is not annotated: nothing is flagged.
+func (c *client) coldPath(n int) string {
+	_ = time.Now()
+	buf := make([]byte, n)
+	return fmt.Sprintf("%v", buf)
+}
+
+// pooledOK grows only pooled storage and is clean.
+//
+//gengar:hotpath
+func (c *client) pooledOK(evs []int) {
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, evs...)
+}
+
+// closuresAreOffPath: a pool New func may allocate.
+//
+//gengar:hotpath
+func (c *client) closuresAreOffPath(n int) {
+	newBuf := func() []byte { return make([]byte, n) }
+	_ = newBuf
+}

@@ -1,0 +1,33 @@
+// Package ignore is the golden corpus for //gengar:lint-ignore
+// directive validation, run with the full analyzer suite.
+package ignore
+
+import (
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+type mover struct {
+	qp *rdma.QP
+}
+
+// reasoned suppresses a real finding with a reason: no findings at all.
+func (m *mover) reasoned(at simnet.Time, buf []byte) {
+	//gengar:lint-ignore errcheck-core corpus demo of a reviewed discard
+	m.qp.Write(at, buf, rdma.RemoteAddr{})
+}
+
+// missingReason is itself a finding (and suppresses nothing, so the
+// discarded error reports too).
+func (m *mover) missingReason(at simnet.Time, buf []byte) {
+	// want-below "lint-ignore directive needs an analyzer name and a reason"
+	//gengar:lint-ignore errcheck-core
+	m.qp.Write(at, buf, rdma.RemoteAddr{}) // want "error from rdma.QP.Write discarded"
+}
+
+// unknownAnalyzer names a checker that does not exist — a typo that
+// would otherwise silently suppress nothing.
+func (m *mover) unknownAnalyzer(at simnet.Time, buf []byte) {
+	//gengar:lint-ignore errchek-core typo in the analyzer name // want "lint-ignore names unknown analyzer"
+	_, _ = m.qp.Write(at, buf, rdma.RemoteAddr{})
+}

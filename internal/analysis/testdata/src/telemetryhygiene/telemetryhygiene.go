@@ -1,0 +1,41 @@
+// Package telemetryhygiene is the golden corpus for the
+// telemetry-hygiene analyzer.
+package telemetryhygiene
+
+import (
+	"gengar/internal/telemetry"
+)
+
+// Package-level registries outlive clusters and merge series across
+// tests.
+var globalReg telemetry.Registry // want "package-level telemetry registry globalReg"
+
+var globalRegPtr *telemetry.Registry // want "package-level telemetry registry globalRegPtr"
+
+// verb is a bounded enum: its String() is an acceptable label value.
+type verb int
+
+func (v verb) String() string { return "read" }
+
+// recordOp runs per operation, so its label values must be bounded.
+func recordOp(reg *telemetry.Registry, peer string, v verb) {
+	reg.Counter("ops_total", "ops", telemetry.L("kind", "write"))
+	reg.Counter("ops_by_peer", "ops", telemetry.L("peer", peer)) // want "unbounded label value peer"
+	reg.Counter("ops_by_verb", "ops", telemetry.L("verb", v.String()))
+	lbl := telemetry.Label{Key: "peer", Value: peer} // want "unbounded label value peer"
+	_ = lbl
+}
+
+// newSession is a constructor: identity labels bound once are fine.
+func newSession(reg *telemetry.Registry, client string) {
+	reg.Counter("sessions_total", "sessions", telemetry.L("client", client))
+}
+
+// registerAll registers the same series twice — the runtime panic this
+// analyzer catches at build time.
+func registerAll(reg *telemetry.Registry) {
+	reg.Counter("dup_total", "dup")
+	reg.Counter("dup_total", "dup") // want "metric \"dup_total\" registered twice with identical labels"
+	reg.Counter("family_total", "family", telemetry.L("verb", "read"))
+	reg.Counter("family_total", "family", telemetry.L("verb", "write"))
+}

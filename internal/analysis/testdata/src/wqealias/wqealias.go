@@ -1,0 +1,68 @@
+// Package wqealias is the golden corpus for the wqe-aliasing analyzer.
+package wqealias
+
+import (
+	"sync"
+
+	"gengar/internal/rdma"
+	"gengar/internal/simnet"
+)
+
+type conn struct {
+	qp   *rdma.QP
+	pool sync.Pool
+	seen map[string]int
+}
+
+// mutateAfterUnawaitedPost writes into the payload after discarding the
+// post's completion.
+func (c *conn) mutateAfterUnawaitedPost(at simnet.Time, buf []byte) {
+	_, _ = c.qp.Write(at, buf, rdma.RemoteAddr{})
+	buf[0] = 1 // want "buf mutated after unawaited Write post"
+}
+
+// repoolAfterUnawaitedPost returns the payload to its pool while the
+// WQE may still reference it.
+func (c *conn) repoolAfterUnawaitedPost(at simnet.Time, buf []byte) {
+	c.qp.Send(at, buf)
+	c.pool.Put(buf) // want "buf returned to sync.Pool after unawaited Send post"
+}
+
+// mapKeyAfterUnawaitedPost keys a map on contents that the DMA engine
+// may still be reading.
+func (c *conn) mapKeyAfterUnawaitedPost(at simnet.Time, buf []byte) {
+	_, _ = c.qp.Write(at, buf, rdma.RemoteAddr{})
+	c.seen[string(buf)]++ // want "buf reused as map key after unawaited Write post"
+}
+
+// batchSrcMutatedAfterPost stages a payload via WriteReq.Src and then
+// overwrites it with the batch's completion discarded.
+func (c *conn) batchSrcMutatedAfterPost(at simnet.Time, payload []byte) {
+	reqs := []rdma.WriteReq{{Src: payload, Raddr: rdma.RemoteAddr{}}}
+	_, _ = c.qp.WriteBatch(at, reqs)
+	copy(payload, "stale") // want "payload mutated .copy destination. after unawaited WriteBatch post"
+}
+
+// readDstReusedAfterPost hands a destination buffer to an unawaited
+// ReadBatch and reuses it while the NIC may still be writing into it.
+func (c *conn) readDstReusedAfterPost(at simnet.Time, dst []byte) {
+	reqs := []rdma.ReadReq{{Dst: dst, Raddr: rdma.RemoteAddr{}}}
+	_, _ = c.qp.ReadBatch(at, reqs)
+	dst[0] = 0 // want "dst mutated after unawaited ReadBatch post"
+}
+
+// awaitedPostIsSafe binds the completion before touching the buffer.
+func (c *conn) awaitedPostIsSafe(at simnet.Time, buf []byte) error {
+	_, err := c.qp.Write(at, buf, rdma.RemoteAddr{})
+	if err != nil {
+		return err
+	}
+	buf[0] = 1
+	return nil
+}
+
+// untouchedAfterPost never reuses the buffer: no finding even though
+// the completion is discarded (that drop is errcheck-core's business).
+func (c *conn) untouchedAfterPost(at simnet.Time, buf []byte) {
+	_, _ = c.qp.Write(at, buf, rdma.RemoteAddr{})
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wqeAliasing flags payload buffers handed to an RDMA post whose
+// completion result is discarded, when the same buffer is then mutated,
+// returned to a sync.Pool, or reused as a map key later in the
+// function. On real hardware a posted WQE references the buffer until
+// the completion is polled; writing to it, repooling it, or keying a
+// map on its (soon to change) contents before observing the completion
+// is the classic ordered-write corruption. The simulator completes
+// posts synchronously, so awaiting is cheap: bind the post's results
+// (even `_, err :=`) and the window closes.
+//
+// Tracked posts are the payload-carrying QP verbs: Write, Send,
+// WriteBatch (via WriteReq.Src staging) and ReadBatch/Read destinations
+// (the NIC writes into those; reusing them before completion races the
+// DMA).
+const wqeAliasName = "wqe-aliasing"
+
+var wqeAliasing = &Analyzer{
+	Name: wqeAliasName,
+	Doc:  "posted WQE buffer mutated, repooled, or reused before completion awaited",
+	Run:  runWQEAliasing,
+}
+
+const rdmaPkgPath = "gengar/internal/rdma"
+
+// postedBuf is one buffer handed to an unawaited post.
+type postedBuf struct {
+	obj     types.Object
+	text    string
+	postPos token.Pos
+	verb    string
+}
+
+func runWQEAliasing(p *Pass) []Finding {
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		out = append(out, wqeCheckFunc(p, fn)...)
+	}
+	return out
+}
+
+func wqeCheckFunc(p *Pass, fn *ast.FuncDecl) []Finding {
+	info := p.Pkg.Info
+
+	// Pass 1: find unawaited posts and the buffers they reference.
+	var posted []postedBuf
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c, ok := resolveCallee(info, call)
+		if !ok || c.pkgPath != rdmaPkgPath || c.recv != "QP" {
+			return true
+		}
+		var payloadArgs []ast.Expr
+		switch c.name {
+		case "Write", "Send": // (at, src, …) / (at, payload)
+			if len(call.Args) >= 2 {
+				payloadArgs = append(payloadArgs, call.Args[1])
+			}
+		case "Read": // (at, dst, raddr)
+			if len(call.Args) >= 2 {
+				payloadArgs = append(payloadArgs, call.Args[1])
+			}
+		case "WriteBatch", "ReadBatch": // (at, reqs)
+			if len(call.Args) >= 2 {
+				payloadArgs = append(payloadArgs, call.Args[1])
+				payloadArgs = append(payloadArgs, reqPayloadExprs(info, fn, c.name, call.Pos())...)
+			}
+		default:
+			return true
+		}
+		if postAwaited(info, fn, call) {
+			return true
+		}
+		for _, arg := range payloadArgs {
+			obj := rootObj(info, arg)
+			if obj == nil || !isSliceish(info, arg) {
+				continue
+			}
+			posted = append(posted, postedBuf{
+				obj:     obj,
+				text:    exprText(arg),
+				postPos: call.Pos(),
+				verb:    c.name,
+			})
+		}
+		return true
+	})
+	if len(posted) == 0 {
+		return nil
+	}
+
+	// Pass 2: look for uses of a posted buffer after its post.
+	var out []Finding
+	report := func(pos token.Pos, b postedBuf, what string) {
+		out = append(out, p.finding(wqeAliasName, pos,
+			"%s %s after unawaited %s post at line %d — await the completion (bind the post's results) first",
+			b.text, what, b.verb, p.Pkg.Fset.Position(b.postPos).Line))
+	}
+	after := func(pos token.Pos, obj types.Object) (postedBuf, bool) {
+		for _, b := range posted {
+			if b.obj == obj && pos > b.postPos {
+				return b, true
+			}
+		}
+		return postedBuf{}, false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				obj := rootObj(info, lhs)
+				if obj == nil {
+					continue
+				}
+				if b, ok := after(n.Pos(), obj); ok {
+					report(n.Pos(), b, "mutated")
+				}
+			}
+		case *ast.CallExpr:
+			c, ok := resolveCallee(info, n)
+			if !ok {
+				// copy(dst, src) is a builtin: resolveCallee fails.
+				if id, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent && id.Name == "copy" && len(n.Args) == 2 {
+					if obj := rootObj(info, n.Args[0]); obj != nil {
+						if b, ok := after(n.Pos(), obj); ok {
+							report(n.Pos(), b, "mutated (copy destination)")
+						}
+					}
+				}
+				return true
+			}
+			if c.pkgPath == "sync" && c.recv == "Pool" && c.name == "Put" && len(n.Args) == 1 {
+				if obj := rootObj(info, n.Args[0]); obj != nil {
+					if b, ok := after(n.Pos(), obj); ok {
+						report(n.Pos(), b, "returned to sync.Pool")
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			// Map key reuse: m[string(buf)] or m[buf] on a map type.
+			if t := typeOf(p, n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					for _, id := range identsIn(n.Index) {
+						obj := objOf(p, id)
+						if obj == nil {
+							continue
+						}
+						if b, ok := after(n.Pos(), obj); ok {
+							report(n.Pos(), b, "reused as map key")
+							break
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reqPayloadExprs collects the Src/Dst payload expressions of every
+// rdma.WriteReq / rdma.ReadReq composite literal staged in the function
+// before the post at postPos — the buffers the batch references.
+func reqPayloadExprs(info *types.Info, fn *ast.FuncDecl, verb string, postPos token.Pos) []ast.Expr {
+	reqType, field := "WriteReq", "Src"
+	if verb == "ReadBatch" {
+		reqType, field = "ReadReq", "Dst"
+	}
+	var out []ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || cl.Pos() > postPos {
+			return true
+		}
+		t, ok := info.Types[cl]
+		if !ok || !isNamedType(t.Type, rdmaPkgPath, reqType) {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+				out = append(out, kv.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// postAwaited reports whether the post call's results are observed: the
+// call is part of an assignment with at least one non-blank target, or
+// is nested inside a larger expression. A bare statement (or an
+// all-blank assignment) discards the completion.
+func postAwaited(info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	stmt := enclosingStmt(fn.Body, call)
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return ast.Unparen(s.X) != call
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if ast.Unparen(rhs) == call {
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		return true
+	case nil:
+		return true
+	default:
+		return true
+	}
+}
+
+// enclosingStmt finds the innermost non-block statement containing the
+// node.
+func enclosingStmt(body *ast.BlockStmt, target ast.Node) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > target.Pos() || n.End() < target.End() {
+			return false // subtree does not contain the target
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if _, isBlock := s.(*ast.BlockStmt); !isBlock {
+				found = s // descending, so the last hit is innermost
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSliceish reports whether e is a slice (the only buffer shape the
+// QP verbs take).
+func isSliceish(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}
+
+// identsIn collects every identifier in an expression.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

@@ -69,6 +69,7 @@ type Client struct {
 	maxStg  int
 	poolNVM bool // pool media needs a persistence fence on direct writes
 
+	//gengar:lint-ignore lock-across-blocking a Client models one application thread: c.mu serializes its operations by design, and the calls it spans advance the client's private simulated clock rather than contending in wall time
 	mu      sync.Mutex
 	now     simnet.Time
 	conns   map[uint16]*serverConn

@@ -21,6 +21,8 @@ import (
 // from their home NVM in one batched follow-up chain per node. All
 // per-entry temporaries come from a pooled scratch, so the steady state
 // allocates nothing per entry.
+//
+//gengar:hotpath
 func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 	if len(addrs) != len(bufs) {
 		return fmt.Errorf("core: ReadMulti with %d addrs and %d buffers", len(addrs), len(bufs))

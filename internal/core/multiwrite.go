@@ -29,6 +29,8 @@ import (
 //
 // Entries later in the slice overwrite earlier ones where they overlap,
 // matching sequential Write order.
+//
+//gengar:hotpath
 func (c *Client) WriteMulti(addrs []region.GAddr, bufs [][]byte) error {
 	if len(addrs) != len(bufs) {
 		return fmt.Errorf("core: WriteMulti with %d addrs and %d buffers", len(addrs), len(bufs))

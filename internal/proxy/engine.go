@@ -100,6 +100,13 @@ type Engine struct {
 
 	mu     sync.Mutex
 	closed bool
+	// inflight counts senders that passed the closed check but have not
+	// finished their worker-channel send yet; Close waits for it before
+	// closing the channels, so sends never race the close. It also lets
+	// enqueue/Submit/Barrier send outside e.mu: a full worker queue then
+	// stalls only the one producer, not everyone touching the engine.
+	inflight sync.WaitGroup
+	//gengar:lint-ignore lock-across-blocking Submit's quiesce holds taskMu across worker handshakes by design: it serializes exclusive tasks, and concurrent Submits must wait for the whole quiesce anyway
 	taskMu sync.Mutex // serializes quiescent tasks
 
 	staged   metrics.Counter
@@ -211,14 +218,19 @@ func (e *Engine) flushRecord(rec record, buf []byte) []byte {
 // client's write order.
 func (e *Engine) enqueue(rec record) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrEngineClosed
 	}
 	e.staged.Inc()
 	ch := e.workers[rec.ringID%len(e.workers)]
 	e.queueHW.SetMax(int64(len(ch)) + 1)
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	// The send happens outside e.mu: a backed-up worker queue must stall
+	// only this producer, never Close/Submit/Barrier or other rings.
 	ch <- rec
+	e.inflight.Done()
 	return nil
 }
 
@@ -236,6 +248,7 @@ func (e *Engine) Submit(task func()) error {
 		return ErrEngineClosed
 	}
 	workers := e.workers
+	e.inflight.Add(1)
 	e.mu.Unlock()
 
 	var reached sync.WaitGroup
@@ -247,6 +260,7 @@ func (e *Engine) Submit(task func()) error {
 			<-release
 		}
 	}
+	e.inflight.Done()
 	reached.Wait()
 	task()
 	close(release)
@@ -263,6 +277,7 @@ func (e *Engine) Barrier() error {
 		return ErrEngineClosed
 	}
 	workers := e.workers
+	e.inflight.Add(1)
 	e.mu.Unlock()
 
 	var wg sync.WaitGroup
@@ -270,6 +285,7 @@ func (e *Engine) Barrier() error {
 	for _, ch := range workers {
 		ch <- func() { wg.Done() }
 	}
+	e.inflight.Done()
 	wg.Wait()
 	return nil
 }
@@ -307,10 +323,13 @@ func (e *Engine) Close() {
 	e.once.Do(func() {
 		e.mu.Lock()
 		e.closed = true
+		e.mu.Unlock()
+		// New producers now fail the closed check; wait out the ones
+		// already past it before closing their target channels.
+		e.inflight.Wait()
 		for _, ch := range e.workers {
 			close(ch)
 		}
-		e.mu.Unlock()
 		e.wg.Wait()
 	})
 }

@@ -87,8 +87,14 @@ type Writer struct {
 	quit    chan struct{}
 	wg      sync.WaitGroup
 
+	//gengar:lint-ignore lock-across-blocking staging holds stageMu across the ring post and enqueue by design: FIFO order into the flusher is what makes slot reuse safe (see Locking above)
 	stageMu sync.Mutex
 	nextSeq uint64
+	// Chain-staging scratch, reused across stageChain calls (guarded by
+	// stageMu): one WQE and one pooled slot image per record, capped at
+	// ring.Slots entries by the StageMulti chain split.
+	wqeScratch     []rdma.WriteReq
+	slotBufScratch []*[]byte
 
 	// occHW tracks the staging ring's occupancy high-water mark (slots
 	// taken and not yet copied out by the flusher) — where write
@@ -163,6 +169,8 @@ func (w *Writer) ackLoop() {
 // whose NVM backing lives at nvmOff in the server's pool device. It
 // returns the simulated instant the client's write is staged (DRAM-speed
 // acknowledgment) — the client-visible write latency under Gengar.
+//
+//gengar:hotpath
 func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []byte) (simnet.Time, error) {
 	if len(data) > w.ring.MaxPayload() {
 		return at, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(data), w.ring.MaxPayload())
@@ -271,6 +279,8 @@ type StageReq struct {
 //
 // The returned instant is when the chain's last WQE is acknowledged —
 // the client-visible latency of the whole burst.
+//
+//gengar:hotpath
 func (w *Writer) StageMulti(at simnet.Time, reqs []StageReq) (simnet.Time, error) {
 	for _, r := range reqs {
 		if len(r.Data) > w.ring.MaxPayload() {
@@ -297,6 +307,8 @@ func (w *Writer) StageMulti(at simnet.Time, reqs []StageReq) (simnet.Time, error
 
 // stageChain stages up to ring.Slots records as one doorbell-batched
 // chain. Caller has validated payload sizes.
+//
+//gengar:hotpath
 func (w *Writer) stageChain(at simnet.Time, reqs []StageReq) (simnet.Time, error) {
 	w.pendMu.Lock()
 	closed := w.closed
@@ -315,9 +327,10 @@ func (w *Writer) stageChain(at simnet.Time, reqs []StageReq) (simnet.Time, error
 	seq0 := w.nextSeq
 	w.nextSeq += uint64(len(reqs))
 
-	// Build the chain: one WQE per slot image, all pooled.
-	wreqs := make([]rdma.WriteReq, len(reqs))
-	slotBufs := make([]*[]byte, len(reqs))
+	// Build the chain: one WQE per slot image, all pooled, into the
+	// writer's scratch (no per-burst slice allocation on the hot path).
+	w.wqeScratch = w.wqeScratch[:0]
+	w.slotBufScratch = w.slotBufScratch[:0]
 	for i, r := range reqs {
 		slot := int((seq0 + uint64(i)) % uint64(w.ring.Slots))
 		sb := getBuf(slotHeaderBytes + len(r.Data))
@@ -325,17 +338,17 @@ func (w *Writer) stageChain(at simnet.Time, reqs []StageReq) (simnet.Time, error
 		binary.BigEndian.PutUint64(buf, uint64(r.Addr))
 		binary.BigEndian.PutUint32(buf[8:], uint32(len(r.Data)))
 		copy(buf[slotHeaderBytes:], r.Data)
-		slotBufs[i] = sb
-		wreqs[i] = rdma.WriteReq{
+		w.slotBufScratch = append(w.slotBufScratch, sb)
+		w.wqeScratch = append(w.wqeScratch, rdma.WriteReq{
 			Src: buf,
 			Raddr: rdma.RemoteAddr{
 				Region: w.ring.Handle,
 				Offset: w.ring.Base + int64(slot)*int64(w.ring.SlotSize),
 			},
-		}
+		})
 	}
-	stagedAt, err := w.qp.WriteBatch(at, wreqs)
-	for _, sb := range slotBufs {
+	stagedAt, err := w.qp.WriteBatch(at, w.wqeScratch)
+	for _, sb := range w.slotBufScratch {
 		putBuf(sb)
 	}
 	if err != nil {

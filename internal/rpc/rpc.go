@@ -187,10 +187,16 @@ func (c *Client) demux() {
 
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	failed := make([]chan response, 0, len(c.pending))
 	for id, ch := range c.pending {
 		delete(c.pending, id)
+		failed = append(failed, ch)
+	}
+	c.mu.Unlock()
+	// Deliver failures outside c.mu: the channels are buffered today, but
+	// waking callers must never depend on that while the demux lock is held.
+	for _, ch := range failed {
 		ch <- response{err: fmt.Errorf("rpc: connection lost: %w", err)}
 	}
 }

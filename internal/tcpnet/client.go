@@ -130,10 +130,16 @@ func (sc *serverConn) demux() {
 
 func (sc *serverConn) failAll(err error) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	sc.closed = true
+	failed := make([]chan response, 0, len(sc.pending))
 	for id, ch := range sc.pending {
 		delete(sc.pending, id)
+		failed = append(failed, ch)
+	}
+	sc.mu.Unlock()
+	// Deliver failures outside sc.mu: the channels are buffered today, but
+	// waking callers must never depend on that while the demux lock is held.
+	for _, ch := range failed {
 		ch <- response{err: fmt.Errorf("tcpnet: connection lost: %w", err)}
 	}
 }

@@ -177,13 +177,20 @@ func (s *PoolServer) Close() {
 		return
 	}
 	s.closed = true
-	if s.lis != nil {
-		_ = s.lis.Close()
-	}
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		_ = c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	// Tear the sockets down outside s.mu: Close on a TCP connection can
+	// block in the kernel, and handler goroutines need the lock to finish.
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	s.wg.Wait()
 }
 
