@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-full quick tidy clean
+.PHONY: all build vet lint test race race-short bench bench-full e2e quick tidy clean
 
 all: vet lint build test
 
@@ -35,6 +35,12 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Deployment-shaped smoke: builds the real gengard and gengar-cli
+# binaries and drives malloc/write/read/lock/promotion/snapshot-restart
+# over loopback TCP.
+e2e:
+	$(GO) test ./e2e/ -count=1 -v
 
 # Fast full-evaluation pass; writes CSVs + telemetry snapshots.
 quick:

@@ -13,6 +13,7 @@
 //	write <gaddr> <text>       store text at an address
 //	read <gaddr> <bytes>       fetch bytes; prints them as text
 //	demo                       end-to-end smoke: malloc/write/read/lock/free
+//	hot <gaddr> [reads]        report access weight and wait for promotion
 //	bench [ops] [bytes]        closed-loop write+read latency microbench
 //
 // Global addresses print and parse as server:offset, e.g. 1:0x40.
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"gengar/internal/hotness"
 	"gengar/internal/region"
 	"gengar/internal/tcpnet"
 )
@@ -45,7 +47,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("no command (try: stats, malloc, free, write, read, demo, bench)")
+		return fmt.Errorf("no command (try: stats, malloc, free, write, read, demo, hot, bench)")
 	}
 
 	pool, err := tcpnet.Dial(strings.Split(*servers, ","), *timeout)
@@ -109,6 +111,21 @@ func run() error {
 		return nil
 	case "demo":
 		return demo(pool)
+	case "hot":
+		if len(args) < 2 || len(args) > 3 {
+			return fmt.Errorf("usage: hot <gaddr> [reads]")
+		}
+		addr, err := parseAddr(args[1])
+		if err != nil {
+			return err
+		}
+		reads := uint64(1000)
+		if len(args) == 3 {
+			if reads, err = strconv.ParseUint(args[2], 10, 32); err != nil {
+				return err
+			}
+		}
+		return hot(pool, addr, reads)
 	case "bench":
 		ops, size := 1000, 1024
 		if len(args) > 1 {
@@ -132,10 +149,39 @@ func stats(pool *tcpnet.Pool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-10s %-12s %-12s %s\n", "server", "objects", "used_B", "capacity_B", "ops")
+	fmt.Printf("%-8s %-10s %-12s %-12s %-8s %-8s %-8s %-8s %-8s %-9s %s\n",
+		"server", "objects", "used_B", "capacity_B", "ops", "hits", "misses", "staged", "flushed", "promoted", "digests")
 	for _, s := range sts {
-		fmt.Printf("%-8d %-10d %-12d %-12d %d\n", s.ServerID, s.Objects, s.PoolUsed, s.PoolBytes, s.Ops)
+		fmt.Printf("%-8d %-10d %-12d %-12d %-8d %-8d %-8d %-8d %-8d %-9d %d\n",
+			s.ServerID, s.Objects, s.PoolUsed, s.PoolBytes, s.Ops,
+			s.CacheHits, s.CacheMisses, s.Staged, s.Flushed, s.Promoted, s.Digests)
 	}
+	return nil
+}
+
+// hot reports synthetic access weight for an address so its home daemon
+// considers promoting the object, then polls until a read is served from
+// the DRAM cache (or the deadline passes).
+func hot(pool *tcpnet.Pool, addr region.GAddr, reads uint64) error {
+	epochs, err := pool.Digest([]hotness.Entry{{Addr: addr, Reads: reads}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("digested %d reads for %s (remap epoch %d)\n", reads, formatAddr(addr), epochs[addr.Server()])
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		hit, err := pool.ReadCheck(addr, buf)
+		if err != nil {
+			return err
+		}
+		if hit {
+			fmt.Println("promoted: reads now served from the DRAM cache")
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("not promoted (weight below threshold, or cache disabled/full)")
 	return nil
 }
 

@@ -35,19 +35,29 @@ func main() {
 
 func run() error {
 	var (
-		id        = flag.Uint("id", 1, "server ID (nonzero; high 16 bits of homed addresses)")
-		listen    = flag.String("listen", ":7001", "TCP listen address")
-		poolBytes = flag.Int64("pool-bytes", 256<<20, "exported pool capacity (power of two)")
-		lease     = flag.Duration("lease", 5*time.Second, "default lock lease")
-		lockWait  = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
-		dataFile  = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/events on this address (empty disables)")
+		id          = flag.Uint("id", 1, "server ID (nonzero; high 16 bits of homed addresses)")
+		listen      = flag.String("listen", ":7001", "TCP listen address")
+		poolBytes   = flag.Int64("pool-bytes", 256<<20, "exported pool capacity (power of two)")
+		cacheBytes  = flag.Int64("cache-bytes", 8<<20, "DRAM cache arena for promoted hot objects (power of two)")
+		ringBytes   = flag.Int64("ring-bytes", 8<<20, "staging-ring arena backing proxied writes (power of two)")
+		digestEvery = flag.Int("digest-every", 64, "data accesses folded into one server-side hotness digest")
+		noCache     = flag.Bool("no-cache", false, "disable hotness tracking and DRAM cache promotion")
+		noProxy     = flag.Bool("no-proxy", false, "disable staged writes (writes go straight to the pool)")
+		lease       = flag.Duration("lease", 5*time.Second, "default lock lease")
+		lockWait    = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
+		dataFile    = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/events on this address (empty disables)")
 	)
 	flag.Parse()
 
 	srv, err := tcpnet.NewPoolServer(tcpnet.ServerConfig{
 		ID:             uint16(*id),
 		PoolBytes:      *poolBytes,
+		CacheBytes:     *cacheBytes,
+		RingBytes:      *ringBytes,
+		DigestEvery:    *digestEvery,
+		NoCache:        *noCache,
+		NoProxy:        *noProxy,
 		DefaultLease:   *lease,
 		AcquireTimeout: *lockWait,
 	})
@@ -118,4 +128,8 @@ func logFinalStats(srv *tcpnet.PoolServer, uptime time.Duration) {
 		s.Sum("gengar_tcp_objects"),
 		s.Sum("gengar_tcp_pool_used_bytes"),
 		srv.Recorder().Total())
+	es := srv.Engine().Stats()
+	log.Printf("gengard: engine stats: cache_hits=%d cache_misses=%d staged=%d flushed=%d promotions=%d demotions=%d promoted=%d digests=%d remap_epoch=%d",
+		es.Hits, es.Misses, es.Proxy.Staged, es.Proxy.Flushed,
+		es.Promotions, es.Demotions, es.Promoted, es.Digests, es.RemapEpoch)
 }

@@ -199,7 +199,7 @@ func isGuardedPath(path string) bool {
 		return true
 	}
 	switch pkgBase(path) {
-	case "rdma", "proxy", "lock", "cache", "server", "core", "rpc", "tcpnet":
+	case "rdma", "proxy", "lock", "cache", "server", "core", "rpc", "tcpnet", "engine":
 		return strings.HasPrefix(path, "gengar/internal/")
 	}
 	return false

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"time"
+
+	"gengar/internal/simnet"
+)
+
+// Clock supplies the engine's notion of "now" when a transport mount has
+// no per-request timestamp of its own. The simulated-RDMA mount never
+// needs one — every RPC carries the caller's virtual-time instant — but
+// the TCP mount serves wall-clock traffic, so it feeds the engine real
+// elapsed time through a WallClock.
+type Clock interface {
+	// Now returns the current instant on the engine timeline.
+	Now() simnet.Time
+}
+
+// WallClock maps wall time onto the engine timeline: instants are
+// nanoseconds since the clock was created, so a fresh engine starts near
+// zero just like a fresh simulation.
+type WallClock struct {
+	base time.Time
+}
+
+// NewWallClock returns a wall clock whose epoch is now.
+func NewWallClock() *WallClock { return &WallClock{base: time.Now()} }
+
+// Now returns nanoseconds elapsed since the clock's epoch.
+func (c *WallClock) Now() simnet.Time { return simnet.Time(time.Since(c.base)) }

@@ -1,0 +1,561 @@
+// Package engine is the transport-agnostic core of a Gengar memory
+// server: one allocation/caching/staging/locking state machine that
+// transport mounts expose to clients. The engine owns
+//
+//   - an NVM pool device with a buddy allocator (gmalloc/gfree targets),
+//   - a DRAM buffer arena holding promoted copies of hot objects,
+//   - DRAM staging rings and a proxy flusher for the redesigned write
+//     path,
+//   - a one-sided lock table (lock + version words) and a lease table
+//     for server-mediated locking,
+//   - the hotness sketch, promotion policy and remap table for its home
+//     objects.
+//
+// Two mounts exist: internal/server binds the engine to the simulated
+// RDMA fabric and virtual time (every operation carries the caller's
+// simnet instant), and internal/tcpnet binds it to real TCP and wall
+// time (a Clock supplies instants). Placement of promoted copies is the
+// one policy that differs per deployment, so it is injected as a Placer:
+// the simulated mount places cluster-wide through the server registry,
+// the TCP mount places into the engine's own arena.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gengar/internal/alloc"
+	"gengar/internal/cache"
+	"gengar/internal/config"
+	"gengar/internal/hmem"
+	"gengar/internal/hotness"
+	"gengar/internal/lock"
+	"gengar/internal/metrics"
+	"gengar/internal/proxy"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+	"gengar/internal/telemetry"
+)
+
+// Errors returned by engine operations.
+var (
+	// ErrUnknownObject reports an operation on an address that is not a
+	// live object base.
+	ErrUnknownObject = errors.New("engine: unknown object")
+	// ErrRingSpaceExhausted reports that every staging ring is leased.
+	ErrRingSpaceExhausted = errors.New("engine: staging ring space exhausted")
+	// ErrNotHome reports an operation addressed to the wrong home server.
+	ErrNotHome = errors.New("engine: address not homed here")
+)
+
+// Config shapes one engine.
+type Config struct {
+	// ID is the server's pool ID (the high bits of addresses it homes).
+	ID uint16
+	// Name prefixes device names for diagnostics (e.g. "server-1").
+	Name string
+	// Cluster supplies capacities, media profiles, hotness and proxy
+	// parameters, and feature switches.
+	Cluster config.Cluster
+	// Clock supplies instants for mounts without per-request timestamps
+	// (the TCP mount). May be nil when every call provides its own `at`,
+	// as the simulated mount does; Now then reports zero.
+	Clock Clock
+}
+
+// Engine is one Gengar memory server's mechanism state, independent of
+// the transport serving it.
+type Engine struct {
+	id   uint16
+	name string
+	cfg  config.Cluster
+	clk  Clock
+
+	cpu      *simnet.Resource
+	nvm      *hmem.Device
+	cacheDev *hmem.Device
+	ringDev  *hmem.Device
+	lockDev  *hmem.Device
+
+	pool    *alloc.Buddy
+	objIdx  *objIndex
+	remap   *cache.RemapTable
+	bufp    *cache.BufferPool
+	policy  hotness.Policy
+	flusher *proxy.Engine
+	lockTbl *lock.Table
+	leases  *lock.LeaseTable
+
+	// placer is the deployment's promotion-placement strategy. It is set
+	// once by the mount before any traffic (SetPlacer); until then the
+	// engine serves data but never promotes.
+	placer Placer
+
+	mu             sync.Mutex // guards sketch, plan state, ring leases
+	sketch         *hotness.SpaceSaving
+	lastPlan       simnet.Time
+	lastPlanWeight uint64
+	newWeight      uint64 // digest weight landed since the last plan
+	lastDecay      simnet.Time
+	planned        bool
+	nextRing       int64
+	freeRings      []int64
+
+	promotions metrics.Counter
+	demotions  metrics.Counter
+	digests    metrics.Counter
+	mallocs    metrics.Counter
+	frees      metrics.Counter
+	hits       metrics.Counter // mediated reads served from a DRAM copy
+	misses     metrics.Counter // mediated reads served from home NVM
+}
+
+// New builds an engine: devices, allocator, lock and lease tables, and
+// the proxy flusher. The engine will not promote objects until the mount
+// installs a Placer.
+func New(ec Config) (*Engine, error) {
+	cfg := ec.Cluster
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	name := ec.Name
+	if name == "" {
+		name = fmt.Sprintf("engine-%d", ec.ID)
+	}
+	nvm, err := hmem.NewDevice(name+"/nvm", cfg.NVMBytes, cfg.PoolMedia)
+	if err != nil {
+		return nil, err
+	}
+	cacheDev, err := hmem.NewDevice(name+"/cache", cfg.DRAMBufferBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+	ringDev, err := hmem.NewDevice(name+"/rings", cfg.RingBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+	lockDev, err := hmem.NewDevice(name+"/locks", int64(cfg.LockSlots)*lock.SlotBytes, cfg.BufferMedia)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		id:       ec.ID,
+		name:     name,
+		cfg:      cfg,
+		clk:      ec.Clock,
+		cpu:      simnet.NewResource(name + "/cpu"),
+		nvm:      nvm,
+		cacheDev: cacheDev,
+		ringDev:  ringDev,
+		lockDev:  lockDev,
+		objIdx:   newObjIndex(),
+		remap:    cache.NewRemapTable(),
+		sketch:   hotness.NewSpaceSaving(cfg.Hotness.SketchK),
+		policy: hotness.Policy{
+			BudgetBytes: cfg.DRAMBufferBytes,
+			MinWeight:   cfg.Hotness.MinWeight,
+			Hysteresis:  cfg.Hotness.Hysteresis,
+			MaxChurn:    cfg.Hotness.MaxChurn,
+		},
+	}
+
+	if e.pool, err = alloc.New(cfg.NVMBytes); err != nil {
+		return nil, err
+	}
+	// Burn offset 0 so no object is ever at the nil global address.
+	if _, err := e.pool.Alloc(alloc.MinBlock); err != nil {
+		return nil, err
+	}
+	if e.bufp, err = cache.NewBufferPool(cacheDev); err != nil {
+		return nil, err
+	}
+	if e.lockTbl, err = lock.NewTable(lockDev, 0, cfg.LockSlots); err != nil {
+		return nil, err
+	}
+	if e.leases, err = lock.NewLeaseTable(cfg.LockSlots, nil); err != nil {
+		return nil, err
+	}
+	// Server-mediated writers publish through the same version words the
+	// one-sided protocol uses: an exclusive lease release bumps the slot's
+	// version so readers observe that the object changed.
+	e.leases.OnWriterRelease(func(addr region.GAddr) { _ = e.lockTbl.BumpVersionRaw(addr) })
+	if e.flusher, err = proxy.NewEngine(ringDev, nvm, e.cpu, cfg.Proxy.PollCost, e.ApplyToCache); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ID returns the engine's pool ID.
+func (e *Engine) ID() uint16 { return e.id }
+
+// Name returns the engine's device-name prefix.
+func (e *Engine) Name() string { return e.name }
+
+// Now returns the clock's current instant, or zero without a clock.
+func (e *Engine) Now() simnet.Time {
+	if e.clk == nil {
+		return 0
+	}
+	return e.clk.Now()
+}
+
+// Features returns the deployment's feature switches.
+func (e *Engine) Features() config.Features { return e.cfg.Features }
+
+// Config returns the engine's cluster configuration.
+func (e *Engine) Config() config.Cluster { return e.cfg }
+
+// CPU returns the engine's simulated CPU resource (request processing
+// and flusher polling contend on it).
+func (e *Engine) CPU() *simnet.Resource { return e.cpu }
+
+// NVM returns the engine's pool device.
+func (e *Engine) NVM() *hmem.Device { return e.nvm }
+
+// CacheDev returns the engine's DRAM buffer arena device.
+func (e *Engine) CacheDev() *hmem.Device { return e.cacheDev }
+
+// RingDev returns the engine's staging-ring device.
+func (e *Engine) RingDev() *hmem.Device { return e.ringDev }
+
+// LockDev returns the engine's lock-table device.
+func (e *Engine) LockDev() *hmem.Device { return e.lockDev }
+
+// Pool returns the engine's buddy allocator.
+func (e *Engine) Pool() *alloc.Buddy { return e.pool }
+
+// BufferPool returns the engine's DRAM buffer arena allocator.
+func (e *Engine) BufferPool() *cache.BufferPool { return e.bufp }
+
+// Remap returns the engine's remap table.
+func (e *Engine) Remap() *cache.RemapTable { return e.remap }
+
+// Flusher returns the engine's proxy flusher.
+func (e *Engine) Flusher() *proxy.Engine { return e.flusher }
+
+// LockTable returns the engine's one-sided lock table.
+func (e *Engine) LockTable() *lock.Table { return e.lockTbl }
+
+// Leases returns the engine's server-mediated lease table.
+func (e *Engine) Leases() *lock.LeaseTable { return e.leases }
+
+// SetPlacer installs the deployment's promotion placement strategy. It
+// must be called before traffic; the simulated mount installs a
+// registry-backed cluster-wide placer at join time, the TCP mount a
+// local one at construction.
+func (e *Engine) SetPlacer(p Placer) { e.placer = p }
+
+// RingGeometry returns the per-session staging-ring shape.
+func (e *Engine) RingGeometry() (slots, slotSize int) {
+	return e.cfg.Proxy.RingSlots, e.cfg.Proxy.RingSlotSize
+}
+
+// Close stops the engine's flusher.
+func (e *Engine) Close() {
+	e.flusher.Close()
+}
+
+// --- operations ---
+
+// Malloc allocates size bytes from the pool and registers the object.
+func (e *Engine) Malloc(size int64) (region.GAddr, error) {
+	if size <= 0 {
+		return region.NilGAddr, fmt.Errorf("engine: malloc of %d bytes", size)
+	}
+	off, err := e.pool.Alloc(size)
+	if err != nil {
+		return region.NilGAddr, err
+	}
+	addr, err := region.NewGAddr(e.id, off)
+	if err != nil {
+		freeErr := e.pool.Free(off)
+		return region.NilGAddr, errors.Join(err, freeErr)
+	}
+	e.objIdx.insert(addr, alloc.BlockSize(size))
+	e.mallocs.Inc()
+	return addr, nil
+}
+
+// Free releases the object at addr, demoting any DRAM copy first so no
+// copy outlives the object.
+func (e *Engine) Free(addr region.GAddr) error {
+	if !e.objIdx.remove(addr) {
+		return fmt.Errorf("%w: free of %v", ErrUnknownObject, addr)
+	}
+	released := e.remap.Apply(nil, []region.GAddr{addr})
+	for _, loc := range released {
+		e.releaseCopy(loc)
+		e.demotions.Inc()
+	}
+	if err := e.pool.Free(addr.Offset()); err != nil {
+		return err
+	}
+	e.frees.Inc()
+	return nil
+}
+
+// AdoptObject registers an already-reserved allocation as a live object
+// — the snapshot-restore path, where the pool image carries the data and
+// the allocator has re-reserved the ranges.
+func (e *Engine) AdoptObject(off, size int64) error {
+	addr, err := region.NewGAddr(e.id, off)
+	if err != nil {
+		return err
+	}
+	e.objIdx.insert(addr, size)
+	return nil
+}
+
+// ObjectSpan resolves a byte range to its containing live object.
+func (e *Engine) ObjectSpan(addr region.GAddr, size int64) (base region.GAddr, objSize int64, ok bool) {
+	return e.objIdx.findContaining(addr, size)
+}
+
+// Digest lands one hotness digest: every entry's weight is charged to
+// its containing object in the sketch, and — when caching is on — the
+// engine considers a promotion/demotion plan at instant at. It returns
+// the remap epoch so clients know when to refetch their view.
+func (e *Engine) Digest(at simnet.Time, entries []hotness.Entry) uint64 {
+	for _, ent := range entries {
+		// Resolve the raw verb target to its containing object; the
+		// digest reports verb semantics, the engine owns the layout.
+		base, _, ok := e.objIdx.findContaining(ent.Addr, 1)
+		if !ok {
+			continue // freed or foreign address
+		}
+		weight := ent.Weight()
+		e.mu.Lock()
+		e.sketch.Add(base, weight)
+		e.newWeight += weight
+		e.mu.Unlock()
+	}
+	e.digests.Inc()
+	if e.cfg.Features.Cache {
+		e.MaybePlan(at)
+	}
+	return e.remap.Epoch()
+}
+
+// RemapSnapshot exposes the current remap table (epoch + entries).
+func (e *Engine) RemapSnapshot() (uint64, map[region.GAddr]cache.Location) {
+	return e.remap.Snapshot()
+}
+
+// OpenRing leases a staging ring for a new session and returns its base
+// offset in the ring device.
+func (e *Engine) OpenRing() (int64, error) {
+	ringSize := int64(e.cfg.Proxy.RingSlots) * int64(e.cfg.Proxy.RingSlotSize)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.freeRings); n > 0 {
+		base := e.freeRings[n-1]
+		e.freeRings = e.freeRings[:n-1]
+		return base, nil
+	}
+	base := e.nextRing
+	if base+ringSize > e.ringDev.Size() {
+		return 0, fmt.Errorf("%w: %s", ErrRingSpaceExhausted, e.name)
+	}
+	e.nextRing += ringSize
+	return base, nil
+}
+
+// CloseRing returns a session's staging ring for reuse. The caller must
+// have drained the ring's writer first; the engine trusts it here
+// because ring contents are only interpreted via the flusher queue,
+// which the departing writer no longer feeds.
+func (e *Engine) CloseRing(base int64) error {
+	ringSize := int64(e.cfg.Proxy.RingSlots) * int64(e.cfg.Proxy.RingSlotSize)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if base < 0 || base+ringSize > e.nextRing || base%ringSize != 0 {
+		return fmt.Errorf("engine %s: close of bogus ring %d", e.name, base)
+	}
+	for _, f := range e.freeRings {
+		if f == base {
+			return fmt.Errorf("engine %s: double close of ring %d", e.name, base)
+		}
+	}
+	e.freeRings = append(e.freeRings, base)
+	return nil
+}
+
+// RefreshCopy re-reads the just-written NVM range and refreshes the
+// promoted DRAM copy covering it, if any — the write-through path that
+// keeps copies coherent after direct NVM writes.
+func (e *Engine) RefreshCopy(at simnet.Time, addr region.GAddr, size int64) (simnet.Time, error) {
+	base, _, ok := e.objIdx.findContaining(addr, size)
+	if !ok {
+		return at, nil // object freed; nothing to refresh
+	}
+	loc, promoted := e.remap.Lookup(base)
+	if !promoted {
+		return at, nil
+	}
+	data := make([]byte, size)
+	tRead, err := e.nvm.Read(at, addr.Offset(), data)
+	if err != nil {
+		return at, err
+	}
+	delta := addr.Offset() - base.Offset()
+	return e.writeCopy(tRead, loc, delta, data)
+}
+
+// ApplyToCache is the proxy flusher's write-through hook: after a staged
+// record lands in NVM, refresh the promoted DRAM copy (if any) so cache
+// reads observe the new data.
+func (e *Engine) ApplyToCache(at simnet.Time, addr region.GAddr, data []byte) simnet.Time {
+	base, _, ok := e.objIdx.findContaining(addr, int64(len(data)))
+	if !ok {
+		return at
+	}
+	loc, promoted := e.remap.Lookup(base)
+	if !promoted {
+		return at
+	}
+	delta := addr.Offset() - base.Offset()
+	if delta < 0 || delta+int64(len(data)) > loc.Size {
+		return at
+	}
+	end, err := e.writeCopy(at, loc, delta, data)
+	if err != nil {
+		return at
+	}
+	return end
+}
+
+// ReadAt is the server-mediated read path (the TCP mount's gread): it
+// serves the range from the local DRAM copy when the containing object
+// is promoted here and the copy's generation is live, and from home NVM
+// otherwise. It reports whether the read was a cache hit.
+func (e *Engine) ReadAt(at simnet.Time, addr region.GAddr, buf []byte) (end simnet.Time, hit bool, err error) {
+	if e.cfg.Features.Cache {
+		if end, ok := e.readCopy(at, addr, buf); ok {
+			e.hits.Inc()
+			return end, true, nil
+		}
+	}
+	e.misses.Inc()
+	end, err = e.nvm.Read(at, addr.Offset(), buf)
+	return end, false, err
+}
+
+// readCopy attempts to serve buf from a local promoted copy, validating
+// the generation header against the remap entry (a mismatched header
+// means the buffer slot was reused for a different object).
+func (e *Engine) readCopy(at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, bool) {
+	base, _, ok := e.objIdx.findContaining(addr, int64(len(buf)))
+	if !ok {
+		return at, false
+	}
+	loc, promoted := e.remap.Lookup(base)
+	if !promoted || loc.Node != e.name {
+		return at, false // not promoted, or the copy lives on a peer
+	}
+	delta := addr.Offset() - base.Offset()
+	if delta < 0 || delta+int64(len(buf)) > loc.Size {
+		return at, false
+	}
+	var hdr [cache.CopyHeaderBytes]byte
+	end, err := e.cacheDev.Read(at, loc.Off, hdr[:])
+	if err != nil || binary.BigEndian.Uint64(hdr[:]) != loc.Gen {
+		return at, false
+	}
+	end, err = e.cacheDev.Read(end, loc.Off+cache.CopyHeaderBytes+delta, buf)
+	if err != nil {
+		return at, false
+	}
+	return end, true
+}
+
+// WriteNVM is the server-mediated direct write path: data lands in home
+// NVM, then any promoted copy is refreshed so cache reads observe it.
+func (e *Engine) WriteNVM(at simnet.Time, addr region.GAddr, data []byte) (simnet.Time, error) {
+	end, err := e.nvm.Write(at, addr.Offset(), data)
+	if err != nil {
+		return at, err
+	}
+	if e.cfg.Features.Cache {
+		return e.RefreshCopy(end, addr, int64(len(data)))
+	}
+	return end, nil
+}
+
+// Version returns the current value of the version word covering addr —
+// bumped by one-sided writers via RDMA FETCH_ADD and by lease-mediated
+// writers on exclusive release.
+func (e *Engine) Version(addr region.GAddr) uint64 {
+	return e.lockTbl.ReadVersionRaw(addr)
+}
+
+// Stats is an engine activity snapshot.
+type Stats struct {
+	Objects    int
+	PoolUsed   int64
+	BufferUsed int64
+	Promoted   int
+	Promotions int64
+	Demotions  int64
+	Digests    int64
+	Mallocs    int64
+	Frees      int64
+	Hits       int64 // mediated reads served from a DRAM copy
+	Misses     int64 // mediated reads served from home NVM
+	Proxy      proxy.EngineStats
+	RemapEpoch uint64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Objects:    e.objIdx.count(),
+		PoolUsed:   e.pool.AllocatedBytes(),
+		BufferUsed: e.bufp.UsedBytes(),
+		Promoted:   e.remap.Len(),
+		Promotions: e.promotions.Load(),
+		Demotions:  e.demotions.Load(),
+		Digests:    e.digests.Load(),
+		Mallocs:    e.mallocs.Load(),
+		Frees:      e.frees.Load(),
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		Proxy:      e.flusher.Stats(),
+		RemapEpoch: e.remap.Epoch(),
+	}
+}
+
+// RegisterTelemetry exposes the engine's live counters and derived state
+// in reg under the gengar_server_* names with the given labels. The same
+// counter instances back both Stats and the registry, so the two views
+// never disagree.
+func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterCounter("gengar_server_promotions_total", "objects promoted to DRAM", &e.promotions, labels...)
+	reg.RegisterCounter("gengar_server_demotions_total", "objects demoted from DRAM", &e.demotions, labels...)
+	reg.RegisterCounter("gengar_server_digests_total", "hotness digests received", &e.digests, labels...)
+	reg.RegisterCounter("gengar_server_mallocs_total", "gmalloc requests served", &e.mallocs, labels...)
+	reg.RegisterCounter("gengar_server_frees_total", "gfree requests served", &e.frees, labels...)
+	reg.RegisterCounter("gengar_server_cache_hits_total", "mediated reads served from a DRAM copy", &e.hits, labels...)
+	reg.RegisterCounter("gengar_server_cache_misses_total", "mediated reads served from home NVM", &e.misses, labels...)
+	reg.GaugeFunc("gengar_server_objects", "live objects homed here", func() int64 {
+		return int64(e.objIdx.count())
+	}, labels...)
+	reg.GaugeFunc("gengar_server_pool_used_bytes", "NVM pool bytes allocated", func() int64 {
+		return e.pool.AllocatedBytes()
+	}, labels...)
+	reg.GaugeFunc("gengar_server_buffer_used_bytes", "DRAM buffer bytes holding promoted copies", func() int64 {
+		return e.bufp.UsedBytes()
+	}, labels...)
+	reg.GaugeFunc("gengar_server_buffer_capacity_bytes", "DRAM buffer arena size", func() int64 {
+		return e.cacheDev.Size()
+	}, labels...)
+	reg.GaugeFunc("gengar_server_promoted_objects", "objects with a live DRAM copy", func() int64 {
+		return int64(e.remap.Len())
+	}, labels...)
+	reg.GaugeFunc("gengar_server_remap_epoch", "remap table epoch", func() int64 {
+		return int64(e.remap.Epoch())
+	}, labels...)
+	e.flusher.RegisterTelemetry(reg, labels...)
+}

@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"sort"
@@ -8,7 +8,7 @@ import (
 )
 
 // objIndex tracks live objects on one home server: base address and
-// rounded size, ordered for containment queries. The server uses it to
+// rounded size, ordered for containment queries. The engine uses it to
 // resolve raw verb target addresses (as reported in hotness digests, or
 // seen by the proxy flusher) to the containing object, and to size
 // promotion candidates.

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"gengar/internal/cache"
+	"gengar/internal/simnet"
+)
+
+// Placer is the deployment's promotion-placement strategy: where a hot
+// object's DRAM copy lives and how bytes reach it. The simulated mount
+// places cluster-wide (any server's arena, written over mesh queue
+// pairs); the TCP mount places into the engine's own arena. Locations
+// returned by PlaceCopy must carry a fresh nonzero generation stamp.
+type Placer interface {
+	// PlaceCopy reserves arena space for a copy of size data bytes (the
+	// generation header is added by the placer) and returns its stamped
+	// location.
+	PlaceCopy(size int64) (cache.Location, error)
+	// InstallCopy writes a complete copy — generation header plus object
+	// data — into freshly placed buffer space.
+	InstallCopy(at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error)
+	// WriteCopy writes data into the copy's data area at the given delta
+	// past the generation header.
+	WriteCopy(at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error)
+	// Release frees the buffer space behind a demoted copy.
+	Release(loc cache.Location)
+}
+
+// LocalPlacer places promoted copies in the engine's own DRAM arena —
+// the single-server strategy of the TCP mount, where there is no mesh to
+// spill over. Generation stamps are engine-local; uniqueness within one
+// engine is all the generation check needs when copies never leave it.
+type LocalPlacer struct {
+	e   *Engine
+	gen atomic.Uint64
+}
+
+// NewLocalPlacer returns a placer over the engine's own buffer arena.
+func NewLocalPlacer(e *Engine) *LocalPlacer { return &LocalPlacer{e: e} }
+
+// PlaceCopy reserves local arena space and stamps a fresh generation.
+func (p *LocalPlacer) PlaceCopy(size int64) (cache.Location, error) {
+	off, err := p.e.bufp.Place(size + cache.CopyHeaderBytes)
+	if err != nil {
+		return cache.Location{}, err
+	}
+	return cache.Location{
+		Node: p.e.name,
+		Off:  off,
+		Size: size,
+		Gen:  p.gen.Add(1),
+	}, nil
+}
+
+// InstallCopy writes header + data into the local arena.
+func (p *LocalPlacer) InstallCopy(at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error) {
+	return p.e.cacheDev.Write(at, loc.Off, payload)
+}
+
+// WriteCopy updates the copy's data area in the local arena.
+func (p *LocalPlacer) WriteCopy(at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error) {
+	return p.e.cacheDev.Write(at, loc.Off+cache.CopyHeaderBytes+delta, data)
+}
+
+// Release frees the copy's arena space.
+func (p *LocalPlacer) Release(loc cache.Location) {
+	// A release failure means the location was already released — a
+	// bookkeeping bug upstream, but never fatal to the pool.
+	_ = p.e.bufp.Release(loc.Off)
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"gengar/internal/alloc"
+	"gengar/internal/cache"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// MaybePlan schedules a promotion/demotion plan on the proxy flusher
+// goroutine when an epoch has passed: either PlanEvery of engine time
+// since the last plan, or the sketch's total observed weight doubling
+// (so a burst of fresh access information is acted on even when little
+// time has elapsed). Running on the flusher serializes plans with
+// write-throughs, so a copy install can never race a flush of the same
+// object.
+func (e *Engine) MaybePlan(at simnet.Time) {
+	if e.placer == nil {
+		return // mount has not enabled promotion
+	}
+	e.mu.Lock()
+	total := e.sketch.Total()
+	elapsed := !e.planned || at.Sub(e.lastPlan) >= e.cfg.Hotness.PlanEvery
+	grown := total >= 2*e.lastPlanWeight && total > 0
+	// Never plan (and in particular never decay) without fresh access
+	// information: back-to-back plans on a stale sketch would age the
+	// hot set into oblivion.
+	if e.newWeight == 0 || (!elapsed && !grown) {
+		e.mu.Unlock()
+		return
+	}
+	e.planned = true
+	e.lastPlan = at
+	e.lastPlanWeight = total
+	e.newWeight = 0
+	e.mu.Unlock()
+
+	// Best-effort: if the flusher is closing, skip the plan.
+	_ = e.flusher.Submit(func() { e.executePlan(at) })
+}
+
+// CopyFootprint returns the DRAM arena bytes a promoted copy of the
+// object actually consumes: generation header plus data, rounded to the
+// buddy allocator's block size. Budgeting the footprint rather than the
+// object size keeps plans honest — otherwise the planner overcommits the
+// arena ~2x (a power-of-two object plus its 8-byte header rounds up to
+// the next block) and promotion/demotion thrashes at the budget edge.
+func (e *Engine) CopyFootprint(base region.GAddr) int64 {
+	size := e.objIdx.sizeOf(base)
+	if size <= 0 {
+		return 0
+	}
+	return alloc.BlockSize(size + cache.CopyHeaderBytes)
+}
+
+// executePlan runs one promotion/demotion round at instant at. It must
+// only run on the flusher goroutine.
+func (e *Engine) executePlan(at simnet.Time) {
+	e.mu.Lock()
+	promote, demote := e.policy.Plan(e.sketch, e.CopyFootprint, e.remap.Promoted())
+	// Age the sketch on a wall of engine time, not per plan: several
+	// plans may execute back-to-back when digests arrive in bursts, and
+	// halving on each would decay a perfectly hot working set to nothing.
+	if decayEvery := 4 * e.cfg.Hotness.PlanEvery; at.Sub(e.lastDecay) >= decayEvery {
+		e.sketch.Decay()
+		e.lastDecay = at
+	}
+	e.mu.Unlock()
+
+	add := make(map[region.GAddr]cache.Location, len(promote))
+	for _, base := range promote {
+		size := e.objIdx.sizeOf(base)
+		if size <= 0 {
+			continue // freed since the plan was computed
+		}
+		loc, err := e.placer.PlaceCopy(size)
+		if err != nil {
+			continue // arena full; try again next epoch
+		}
+		// Read the authoritative NVM data and install header + data.
+		payload := make([]byte, cache.CopyHeaderBytes+size)
+		binary.BigEndian.PutUint64(payload, loc.Gen)
+		tRead, err := e.nvm.Read(at, base.Offset(), payload[cache.CopyHeaderBytes:])
+		if err != nil {
+			e.placer.Release(loc)
+			continue
+		}
+		if _, err := e.placer.InstallCopy(tRead, loc, payload); err != nil {
+			e.placer.Release(loc)
+			continue
+		}
+		add[base] = loc
+		e.promotions.Inc()
+	}
+
+	released := e.remap.Apply(add, demote)
+	for _, loc := range released {
+		e.releaseCopy(loc)
+		e.demotions.Inc()
+	}
+}
+
+// writeCopy routes a copy update through the placer (which knows whether
+// the copy is local or on a peer). Without a placer the engine never has
+// promoted copies, so this is unreachable; it degrades to a no-op.
+func (e *Engine) writeCopy(at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error) {
+	if e.placer == nil {
+		return at, nil
+	}
+	return e.placer.WriteCopy(at, loc, delta, data)
+}
+
+// releaseCopy returns a demoted copy's arena space through the placer.
+func (e *Engine) releaseCopy(loc cache.Location) {
+	if e.placer == nil {
+		return
+	}
+	e.placer.Release(loc)
+}

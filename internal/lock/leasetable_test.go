@@ -1,0 +1,96 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+)
+
+func TestLeaseTableValidation(t *testing.T) {
+	if _, err := NewLeaseTable(3, nil); err == nil {
+		t.Fatal("non-pow2 lease slots accepted")
+	}
+	if _, err := NewLeaseTable(0, nil); err == nil {
+		t.Fatal("zero lease slots accepted")
+	}
+}
+
+func TestLeaseRenewalByHolder(t *testing.T) {
+	tbl, err := NewLeaseTable(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := region.MustGAddr(1, 64)
+	if err := tbl.LockExclusive(7, a, 50*time.Millisecond, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire by the same session renews, never deadlocks.
+	if err := tbl.LockExclusive(7, a, 50*time.Millisecond, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.UnlockExclusive(7, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseTableExpiredReaderReaped(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	tbl, err := NewLeaseTable(16, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := region.MustGAddr(1, 64)
+	if err := tbl.LockShared(1, a, 30*time.Millisecond, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the injected clock past the lease: a writer gets in.
+	now = now.Add(time.Second)
+	if err := tbl.LockExclusive(2, a, time.Second, time.Millisecond); err != nil {
+		t.Fatalf("writer blocked by expired reader: %v", err)
+	}
+	// The expired reader's release is now an error.
+	if err := tbl.UnlockShared(1, a); !errors.Is(err, ErrLeaseNotHeld) {
+		t.Fatalf("expired reader unlock: %v", err)
+	}
+}
+
+func TestLeaseWriterReleaseHook(t *testing.T) {
+	tbl, err := NewLeaseTable(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bumped []region.GAddr
+	tbl.OnWriterRelease(func(addr region.GAddr) { bumped = append(bumped, addr) })
+	a := region.MustGAddr(1, 64)
+
+	// Shared grants never fire the hook.
+	if err := tbl.LockShared(1, a, time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.UnlockShared(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if len(bumped) != 0 {
+		t.Fatalf("hook fired on shared release: %v", bumped)
+	}
+	// An exclusive release fires it exactly once with the lock address.
+	if err := tbl.LockExclusive(2, a, time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.UnlockExclusive(2, a); err != nil {
+		t.Fatal(err)
+	}
+	if len(bumped) != 1 || bumped[0] != a {
+		t.Fatalf("hook after exclusive release: %v", bumped)
+	}
+	// A failed release (not the holder) never fires it.
+	if err := tbl.UnlockExclusive(3, a); !errors.Is(err, ErrLeaseNotHeld) {
+		t.Fatalf("unheld release: %v", err)
+	}
+	if len(bumped) != 1 {
+		t.Fatalf("hook fired on failed release: %v", bumped)
+	}
+}

@@ -22,6 +22,7 @@
 package lock
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
@@ -106,6 +107,41 @@ func slotIndex(addr region.GAddr, slots int) int64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return int64(x & uint64(slots-1))
+}
+
+// versionOffset returns the device offset of the version word covering
+// addr.
+func (t *Table) versionOffset(addr region.GAddr) int64 {
+	return t.base + slotIndex(addr, t.slots)*SlotBytes + 8
+}
+
+// ReadVersionRaw fetches the version word covering addr without charging
+// device time — the server-local view of what clients ReadVersion.
+func (t *Table) ReadVersionRaw(addr region.GAddr) uint64 {
+	var b [8]byte
+	if err := t.dev.ReadRaw(t.versionOffset(addr), b[:]); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// BumpVersionRaw increments the version word covering addr without
+// charging device time. Callers must serialize bumps to the same table
+// (the lease table invokes it under its own mutex); concurrent one-sided
+// FETCH_ADDs from simulated clients are not expected on tables used this
+// way.
+func (t *Table) BumpVersionRaw(addr region.GAddr) uint64 {
+	off := t.versionOffset(addr)
+	var b [8]byte
+	if err := t.dev.ReadRaw(off, b[:]); err != nil {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(b[:]) + 1
+	binary.BigEndian.PutUint64(b[:], v)
+	if err := t.dev.WriteRaw(off, b[:]); err != nil {
+		return 0
+	}
+	return v
 }
 
 // Geometry describes a remote lock table to clients: where it lives and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gengar/internal/hmem"
 	"gengar/internal/metrics"
 	"gengar/internal/rdma"
 	"gengar/internal/region"
@@ -79,8 +80,11 @@ func putBuf(bp *[]byte) { bufPool.Put(bp) }
 // waits on a briefly-full flusher queue under stageMu.
 type Writer struct {
 	engine *Engine
-	qp     *rdma.QP
-	ring   Ring
+	qp     *rdma.QP // nil for a server-local writer
+	// localDev is the ring device for server-local staging (NewLocalWriter):
+	// slot images are posted by direct device writes instead of RDMA WRITEs.
+	localDev *hmem.Device
+	ring     Ring
 
 	credits chan struct{}
 	ackCh   chan Ack
@@ -113,14 +117,36 @@ type Writer struct {
 // flusher (the in-process stand-in for its polling threads discovering
 // ring tail updates).
 func NewWriter(engine *Engine, qp *rdma.QP, ring Ring) (*Writer, error) {
+	if qp == nil {
+		return nil, fmt.Errorf("proxy: NewWriter without a QP (use NewLocalWriter)")
+	}
+	return newWriter(engine, qp, nil, ring)
+}
+
+// NewLocalWriter builds a server-local writer over the flusher's own
+// ring device: slot images are posted by direct device writes instead of
+// one-sided RDMA WRITEs. This is the staging path of server-mediated
+// transports (the TCP mount), where the daemon stages on the client's
+// behalf — same slots, credits, FIFO flush order, read-your-writes and
+// backpressure as the RDMA path. Ring.DevBase addresses the ring within
+// the flusher's ring device; Handle may be zero.
+func NewLocalWriter(engine *Engine, ring Ring) (*Writer, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("proxy: NewLocalWriter without an engine")
+	}
+	return newWriter(engine, nil, engine.ringDev, ring)
+}
+
+func newWriter(engine *Engine, qp *rdma.QP, localDev *hmem.Device, ring Ring) (*Writer, error) {
 	if err := ring.Validate(); err != nil {
 		return nil, err
 	}
 	w := &Writer{
-		engine:  engine,
-		qp:      qp,
-		ring:    ring,
-		credits: make(chan struct{}, ring.Slots),
+		engine:   engine,
+		qp:       qp,
+		localDev: localDev,
+		ring:     ring,
+		credits:  make(chan struct{}, ring.Slots),
 		// The flusher must never block sending an ack (deadlock freedom
 		// of the whole pipeline rests on it), so the channel holds a
 		// full ring plus everything that can sit inside the flush
@@ -199,8 +225,14 @@ func (w *Writer) Stage(at simnet.Time, addr region.GAddr, nvmOff int64, data []b
 	binary.BigEndian.PutUint64(buf, uint64(addr))
 	binary.BigEndian.PutUint32(buf[8:], uint32(len(data)))
 	copy(buf[slotHeaderBytes:], data)
-	slotOff := w.ring.Base + int64(slot)*int64(w.ring.SlotSize)
-	stagedAt, err := w.qp.Write(at, buf, rdma.RemoteAddr{Region: w.ring.Handle, Offset: slotOff})
+	var stagedAt simnet.Time
+	var err error
+	if w.qp != nil {
+		slotOff := w.ring.Base + int64(slot)*int64(w.ring.SlotSize)
+		stagedAt, err = w.qp.Write(at, buf, rdma.RemoteAddr{Region: w.ring.Handle, Offset: slotOff})
+	} else {
+		stagedAt, err = w.localDev.Write(at, w.ring.DevBase+int64(slot)*int64(w.ring.SlotSize), buf)
+	}
 	putBuf(slotBuf)
 	if err != nil {
 		w.stageMu.Unlock()
@@ -339,15 +371,32 @@ func (w *Writer) stageChain(at simnet.Time, reqs []StageReq) (simnet.Time, error
 		binary.BigEndian.PutUint32(buf[8:], uint32(len(r.Data)))
 		copy(buf[slotHeaderBytes:], r.Data)
 		w.slotBufScratch = append(w.slotBufScratch, sb)
-		w.wqeScratch = append(w.wqeScratch, rdma.WriteReq{
-			Src: buf,
-			Raddr: rdma.RemoteAddr{
-				Region: w.ring.Handle,
-				Offset: w.ring.Base + int64(slot)*int64(w.ring.SlotSize),
-			},
-		})
+		if w.qp != nil {
+			w.wqeScratch = append(w.wqeScratch, rdma.WriteReq{
+				Src: buf,
+				Raddr: rdma.RemoteAddr{
+					Region: w.ring.Handle,
+					Offset: w.ring.Base + int64(slot)*int64(w.ring.SlotSize),
+				},
+			})
+		}
 	}
-	stagedAt, err := w.qp.WriteBatch(at, w.wqeScratch)
+	var stagedAt simnet.Time
+	var err error
+	if w.qp != nil {
+		stagedAt, err = w.qp.WriteBatch(at, w.wqeScratch)
+	} else {
+		// Local mode has no doorbell chain; post the slot images directly
+		// into the ring device in sequence.
+		stagedAt = at
+		for i, sb := range w.slotBufScratch {
+			slot := int((seq0 + uint64(i)) % uint64(w.ring.Slots))
+			stagedAt, err = w.localDev.Write(stagedAt, w.ring.DevBase+int64(slot)*int64(w.ring.SlotSize), *sb)
+			if err != nil {
+				break
+			}
+		}
+	}
 	for _, sb := range w.slotBufScratch {
 		putBuf(sb)
 	}
@@ -441,6 +490,9 @@ func (w *Writer) OccupancyHighWater() int64 { return w.occHW.Load() }
 
 // RingSlots returns the staging ring's slot count.
 func (w *Writer) RingSlots() int { return w.ring.Slots }
+
+// Ring returns the writer's ring descriptor.
+func (w *Writer) Ring() Ring { return w.ring }
 
 // Drain blocks until every write staged so far has been applied to NVM
 // and returns the simulated instant the last one completed. It is the

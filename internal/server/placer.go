@@ -1,0 +1,44 @@
+package server
+
+import (
+	"gengar/internal/cache"
+	"gengar/internal/simnet"
+)
+
+// registryPlacer implements engine.Placer over the cluster-wide
+// placement registry: promoted copies of home's objects may land on any
+// server's DRAM buffer arena, written over server-to-server queue pairs
+// when remote. Generation stamps come from the registry's cluster-wide
+// counter, so a client can detect a buffer slot reused for a different
+// object anywhere in the pool.
+type registryPlacer struct {
+	r    *Registry
+	home *Server
+}
+
+func (p *registryPlacer) PlaceCopy(size int64) (cache.Location, error) {
+	target, off, err := p.r.place(p.home, size)
+	if err != nil {
+		return cache.Location{}, err
+	}
+	return cache.Location{
+		Node:   target.node.ID(),
+		RKey:   target.cacheMR.RKey(),
+		Off:    off,
+		Size:   size,
+		Gen:    p.r.nextGen(),
+		HomeMR: p.home.nvmMR.RKey(),
+	}, nil
+}
+
+func (p *registryPlacer) InstallCopy(at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error) {
+	return p.r.installCopy(p.home, at, loc, payload)
+}
+
+func (p *registryPlacer) WriteCopy(at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error) {
+	return p.r.writeCopy(p.home, at, loc, delta, data)
+}
+
+func (p *registryPlacer) Release(loc cache.Location) {
+	p.r.release(loc)
+}

@@ -50,6 +50,9 @@ func (r *Registry) Join(s *Server) error {
 	r.servers = append(r.servers, s)
 	r.byNode[s.node.ID()] = s
 	s.registry = r
+	// Joining is what makes cluster-wide placement possible, so this is
+	// where the engine learns its placement strategy.
+	s.eng.SetPlacer(&registryPlacer{r: r, home: s})
 	return nil
 }
 

@@ -1,38 +1,39 @@
-// Package server implements the Gengar memory server: the daemon that
-// exports a server's NVM pool and DRAM into the distributed hybrid
-// memory pool. Each server owns
+// Package server mounts the transport-agnostic Gengar engine
+// (internal/engine) on the simulated RDMA fabric: it is the in-process
+// stand-in for the daemon a real deployment runs per memory server.
+// The engine owns the mechanisms — NVM pool + buddy allocator, DRAM
+// buffer arena with promoted copies, staging rings + proxy flusher,
+// lock table, hotness sketch and remap table. This mount adds what is
+// transport- and deployment-specific:
 //
-//   - an NVM pool device with a buddy allocator (gmalloc/gfree targets),
-//   - a DRAM buffer arena holding promoted copies of hot objects,
-//   - DRAM staging rings and a proxy flusher for the redesigned write
-//     path,
-//   - a lock table for multi-user consistency,
-//   - the hotness sketch and remap table for its home objects, and
-//   - the control-plane RPC endpoints clients talk to.
+//   - a fabric node with registered memory regions (NVM, cache arena,
+//     staging rings, lock table) clients address with one-sided verbs,
+//   - the control-plane RPC endpoints (gmalloc/gfree/digest/...),
+//   - cluster-wide placement of promoted copies via the shared registry
+//     and server-to-server queue pairs — the "distributed DRAM buffers"
+//     of the paper.
 //
-// Promoted copies may be placed on any server's buffer arena — the
-// "distributed DRAM buffers" of the paper — via the cluster-wide
-// placement registry and server-to-server queue pairs.
+// Virtual time: every operation carries the caller's simnet instant, so
+// the engine is driven entirely by the simulation's clockless timeline.
 package server
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
-	"gengar/internal/alloc"
-	"gengar/internal/cache"
 	"gengar/internal/config"
+	"gengar/internal/engine"
 	"gengar/internal/hmem"
 	"gengar/internal/hotness"
 	"gengar/internal/lock"
-	"gengar/internal/metrics"
 	"gengar/internal/proxy"
 	"gengar/internal/rdma"
 	"gengar/internal/region"
 	"gengar/internal/rpc"
 	"gengar/internal/simnet"
 	"gengar/internal/telemetry"
+
+	"gengar/internal/cache"
 )
 
 // Control-plane RPC kinds served by every Gengar server.
@@ -49,60 +50,47 @@ const (
 
 // ErrNotHome is returned for operations addressed to the wrong home
 // server.
-var ErrNotHome = errors.New("server: address not homed here")
+var ErrNotHome = engine.ErrNotHome
+
+// Stats is a server activity snapshot (the engine's, re-exported so
+// callers of the mount need not import the engine package).
+type Stats = engine.Stats
 
 // NodeName returns the fabric node name of server id.
 func NodeName(id uint16) string { return fmt.Sprintf("server-%d", id) }
 
-// Server is one Gengar memory server.
+// Server is one Gengar memory server: an engine mounted on the
+// simulated fabric.
 type Server struct {
 	id   uint16
 	cfg  config.Cluster
 	node *rdma.Node
-	cpu  *simnet.Resource
+	eng  *engine.Engine
 
+	// Aliases into the engine's state, for the mount's own paths (MR
+	// registration, registry placement, tests).
 	nvm      *hmem.Device
 	cacheDev *hmem.Device
 	ringDev  *hmem.Device
 	lockDev  *hmem.Device
+	bufp     *cache.BufferPool
+	remap    *cache.RemapTable
 
 	nvmMR   *rdma.MR
 	cacheMR *rdma.MR
 	ringMR  *rdma.MR
 	lockMR  *rdma.MR
 
-	pool    *alloc.Buddy
-	objIdx  *objIndex
-	remap   *cache.RemapTable
-	bufp    *cache.BufferPool
-	policy  hotness.Policy
-	engine  *proxy.Engine
-	lockTbl *lock.Table
-	rpcSrv  *rpc.Server
-
+	rpcSrv   *rpc.Server
 	registry *Registry
 
-	mu             sync.Mutex // guards sketch, plan state, nextRing, peers
-	sketch         *hotness.SpaceSaving
-	lastPlan       simnet.Time
-	lastPlanWeight uint64
-	newWeight      uint64 // digest weight landed since the last plan
-	lastDecay      simnet.Time
-	planned        bool
-	nextRing       int64
-	freeRings      []int64
-	peers          map[uint16]*rdma.QP
-
-	promotions metrics.Counter
-	demotions  metrics.Counter
-	digests    metrics.Counter
-	mallocs    metrics.Counter
-	frees      metrics.Counter
+	mu    sync.Mutex // guards peers
+	peers map[uint16]*rdma.QP
 }
 
 // New builds a server with the given ID on the fabric, creating its
-// devices and registering its memory regions. The server is not usable
-// for placement until Join has added it to a Registry and ConnectPeer
+// engine and registering its memory regions. The server is not usable
+// for placement until Join has added it to a Registry and ConnectMesh
 // has meshed it with its peers.
 func New(f *rdma.Fabric, id uint16, cfg config.Cluster) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
@@ -112,20 +100,7 @@ func New(f *rdma.Fabric, id uint16, cfg config.Cluster) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	name := NodeName(id)
-	nvm, err := hmem.NewDevice(name+"/nvm", cfg.NVMBytes, cfg.PoolMedia)
-	if err != nil {
-		return nil, err
-	}
-	cacheDev, err := hmem.NewDevice(name+"/cache", cfg.DRAMBufferBytes, cfg.BufferMedia)
-	if err != nil {
-		return nil, err
-	}
-	ringDev, err := hmem.NewDevice(name+"/rings", cfg.RingBytes, cfg.BufferMedia)
-	if err != nil {
-		return nil, err
-	}
-	lockDev, err := hmem.NewDevice(name+"/locks", int64(cfg.LockSlots)*lock.SlotBytes, cfg.BufferMedia)
+	eng, err := engine.New(engine.Config{ID: id, Name: NodeName(id), Cluster: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -134,54 +109,30 @@ func New(f *rdma.Fabric, id uint16, cfg config.Cluster) (*Server, error) {
 		id:       id,
 		cfg:      cfg,
 		node:     node,
-		cpu:      simnet.NewResource(name + "/cpu"),
-		nvm:      nvm,
-		cacheDev: cacheDev,
-		ringDev:  ringDev,
-		lockDev:  lockDev,
-		objIdx:   newObjIndex(),
-		remap:    cache.NewRemapTable(),
-		sketch:   hotness.NewSpaceSaving(cfg.Hotness.SketchK),
-		policy: hotness.Policy{
-			BudgetBytes: cfg.DRAMBufferBytes,
-			MinWeight:   cfg.Hotness.MinWeight,
-			Hysteresis:  cfg.Hotness.Hysteresis,
-			MaxChurn:    cfg.Hotness.MaxChurn,
-		},
-		peers: make(map[uint16]*rdma.QP),
+		eng:      eng,
+		nvm:      eng.NVM(),
+		cacheDev: eng.CacheDev(),
+		ringDev:  eng.RingDev(),
+		lockDev:  eng.LockDev(),
+		bufp:     eng.BufferPool(),
+		remap:    eng.Remap(),
+		peers:    make(map[uint16]*rdma.QP),
 	}
 
-	if s.nvmMR, err = node.RegisterMR(nvm, 0, nvm.Size(), rdma.AccessAll); err != nil {
+	if s.nvmMR, err = node.RegisterMR(s.nvm, 0, s.nvm.Size(), rdma.AccessAll); err != nil {
 		return nil, err
 	}
-	if s.cacheMR, err = node.RegisterMR(cacheDev, 0, cacheDev.Size(), rdma.AccessAll); err != nil {
+	if s.cacheMR, err = node.RegisterMR(s.cacheDev, 0, s.cacheDev.Size(), rdma.AccessAll); err != nil {
 		return nil, err
 	}
-	if s.ringMR, err = node.RegisterMR(ringDev, 0, ringDev.Size(), rdma.AccessRemoteWrite|rdma.AccessRemoteRead); err != nil {
+	if s.ringMR, err = node.RegisterMR(s.ringDev, 0, s.ringDev.Size(), rdma.AccessRemoteWrite|rdma.AccessRemoteRead); err != nil {
 		return nil, err
 	}
-	if s.lockMR, err = node.RegisterMR(lockDev, 0, lockDev.Size(), rdma.AccessAll); err != nil {
+	if s.lockMR, err = node.RegisterMR(s.lockDev, 0, s.lockDev.Size(), rdma.AccessAll); err != nil {
 		return nil, err
 	}
 
-	if s.pool, err = alloc.New(cfg.NVMBytes); err != nil {
-		return nil, err
-	}
-	// Burn offset 0 so no object is ever at the nil global address.
-	if _, err := s.pool.Alloc(alloc.MinBlock); err != nil {
-		return nil, err
-	}
-	if s.bufp, err = cache.NewBufferPool(cacheDev); err != nil {
-		return nil, err
-	}
-	if s.lockTbl, err = lock.NewTable(lockDev, 0, cfg.LockSlots); err != nil {
-		return nil, err
-	}
-	if s.engine, err = proxy.NewEngine(ringDev, nvm, s.cpu, cfg.Proxy.PollCost, s.applyToCache); err != nil {
-		return nil, err
-	}
-
-	s.rpcSrv = rpc.NewServer(s.cpu, cfg.RPCCPUPerReq)
+	s.rpcSrv = rpc.NewServer(eng.CPU(), cfg.RPCCPUPerReq)
 	s.rpcSrv.Handle(KindMalloc, s.handleMalloc)
 	s.rpcSrv.Handle(KindFree, s.handleFree)
 	s.rpcSrv.Handle(KindDigest, s.handleDigest)
@@ -199,8 +150,12 @@ func (s *Server) ID() uint16 { return s.id }
 // Node returns the server's fabric node.
 func (s *Server) Node() *rdma.Node { return s.node }
 
+// Core returns the server's engine — the transport-agnostic mechanism
+// state this mount serves.
+func (s *Server) Core() *engine.Engine { return s.eng }
+
 // Engine returns the server's proxy flusher.
-func (s *Server) Engine() *proxy.Engine { return s.engine }
+func (s *Server) Engine() *proxy.Engine { return s.eng.Flusher() }
 
 // RPC returns the server's control-plane endpoint.
 func (s *Server) RPC() *rpc.Server { return s.rpcSrv }
@@ -210,82 +165,40 @@ func (s *Server) NVMHandle() rdma.RegionHandle { return s.nvmMR.Handle() }
 
 // LockGeometry returns the lock table description for clients.
 func (s *Server) LockGeometry() lock.Geometry {
-	return lock.Geometry{Handle: s.lockMR.Handle(), Base: s.lockTbl.Base(), Slots: s.lockTbl.Slots()}
+	tbl := s.eng.LockTable()
+	return lock.Geometry{Handle: s.lockMR.Handle(), Base: tbl.Base(), Slots: tbl.Slots()}
 }
 
 // RemapSnapshot exposes the current remap table (epoch + entries).
 func (s *Server) RemapSnapshot() (uint64, map[region.GAddr]cache.Location) {
-	return s.remap.Snapshot()
-}
-
-// Stats is a server activity snapshot.
-type Stats struct {
-	Objects    int
-	PoolUsed   int64
-	BufferUsed int64
-	Promoted   int
-	Promotions int64
-	Demotions  int64
-	Digests    int64
-	Mallocs    int64
-	Frees      int64
-	Proxy      proxy.EngineStats
-	RemapEpoch uint64
+	return s.eng.RemapSnapshot()
 }
 
 // Stats returns a snapshot of the server's counters.
-func (s *Server) Stats() Stats {
-	return Stats{
-		Objects:    s.objIdx.count(),
-		PoolUsed:   s.pool.AllocatedBytes(),
-		BufferUsed: s.bufp.UsedBytes(),
-		Promoted:   s.remap.Len(),
-		Promotions: s.promotions.Load(),
-		Demotions:  s.demotions.Load(),
-		Digests:    s.digests.Load(),
-		Mallocs:    s.mallocs.Load(),
-		Frees:      s.frees.Load(),
-		Proxy:      s.engine.Stats(),
-		RemapEpoch: s.remap.Epoch(),
-	}
-}
+func (s *Server) Stats() Stats { return s.eng.Stats() }
 
-// RegisterTelemetry exposes the server's live counters and derived state
-// in reg under the gengar_server_* names, labeled with the server's pool
-// ID. The same counter instances back both Stats and the registry, so
-// the two views never disagree.
+// RegisterTelemetry exposes the server's live counters and derived
+// state in reg under the gengar_server_* names, labeled with the
+// server's pool ID. The same counter instances back both Stats and the
+// registry, so the two views never disagree.
 func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
-	sl := telemetry.L("server", fmt.Sprintf("%d", s.id))
-	reg.RegisterCounter("gengar_server_promotions_total", "objects promoted to DRAM", &s.promotions, sl)
-	reg.RegisterCounter("gengar_server_demotions_total", "objects demoted from DRAM", &s.demotions, sl)
-	reg.RegisterCounter("gengar_server_digests_total", "hotness digests received", &s.digests, sl)
-	reg.RegisterCounter("gengar_server_mallocs_total", "gmalloc requests served", &s.mallocs, sl)
-	reg.RegisterCounter("gengar_server_frees_total", "gfree requests served", &s.frees, sl)
-	reg.GaugeFunc("gengar_server_objects", "live objects homed here", func() int64 {
-		return int64(s.objIdx.count())
-	}, sl)
-	reg.GaugeFunc("gengar_server_pool_used_bytes", "NVM pool bytes allocated", func() int64 {
-		return s.pool.AllocatedBytes()
-	}, sl)
-	reg.GaugeFunc("gengar_server_buffer_used_bytes", "DRAM buffer bytes holding promoted copies", func() int64 {
-		return s.bufp.UsedBytes()
-	}, sl)
-	reg.GaugeFunc("gengar_server_buffer_capacity_bytes", "DRAM buffer arena size", func() int64 {
-		return s.cacheDev.Size()
-	}, sl)
-	reg.GaugeFunc("gengar_server_promoted_objects", "objects with a live DRAM copy", func() int64 {
-		return int64(s.remap.Len())
-	}, sl)
-	reg.GaugeFunc("gengar_server_remap_epoch", "remap table epoch", func() int64 {
-		return int64(s.remap.Epoch())
-	}, sl)
-	s.engine.RegisterTelemetry(reg, sl)
+	s.eng.RegisterTelemetry(reg, telemetry.L("server", fmt.Sprintf("%d", s.id)))
 }
 
 // Close stops the server's flusher and RPC endpoint.
 func (s *Server) Close() {
-	s.engine.Close()
+	s.eng.Close()
 	s.rpcSrv.Close()
+}
+
+// copyFootprint is the engine's promotion budget charge for an object
+// (kept as a method for the mount's tests).
+func (s *Server) copyFootprint(base region.GAddr) int64 { return s.eng.CopyFootprint(base) }
+
+// applyToCache is the proxy flusher's write-through hook (kept as a
+// method for the mount's tests).
+func (s *Server) applyToCache(at simnet.Time, addr region.GAddr, data []byte) simnet.Time {
+	return s.eng.ApplyToCache(at, addr, data)
 }
 
 // --- control-plane handlers ---
@@ -295,20 +208,10 @@ func (s *Server) handleMalloc(at simnet.Time, req *rpc.Reader) ([]byte, simnet.T
 	if err := req.Err(); err != nil {
 		return nil, at, err
 	}
-	if size <= 0 {
-		return nil, at, fmt.Errorf("server: malloc of %d bytes", size)
-	}
-	off, err := s.pool.Alloc(size)
+	addr, err := s.eng.Malloc(size)
 	if err != nil {
 		return nil, at, err
 	}
-	addr, err := region.NewGAddr(s.id, off)
-	if err != nil {
-		freeErr := s.pool.Free(off)
-		return nil, at, errors.Join(err, freeErr)
-	}
-	s.objIdx.insert(addr, alloc.BlockSize(size))
-	s.mallocs.Inc()
 	var w rpc.Writer
 	w.U64(uint64(addr))
 	return w.Bytes(), at, nil
@@ -322,57 +225,34 @@ func (s *Server) handleFree(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Tim
 	if addr.Server() != s.id {
 		return nil, at, fmt.Errorf("%w: %v", ErrNotHome, addr)
 	}
-	if !s.objIdx.remove(addr) {
-		return nil, at, fmt.Errorf("server: free of unknown object %v", addr)
-	}
-	// Demote first so no cache copy outlives the object.
-	released := s.remap.Apply(nil, []region.GAddr{addr})
-	for _, loc := range released {
-		s.registry.release(loc)
-		s.demotions.Inc()
-	}
-	if err := s.pool.Free(addr.Offset()); err != nil {
-		return nil, at, err
-	}
-	s.frees.Inc()
-	return nil, at, nil
+	return nil, at, s.eng.Free(addr)
 }
 
 func (s *Server) handleDigest(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
 	n := int(req.U32())
+	entries := make([]hotness.Entry, 0, n)
 	for i := 0; i < n; i++ {
-		raw := region.GAddr(req.U64())
-		reads := uint64(req.U32())
-		writes := uint64(req.U32())
+		ent := hotness.Entry{
+			Addr:   region.GAddr(req.U64()),
+			Reads:  uint64(req.U32()),
+			Writes: uint64(req.U32()),
+		}
 		if req.Err() != nil {
 			break
 		}
-		// Resolve the raw verb target to its containing object; the
-		// digest reports verb semantics, the server owns the layout.
-		base, _, ok := s.objIdx.findContaining(raw, 1)
-		if !ok {
-			continue // freed or foreign address
-		}
-		weight := hotness.Entry{Reads: reads, Writes: writes}.Weight()
-		s.mu.Lock()
-		s.sketch.Add(base, weight)
-		s.newWeight += weight
-		s.mu.Unlock()
+		entries = append(entries, ent)
 	}
 	if err := req.Err(); err != nil {
 		return nil, at, err
 	}
-	s.digests.Inc()
-	if s.cfg.Features.Cache {
-		s.maybePlan(at)
-	}
+	epoch := s.eng.Digest(at, entries)
 	var w rpc.Writer
-	w.U64(s.remap.Epoch())
+	w.U64(epoch)
 	return w.Bytes(), at, nil
 }
 
 func (s *Server) handleRemapFetch(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
-	epoch, entries := s.remap.Snapshot()
+	epoch, entries := s.eng.RemapSnapshot()
 	var w rpc.Writer
 	w.U64(epoch).U32(uint32(len(entries)))
 	for base, loc := range entries {
@@ -383,27 +263,17 @@ func (s *Server) handleRemapFetch(at simnet.Time, req *rpc.Reader) ([]byte, simn
 }
 
 func (s *Server) handleOpenSession(at simnet.Time, req *rpc.Reader) ([]byte, simnet.Time, error) {
-	ringSize := int64(s.cfg.Proxy.RingSlots) * int64(s.cfg.Proxy.RingSlotSize)
-	s.mu.Lock()
-	var base int64
-	if n := len(s.freeRings); n > 0 {
-		base = s.freeRings[n-1]
-		s.freeRings = s.freeRings[:n-1]
-	} else {
-		base = s.nextRing
-		if base+ringSize > s.ringDev.Size() {
-			s.mu.Unlock()
-			return nil, at, fmt.Errorf("server %d: staging ring space exhausted", s.id)
-		}
-		s.nextRing += ringSize
+	base, err := s.eng.OpenRing()
+	if err != nil {
+		return nil, at, err
 	}
-	s.mu.Unlock()
-
+	slots, slotSize := s.eng.RingGeometry()
+	tbl := s.eng.LockTable()
 	var w rpc.Writer
 	w.U32(s.ringMR.RKey()).I64(base).
-		U32(uint32(s.cfg.Proxy.RingSlots)).U32(uint32(s.cfg.Proxy.RingSlotSize)).
+		U32(uint32(slots)).U32(uint32(slotSize)).
 		U32(s.nvmMR.RKey()).
-		U32(s.lockMR.RKey()).I64(s.lockTbl.Base()).U32(uint32(s.lockTbl.Slots()))
+		U32(s.lockMR.RKey()).I64(tbl.Base()).U32(uint32(tbl.Slots()))
 	return w.Bytes(), at, nil
 }
 
@@ -416,19 +286,7 @@ func (s *Server) handleCloseSession(at simnet.Time, req *rpc.Reader) ([]byte, si
 	if err := req.Err(); err != nil {
 		return nil, at, err
 	}
-	ringSize := int64(s.cfg.Proxy.RingSlots) * int64(s.cfg.Proxy.RingSlotSize)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if base < 0 || base+ringSize > s.nextRing || base%ringSize != 0 {
-		return nil, at, fmt.Errorf("server %d: close of bogus ring %d", s.id, base)
-	}
-	for _, f := range s.freeRings {
-		if f == base {
-			return nil, at, fmt.Errorf("server %d: double close of ring %d", s.id, base)
-		}
-	}
-	s.freeRings = append(s.freeRings, base)
-	return nil, at, nil
+	return nil, at, s.eng.CloseRing(base)
 }
 
 // handleWriteThrough keeps a promoted copy coherent after a client wrote
@@ -473,42 +331,5 @@ func (s *Server) refreshCopy(at simnet.Time, addr region.GAddr, size int64) (sim
 	if addr.Server() != s.id {
 		return at, fmt.Errorf("%w: %v", ErrNotHome, addr)
 	}
-	base, _, ok := s.objIdx.findContaining(addr, size)
-	if !ok {
-		return at, nil // object freed; nothing to refresh
-	}
-	loc, promoted := s.remap.Lookup(base)
-	if !promoted {
-		return at, nil
-	}
-	data := make([]byte, size)
-	tRead, err := s.nvm.Read(at, addr.Offset(), data)
-	if err != nil {
-		return at, err
-	}
-	delta := addr.Offset() - base.Offset()
-	return s.registry.writeCopy(s, tRead, loc, delta, data)
-}
-
-// applyToCache is the proxy flusher's write-through hook: after a staged
-// record lands in NVM, refresh the promoted DRAM copy (if any) so cache
-// reads observe the new data.
-func (s *Server) applyToCache(at simnet.Time, addr region.GAddr, data []byte) simnet.Time {
-	base, _, ok := s.objIdx.findContaining(addr, int64(len(data)))
-	if !ok {
-		return at
-	}
-	loc, promoted := s.remap.Lookup(base)
-	if !promoted {
-		return at
-	}
-	delta := addr.Offset() - base.Offset()
-	if delta < 0 || delta+int64(len(data)) > loc.Size {
-		return at
-	}
-	end, err := s.registry.writeCopy(s, at, loc, delta, data)
-	if err != nil {
-		return at
-	}
-	return end
+	return s.eng.RefreshCopy(at, addr, size)
 }

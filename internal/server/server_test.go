@@ -4,7 +4,6 @@ import (
 	"errors"
 	"strings"
 	"testing"
-	"testing/quick"
 
 	"gengar/internal/cache"
 	"gengar/internal/config"
@@ -273,69 +272,6 @@ func TestRegistryReleaseUnknownNode(t *testing.T) {
 	c := newCluster(t)
 	// Must not panic.
 	c.Registry().release(cache.Location{Node: "ghost"})
-}
-
-func TestObjIndexBasics(t *testing.T) {
-	x := newObjIndex()
-	a := region.MustGAddr(1, 128)
-	x.insert(a, 64)
-	x.insert(a, 999) // duplicate ignored
-	if x.count() != 1 || x.sizeOf(a) != 64 {
-		t.Fatalf("count=%d size=%d", x.count(), x.sizeOf(a))
-	}
-	base, size, ok := x.findContaining(a.Add(63), 1)
-	if !ok || base != a || size != 64 {
-		t.Fatalf("contains: %v %d %v", base, size, ok)
-	}
-	if _, _, ok := x.findContaining(a.Add(63), 2); ok {
-		t.Fatal("range crossing object end matched")
-	}
-	if _, _, ok := x.findContaining(region.MustGAddr(1, 64), 1); ok {
-		t.Fatal("address below all objects matched")
-	}
-	if !x.remove(a) {
-		t.Fatal("remove failed")
-	}
-	if x.remove(a) {
-		t.Fatal("double remove succeeded")
-	}
-	if x.sizeOf(a) != 0 {
-		t.Fatal("size after remove")
-	}
-}
-
-func TestObjIndexFindProperty(t *testing.T) {
-	// Property: with disjoint objects, findContaining resolves interior
-	// bytes to the right base and gaps to nothing.
-	f := func(seedBits uint16) bool {
-		x := newObjIndex()
-		inserted := make(map[int64]bool)
-		for i := 0; i < 16; i++ {
-			if seedBits>>uint(i)&1 == 1 {
-				x.insert(region.MustGAddr(1, int64(i+1)*256), 128)
-				inserted[int64(i+1)*256] = true
-			}
-		}
-		for i := 1; i <= 16; i++ {
-			off := int64(i) * 256
-			base, _, ok := x.findContaining(region.MustGAddr(1, off+100), 4)
-			if inserted[off] {
-				if !ok || base.Offset() != off {
-					return false
-				}
-			} else if ok && base.Offset() == off {
-				return false
-			}
-			// Bytes past the object end never match it.
-			if base2, _, ok2 := x.findContaining(region.MustGAddr(1, off+128), 1); ok2 && base2.Offset() == off {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestWriteThroughRPC(t *testing.T) {

@@ -6,11 +6,22 @@ import (
 	"sync"
 	"time"
 
+	"gengar/internal/hotness"
 	"gengar/internal/region"
 )
 
 // DefaultLease is the lock lease clients request unless overridden.
 const DefaultLease = 5 * time.Second
+
+// Reconnect policy: a pool whose connection to a daemon died redials it
+// on next use, a few times with doubling backoff, then reports the dial
+// error. In-flight requests on the dead connection are failed, never
+// silently retried — the pool cannot know whether a write or lock
+// landed before the cut.
+const (
+	redialTries   = 3
+	redialBackoff = 50 * time.Millisecond
+)
 
 // ServerStats is a daemon's activity snapshot.
 type ServerStats struct {
@@ -19,23 +30,44 @@ type ServerStats struct {
 	PoolUsed  int64
 	Ops       int64
 	PoolBytes int64
+
+	// Engine-level mechanism counters.
+	CacheHits   int64 // mediated reads served from the DRAM cache
+	CacheMisses int64 // mediated reads served from the pool
+	Staged      int64 // writes acknowledged from the staging ring
+	Flushed     int64 // staged writes landed in the pool
+	Promotions  int64
+	Demotions   int64
+	Promoted    int64 // objects with a live DRAM copy now
+	Digests     int64
+	RemapEpoch  uint64
 }
 
 // Pool is a client of a set of gengard daemons: one TCP connection per
 // server, requests pipelined and demultiplexed by ID. It is safe for
-// concurrent use.
+// concurrent use. A connection that dies is redialed transparently on
+// the next operation that needs it.
 type Pool struct {
-	mu    sync.Mutex
-	conns map[uint16]*serverConn
-	order []uint16
-	rr    int
-	lease time.Duration
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[uint16]*serverConn
+	order  []uint16
+	rr     int
+	lease  time.Duration
+	closed bool
+
+	// redialMu serializes reconnection attempts so a burst of failing
+	// operations dials each dead server once, not once per caller.
+	redialMu sync.Mutex
 }
 
 // serverConn is one pipelined connection to a daemon.
 type serverConn struct {
+	addr      string // dial address, kept for reconnection
 	serverID  uint16
 	poolBytes int64
+	features  uint8
 
 	c       net.Conn
 	writeMu sync.Mutex
@@ -52,36 +84,45 @@ type response struct {
 	err     error
 }
 
+// dialServer opens and handshakes one connection.
+func dialServer(addr string, timeout time.Duration) (*serverConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+	}
+	sc := &serverConn{
+		addr:    addr,
+		c:       nc,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go sc.demux()
+	resp, err := sc.call(OpHello, nil)
+	if err != nil {
+		sc.close()
+		return nil, fmt.Errorf("tcpnet: hello %s: %w", addr, err)
+	}
+	r := newPayloadReader(resp)
+	sc.serverID = r.U16()
+	sc.poolBytes = r.I64()
+	sc.features = r.U8()
+	if err := r.Err(); err != nil {
+		sc.close()
+		return nil, err
+	}
+	return sc, nil
+}
+
 // Dial connects to every daemon address, performs the hello handshake
 // and returns a pool client. All servers must report distinct IDs.
 func Dial(addrs []string, timeout time.Duration) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("tcpnet: no server addresses")
 	}
-	p := &Pool{conns: make(map[uint16]*serverConn), lease: DefaultLease}
+	p := &Pool{conns: make(map[uint16]*serverConn), lease: DefaultLease, timeout: timeout}
 	for _, a := range addrs {
-		nc, err := net.DialTimeout("tcp", a, timeout)
+		sc, err := dialServer(a, timeout)
 		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("tcpnet: dial %s: %w", a, err)
-		}
-		sc := &serverConn{
-			c:       nc,
-			pending: make(map[uint64]chan response),
-			done:    make(chan struct{}),
-		}
-		go sc.demux()
-		resp, err := sc.call(OpHello, nil)
-		if err != nil {
-			sc.close()
-			p.Close()
-			return nil, fmt.Errorf("tcpnet: hello %s: %w", a, err)
-		}
-		r := newPayloadReader(resp)
-		sc.serverID = r.U16()
-		sc.poolBytes = r.I64()
-		if err := r.Err(); err != nil {
-			sc.close()
 			p.Close()
 			return nil, err
 		}
@@ -144,6 +185,13 @@ func (sc *serverConn) failAll(err error) {
 	}
 }
 
+// dead reports whether the connection has failed and needs redialing.
+func (sc *serverConn) dead() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.closed
+}
+
 // call issues one request and waits for its response payload.
 func (sc *serverConn) call(op Op, payload []byte) ([]byte, error) {
 	ch := make(chan response, 1)
@@ -181,14 +229,83 @@ func (sc *serverConn) close() {
 	<-sc.done
 }
 
+// connByID returns a live connection to the given server, redialing a
+// dead one. Unknown server IDs are an error.
+func (p *Pool) connByID(id uint16) (*serverConn, error) {
+	p.mu.Lock()
+	sc := p.conns[id]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if sc == nil {
+		return nil, fmt.Errorf("tcpnet: no connection to server %d", id)
+	}
+	if !sc.dead() {
+		return sc, nil
+	}
+	return p.redial(id, sc.addr)
+}
+
+// redial replaces a dead connection to server id, retrying with
+// backoff. Concurrent callers coalesce on redialMu: whoever enters
+// first dials; the rest find the fresh connection installed.
+func (p *Pool) redial(id uint16, addr string) (*serverConn, error) {
+	//gengar:lint-ignore lock-across-blocking redialMu intentionally serializes the blocking dial+backoff loop so one failure burst dials each dead server once
+	p.redialMu.Lock()
+	defer p.redialMu.Unlock()
+
+	// Someone else may have reconnected while we waited.
+	p.mu.Lock()
+	sc := p.conns[id]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if sc != nil && !sc.dead() {
+		return sc, nil
+	}
+
+	var lastErr error
+	backoff := redialBackoff
+	for try := 0; try < redialTries; try++ {
+		if try > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		fresh, err := dialServer(addr, p.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if fresh.serverID != id {
+			fresh.close()
+			return nil, fmt.Errorf("tcpnet: %s now reports server ID %d, want %d", addr, fresh.serverID, id)
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			fresh.close()
+			return nil, ErrClosed
+		}
+		p.conns[id] = fresh
+		p.mu.Unlock()
+		return fresh, nil
+	}
+	return nil, fmt.Errorf("tcpnet: reconnect to server %d (%s) failed after %d tries: %w",
+		id, addr, redialTries, lastErr)
+}
+
 func (p *Pool) conn(addr region.GAddr) (*serverConn, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	sc := p.conns[addr.Server()]
-	if sc == nil {
+	known := p.conns[addr.Server()] != nil
+	p.mu.Unlock()
+	if !known {
 		return nil, fmt.Errorf("tcpnet: no connection to server %d (%v)", addr.Server(), addr)
 	}
-	return sc, nil
+	return p.connByID(addr.Server())
 }
 
 // Malloc allocates size bytes, choosing home servers round-robin.
@@ -200,9 +317,12 @@ func (p *Pool) Malloc(size int64) (region.GAddr, error) {
 	}
 	id := p.order[p.rr%len(p.order)]
 	p.rr++
-	sc := p.conns[id]
 	p.mu.Unlock()
 
+	sc, err := p.connByID(id)
+	if err != nil {
+		return region.NilGAddr, err
+	}
 	var w payloadWriter
 	w.I64(size)
 	resp, err := sc.call(OpMalloc, w.Bytes())
@@ -221,26 +341,34 @@ func (p *Pool) Free(addr region.GAddr) error {
 
 // Read fills buf from global memory at addr.
 func (p *Pool) Read(addr region.GAddr, buf []byte) error {
+	_, err := p.ReadCheck(addr, buf)
+	return err
+}
+
+// ReadCheck fills buf from global memory at addr and reports whether
+// the daemon served it from its DRAM cache (a promoted hot object).
+func (p *Pool) ReadCheck(addr region.GAddr, buf []byte) (hit bool, err error) {
 	sc, err := p.conn(addr)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var w payloadWriter
 	w.U64(uint64(addr)).U32(uint32(len(buf)))
 	resp, err := sc.call(OpRead, w.Bytes())
 	if err != nil {
-		return err
+		return false, err
 	}
 	r := newPayloadReader(resp)
 	data := r.Blob()
+	hit = r.U8() == 1
 	if err := r.Err(); err != nil {
-		return err
+		return false, err
 	}
 	if len(data) != len(buf) {
-		return fmt.Errorf("tcpnet: short read: %d of %d bytes", len(data), len(buf))
+		return false, fmt.Errorf("tcpnet: short read: %d of %d bytes", len(data), len(buf))
 	}
 	copy(buf, data)
-	return nil
+	return hit, nil
 }
 
 // Write stores data at addr.
@@ -253,6 +381,102 @@ func (p *Pool) Write(addr region.GAddr, data []byte) error {
 	w.U64(uint64(addr)).Blob(data)
 	_, err = sc.call(OpWrite, w.Bytes())
 	return err
+}
+
+// WriteReq is one record of a batched write.
+type WriteReq struct {
+	Addr region.GAddr
+	Data []byte
+}
+
+// WriteMulti stores a batch of records, one OpWriteBatch frame per home
+// server — the wire analogue of the RDMA client's doorbell-batched
+// write chains. Records to the same server land in request order.
+func (p *Pool) WriteMulti(reqs []WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Group by home server, preserving per-server request order.
+	groups := make(map[uint16][]WriteReq)
+	var order []uint16
+	for _, r := range reqs {
+		id := r.Addr.Server()
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], r)
+	}
+	for _, id := range order {
+		sc, err := p.connByID(id)
+		if err != nil {
+			return err
+		}
+		chain := groups[id]
+		var w payloadWriter
+		w.U32(uint32(len(chain)))
+		for _, r := range chain {
+			w.U64(uint64(r.Addr)).Blob(r.Data)
+		}
+		if _, err := sc.call(OpWriteBatch, w.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Digest reports client-observed access counts to the home servers, one
+// OpDigest frame per server. It returns each server's remap epoch.
+func (p *Pool) Digest(entries []hotness.Entry) (map[uint16]uint64, error) {
+	epochs := make(map[uint16]uint64)
+	groups := make(map[uint16][]hotness.Entry)
+	var order []uint16
+	for _, e := range entries {
+		id := e.Addr.Server()
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], e)
+	}
+	for _, id := range order {
+		sc, err := p.connByID(id)
+		if err != nil {
+			return nil, err
+		}
+		batch := groups[id]
+		var w payloadWriter
+		w.U32(uint32(len(batch)))
+		for _, e := range batch {
+			w.U64(uint64(e.Addr)).U32(uint32(e.Reads)).U32(uint32(e.Writes))
+		}
+		resp, err := sc.call(OpDigest, w.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		r := newPayloadReader(resp)
+		epochs[id] = r.U64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return epochs, nil
+}
+
+// Version returns the version word covering addr — bumped on every
+// exclusive-lock release, so readers can detect concurrent updates.
+func (p *Pool) Version(addr region.GAddr) (uint64, error) {
+	sc, err := p.conn(addr)
+	if err != nil {
+		return 0, err
+	}
+	var w payloadWriter
+	w.U64(uint64(addr))
+	resp, err := sc.call(OpVersion, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := newPayloadReader(resp)
+	v := r.U64()
+	return v, r.Err()
 }
 
 // LockExclusive takes the write lock covering addr with the pool's
@@ -300,11 +524,9 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 	p.mu.Unlock()
 	out := make([]ServerStats, 0, len(order))
 	for _, id := range order {
-		p.mu.Lock()
-		sc := p.conns[id]
-		p.mu.Unlock()
-		if sc == nil {
-			continue
+		sc, err := p.connByID(id)
+		if err != nil {
+			return nil, err
 		}
 		resp, err := sc.call(OpStats, nil)
 		if err != nil {
@@ -312,11 +534,20 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 		}
 		r := newPayloadReader(resp)
 		st := ServerStats{
-			ServerID:  id,
-			Objects:   r.I64(),
-			PoolUsed:  r.I64(),
-			Ops:       r.I64(),
-			PoolBytes: sc.poolBytes,
+			ServerID:    id,
+			Objects:     r.I64(),
+			PoolUsed:    r.I64(),
+			Ops:         r.I64(),
+			CacheHits:   r.I64(),
+			CacheMisses: r.I64(),
+			Staged:      r.I64(),
+			Flushed:     r.I64(),
+			Promotions:  r.I64(),
+			Demotions:   r.I64(),
+			Promoted:    r.I64(),
+			Digests:     r.I64(),
+			RemapEpoch:  r.U64(),
+			PoolBytes:   sc.poolBytes,
 		}
 		if err := r.Err(); err != nil {
 			return nil, err
@@ -329,6 +560,7 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 // Close tears down every connection.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	p.closed = true
 	conns := make([]*serverConn, 0, len(p.conns))
 	for _, sc := range p.conns {
 		conns = append(conns, sc)

@@ -1,162 +1,14 @@
 package tcpnet
 
-import (
-	"errors"
-	"fmt"
-	"sync"
-	"time"
+import "gengar/internal/lock"
 
-	"gengar/internal/lock"
-	"gengar/internal/region"
-)
-
-// Lock errors.
+// Lock errors. The lease-based lock table itself lives in the lock
+// package (lock.LeaseTable) as a first-class engine feature; these
+// aliases keep the tcpnet API stable.
 var (
 	// ErrLockTimeout reports that an acquire waited out its budget.
-	ErrLockTimeout = errors.New("tcpnet: lock acquire timed out")
+	ErrLockTimeout = lock.ErrLeaseTimeout
 	// ErrLockNotHeld reports a release of a lock the session does not
 	// hold.
-	ErrLockNotHeld = errors.New("tcpnet: lock not held by session")
+	ErrLockNotHeld = lock.ErrLeaseNotHeld
 )
-
-// lockTable is the daemon-side reader/writer lock table with leases.
-// Every grant carries an expiry; an expired grant may be stolen by any
-// contender, which is how the deployment survives clients that crash
-// while holding locks — the recovery mechanism DESIGN.md defers from the
-// simulator to the real-network mode.
-type lockTable struct {
-	slots int
-
-	mu    sync.Mutex
-	cond  *sync.Cond
-	words map[int64]*lockWord
-	now   func() time.Time // injectable for tests
-}
-
-type lockWord struct {
-	writer       uint64 // session holding exclusive; 0 if none
-	writerExpiry time.Time
-	readers      map[uint64]time.Time // session -> lease expiry
-}
-
-func newLockTable(slots int, now func() time.Time) (*lockTable, error) {
-	if slots <= 0 || slots&(slots-1) != 0 {
-		return nil, fmt.Errorf("tcpnet: lock slots %d not a power of two", slots)
-	}
-	if now == nil {
-		now = time.Now
-	}
-	t := &lockTable{slots: slots, words: make(map[int64]*lockWord), now: now}
-	t.cond = sync.NewCond(&t.mu)
-	return t, nil
-}
-
-func (t *lockTable) word(addr region.GAddr) *lockWord {
-	i := lock.SlotIndex(addr, t.slots)
-	w := t.words[i]
-	if w == nil {
-		w = &lockWord{readers: make(map[uint64]time.Time)}
-		t.words[i] = w
-	}
-	return w
-}
-
-// reap drops expired grants on w at instant now.
-func (w *lockWord) reap(now time.Time) {
-	if w.writer != 0 && now.After(w.writerExpiry) {
-		w.writer = 0
-	}
-	for s, exp := range w.readers {
-		if now.After(exp) {
-			delete(w.readers, s)
-		}
-	}
-}
-
-// lockExclusive grants session the write lock covering addr, waiting up
-// to timeout for holders (or their lease expiries).
-func (t *lockTable) lockExclusive(session uint64, addr region.GAddr, lease, timeout time.Duration) error {
-	deadline := t.now().Add(timeout)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := t.word(addr)
-	for {
-		now := t.now()
-		w.reap(now)
-		if w.writer == 0 && len(w.readers) == 0 {
-			w.writer = session
-			w.writerExpiry = now.Add(lease)
-			return nil
-		}
-		if w.writer == session {
-			// Lease renewal for the current holder.
-			w.writerExpiry = now.Add(lease)
-			return nil
-		}
-		if now.After(deadline) {
-			return fmt.Errorf("%w: exclusive %v", ErrLockTimeout, addr)
-		}
-		t.wait(deadline)
-	}
-}
-
-// lockShared grants session a read lock covering addr.
-func (t *lockTable) lockShared(session uint64, addr region.GAddr, lease, timeout time.Duration) error {
-	deadline := t.now().Add(timeout)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := t.word(addr)
-	for {
-		now := t.now()
-		w.reap(now)
-		if w.writer == 0 {
-			w.readers[session] = now.Add(lease)
-			return nil
-		}
-		if now.After(deadline) {
-			return fmt.Errorf("%w: shared %v", ErrLockTimeout, addr)
-		}
-		t.wait(deadline)
-	}
-}
-
-// wait blocks until a release broadcast or (approximately) the deadline;
-// a ticker bounds the wait so lease expiries are eventually observed.
-func (t *lockTable) wait(deadline time.Time) {
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-time.After(10 * time.Millisecond):
-			t.cond.Broadcast()
-		case <-done:
-		}
-	}()
-	t.cond.Wait()
-	close(done)
-}
-
-func (t *lockTable) unlockExclusive(session uint64, addr region.GAddr) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := t.word(addr)
-	w.reap(t.now())
-	if w.writer != session {
-		return fmt.Errorf("%w: exclusive %v session %d", ErrLockNotHeld, addr, session)
-	}
-	w.writer = 0
-	t.cond.Broadcast()
-	return nil
-}
-
-func (t *lockTable) unlockShared(session uint64, addr region.GAddr) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := t.word(addr)
-	w.reap(t.now())
-	if _, ok := w.readers[session]; !ok {
-		return fmt.Errorf("%w: shared %v session %d", ErrLockNotHeld, addr, session)
-	}
-	delete(w.readers, session)
-	t.cond.Broadcast()
-	return nil
-}

@@ -9,7 +9,11 @@ import (
 	"time"
 
 	"gengar/internal/alloc"
+	"gengar/internal/config"
+	"gengar/internal/engine"
+	"gengar/internal/hotness"
 	"gengar/internal/metrics"
+	"gengar/internal/proxy"
 	"gengar/internal/region"
 	"gengar/internal/telemetry"
 )
@@ -20,8 +24,22 @@ type ServerConfig struct {
 	ID uint16
 	// PoolBytes is the exported memory capacity (power of two).
 	PoolBytes int64
+	// CacheBytes sizes the DRAM buffer arena holding promoted copies of
+	// hot objects (power of two); 0 selects 8 MiB.
+	CacheBytes int64
+	// RingBytes sizes the staging-ring arena backing proxied writes;
+	// 0 selects 8 MiB.
+	RingBytes int64
 	// LockSlots sizes the lock table (power of two); 0 selects 16384.
 	LockSlots int
+	// DigestEvery is how many data accesses the daemon folds into one
+	// server-side hotness digest; 0 selects 64.
+	DigestEvery int
+	// NoCache disables hotness tracking and DRAM cache promotion.
+	NoCache bool
+	// NoProxy disables staged writes (every write goes straight to the
+	// pool).
+	NoProxy bool
 	// DefaultLease bounds how long a lock grant survives a silent
 	// client; 0 selects 5s.
 	DefaultLease time.Duration
@@ -36,8 +54,17 @@ func (c *ServerConfig) fill() error {
 	if c.PoolBytes < alloc.MinBlock || c.PoolBytes&(c.PoolBytes-1) != 0 {
 		return fmt.Errorf("tcpnet: pool bytes %d not a power of two", c.PoolBytes)
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 8 << 20
+	}
+	if c.RingBytes == 0 {
+		c.RingBytes = 8 << 20
+	}
 	if c.LockSlots == 0 {
 		c.LockSlots = 1 << 14
+	}
+	if c.DigestEvery == 0 {
+		c.DigestEvery = 64
 	}
 	if c.DefaultLease == 0 {
 		c.DefaultLease = 5 * time.Second
@@ -48,19 +75,31 @@ func (c *ServerConfig) fill() error {
 	return nil
 }
 
-// PoolServer is one gengard daemon: it exports PoolBytes of memory as
-// the home of global addresses with its server ID, serving allocation,
-// data access and leased locks over TCP.
-type PoolServer struct {
-	cfg   ServerConfig
-	pool  *alloc.Buddy
-	locks *lockTable
+// cluster maps the daemon configuration onto the engine's cluster
+// configuration: one server, real feature switches, default media and
+// hotness tuning.
+func (c *ServerConfig) cluster() config.Cluster {
+	cc := config.Default()
+	cc.Servers = 1
+	cc.NVMBytes = c.PoolBytes
+	cc.DRAMBufferBytes = c.CacheBytes
+	cc.RingBytes = c.RingBytes
+	cc.LockSlots = c.LockSlots
+	cc.Features = config.Features{Cache: !c.NoCache, Proxy: !c.NoProxy}
+	return cc
+}
 
-	memMu sync.RWMutex
-	mem   []byte
+// PoolServer is one gengard daemon: a Gengar engine mounted on TCP. It
+// serves the paper's full mechanism set server-mediated — reads hit the
+// DRAM cache when the object is promoted, writes are acknowledged from
+// the staging ring before the asynchronous NVM-model flush, hotness
+// epochs run over the daemon's own access observations, and locks are
+// leased so crashed clients cannot wedge the pool.
+type PoolServer struct {
+	cfg ServerConfig
+	eng *engine.Engine
 
 	ops      metrics.Counter
-	objects  metrics.Counter
 	rxBytes  metrics.Counter // payload bytes written into the pool
 	txBytes  metrics.Counter // payload bytes read out of the pool
 	failures metrics.Counter // requests answered with an error status
@@ -81,23 +120,21 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	b, err := alloc.New(cfg.PoolBytes)
+	eng, err := engine.New(engine.Config{
+		ID:      cfg.ID,
+		Name:    fmt.Sprintf("gengard-%d", cfg.ID),
+		Cluster: cfg.cluster(),
+		Clock:   engine.NewWallClock(),
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tcpnet: %w", err)
 	}
-	// Burn offset 0 so no object sits at the nil global address.
-	if _, err := b.Alloc(alloc.MinBlock); err != nil {
-		return nil, err
-	}
-	locks, err := newLockTable(cfg.LockSlots, nil)
-	if err != nil {
-		return nil, err
-	}
+	// Single daemon, no mesh: promoted copies live in the local arena.
+	eng.SetPlacer(engine.NewLocalPlacer(eng))
+
 	s := &PoolServer{
 		cfg:    cfg,
-		pool:   b,
-		locks:  locks,
-		mem:    make([]byte, cfg.PoolBytes),
+		eng:    eng,
 		conns:  make(map[net.Conn]struct{}),
 		telem:  telemetry.NewRegistry(),
 		flight: telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents),
@@ -107,8 +144,10 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	s.telem.RegisterCounter("gengar_tcp_rx_bytes_total", "payload bytes written into the pool", &s.rxBytes, sl)
 	s.telem.RegisterCounter("gengar_tcp_tx_bytes_total", "payload bytes read out of the pool", &s.txBytes, sl)
 	s.telem.RegisterCounter("gengar_tcp_failures_total", "requests answered with an error", &s.failures, sl)
-	s.telem.GaugeFunc("gengar_tcp_objects", "live objects homed here", s.objects.Load, sl)
-	s.telem.GaugeFunc("gengar_tcp_pool_used_bytes", "pool bytes allocated", s.pool.AllocatedBytes, sl)
+	s.telem.GaugeFunc("gengar_tcp_objects", "live objects homed here", func() int64 {
+		return int64(s.eng.Stats().Objects)
+	}, sl)
+	s.telem.GaugeFunc("gengar_tcp_pool_used_bytes", "pool bytes allocated", s.eng.Pool().AllocatedBytes, sl)
 	s.telem.GaugeFunc("gengar_tcp_pool_capacity_bytes", "exported pool size", func() int64 {
 		return s.cfg.PoolBytes
 	}, sl)
@@ -120,8 +159,15 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 		defer s.mu.Unlock()
 		return int64(len(s.conns))
 	}, sl)
+	// The engine's own counters (promotions, cache hits, proxy staging,
+	// ...) under the same names the simulated mount uses, distinguished
+	// by the transport label.
+	eng.RegisterTelemetry(s.telem, sl, telemetry.L("transport", "tcp"))
 	return s, nil
 }
+
+// Engine returns the daemon's engine, for tests and tooling.
+func (s *PoolServer) Engine() *engine.Engine { return s.eng }
 
 // Telemetry returns the daemon's metrics registry (served by gengard's
 // debug endpoint).
@@ -169,7 +215,8 @@ func (s *PoolServer) Serve(lis net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every connection and waits for handlers.
+// Close stops accepting, closes every connection, waits for handlers
+// and stops the engine's flusher.
 func (s *PoolServer) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -192,14 +239,92 @@ func (s *PoolServer) Close() {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	s.eng.Close()
+}
+
+// session is one connection's server-side state: its lock-session
+// identity, its leased staging ring (when proxied writes are on), and
+// the access recorder feeding server-side hotness digests.
+type session struct {
+	id  uint64
+	srv *PoolServer
+
+	writer   *proxy.Writer // nil when staging is off or rings ran out
+	ringBase int64
+	hasRing  bool
+
+	recMu       sync.Mutex
+	rec         *hotness.Recorder
+	sinceDigest int
+}
+
+func (s *PoolServer) openSession() *session {
+	sess := &session{id: s.sessions.Add(1), srv: s, rec: hotness.NewRecorder()}
+	if !s.eng.Features().Proxy {
+		return sess
+	}
+	base, err := s.eng.OpenRing()
+	if err != nil {
+		return sess // rings exhausted: session degrades to direct writes
+	}
+	slots, slotSize := s.eng.RingGeometry()
+	w, err := proxy.NewLocalWriter(s.eng.Flusher(), proxy.Ring{
+		ID:       int(sess.id),
+		Base:     base,
+		DevBase:  base,
+		Slots:    slots,
+		SlotSize: slotSize,
+	})
+	if err != nil {
+		_ = s.eng.CloseRing(base)
+		return sess
+	}
+	sess.writer, sess.ringBase, sess.hasRing = w, base, true
+	return sess
+}
+
+func (sess *session) close() {
+	if sess.writer != nil {
+		sess.writer.Close() // waits for staged records to flush
+	}
+	if sess.hasRing {
+		_ = sess.srv.eng.CloseRing(sess.ringBase)
+	}
+}
+
+// observe records one data access for hotness identification and lands
+// a digest on the engine every DigestEvery accesses — the daemon plays
+// the client's digest-reporting role from the simulated mount, since a
+// TCP client has no recorder of its own unless it sends OpDigest.
+func (sess *session) observe(addr region.GAddr, write bool) {
+	if !sess.srv.eng.Features().Cache {
+		return
+	}
+	sess.recMu.Lock()
+	if write {
+		sess.rec.RecordWrite(addr)
+	} else {
+		sess.rec.RecordRead(addr)
+	}
+	sess.sinceDigest++
+	if sess.sinceDigest < sess.srv.cfg.DigestEvery {
+		sess.recMu.Unlock()
+		return
+	}
+	entries := sess.rec.Drain()
+	sess.sinceDigest = 0
+	sess.recMu.Unlock()
+	eng := sess.srv.eng
+	eng.Digest(eng.Now(), entries)
 }
 
 func (s *PoolServer) serveConn(conn net.Conn) {
-	session := s.sessions.Add(1)
+	sess := s.openSession()
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
 	defer func() {
 		reqWG.Wait()
+		sess.close()
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -214,7 +339,7 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 		reqWG.Add(1)
 		go func() {
 			defer reqWG.Done()
-			resp, herr := s.handle(session, Op(tag), newPayloadReader(payload))
+			resp, herr := s.handle(sess, Op(tag), newPayloadReader(payload))
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
@@ -227,7 +352,7 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []byte, err error) {
+func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []byte, err error) {
 	s.ops.Inc()
 	s.telem.Counter("gengar_tcp_requests_total", "wire requests by kind",
 		telemetry.L("op", op.String())).Inc()
@@ -239,8 +364,15 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 	}()
 	switch op {
 	case OpHello:
+		var feat uint8
+		if s.eng.Features().Cache {
+			feat |= featureCache
+		}
+		if s.eng.Features().Proxy {
+			feat |= featureProxy
+		}
 		var w payloadWriter
-		w.U16(s.cfg.ID).I64(s.cfg.PoolBytes)
+		w.U16(s.cfg.ID).I64(s.cfg.PoolBytes).U8(feat)
 		return w.Bytes(), nil
 
 	case OpMalloc:
@@ -248,19 +380,10 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 		if err := req.Err(); err != nil {
 			return nil, err
 		}
-		if size <= 0 {
-			return nil, fmt.Errorf("tcpnet: malloc of %d bytes", size)
-		}
-		off, err := s.pool.Alloc(size)
+		addr, err := s.eng.Malloc(size)
 		if err != nil {
 			return nil, err
 		}
-		addr, err := region.NewGAddr(s.cfg.ID, off)
-		if err != nil {
-			ferr := s.pool.Free(off)
-			return nil, errors.Join(err, ferr)
-		}
-		s.objects.Inc()
 		var w payloadWriter
 		w.U64(uint64(addr))
 		return w.Bytes(), nil
@@ -270,11 +393,12 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 		if err != nil {
 			return nil, err
 		}
-		if err := s.pool.Free(addr.Offset()); err != nil {
-			return nil, err
+		// Flush the session's own staged writes first so none of them
+		// lands in a recycled allocation later.
+		if sess.writer != nil {
+			sess.writer.Drain()
 		}
-		s.objects.Add(-1)
-		return nil, nil
+		return nil, s.eng.Free(addr)
 
 	case OpRead:
 		addr, err := s.homeAddr(req)
@@ -289,16 +413,28 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 			return nil, fmt.Errorf("tcpnet: read [%d,%d) out of pool", addr.Offset(), addr.Offset()+n)
 		}
 		out := make([]byte, n)
-		s.memMu.RLock()
-		copy(out, s.mem[addr.Offset():addr.Offset()+n])
-		s.memMu.RUnlock()
+		_, hit, err := s.eng.ReadAt(s.eng.Now(), addr, out)
+		if err != nil {
+			return nil, err
+		}
+		// Read-your-writes: overlay this session's staged-but-unflushed
+		// records, exactly as the RDMA client library does.
+		if sess.writer != nil {
+			sess.writer.ApplyPending(addr, out)
+		}
+		sess.observe(addr, false)
 		s.txBytes.Add(n)
 		s.flight.Record(telemetry.Event{
 			TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
-			Len: int(n), Path: "tcp", LatNanos: int64(time.Since(start)),
+			Len: int(n), Path: readPath(hit), LatNanos: int64(time.Since(start)),
 		})
 		var w payloadWriter
 		w.Blob(out)
+		if hit {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
 		return w.Bytes(), nil
 
 	case OpWrite:
@@ -310,18 +446,67 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 		if err := req.Err(); err != nil {
 			return nil, err
 		}
-		if addr.Offset()+int64(len(data)) > s.cfg.PoolBytes {
-			return nil, fmt.Errorf("tcpnet: write [%d,%d) out of pool", addr.Offset(), addr.Offset()+int64(len(data)))
+		if err := s.writeOne(sess, addr, data); err != nil {
+			return nil, err
 		}
-		s.memMu.Lock()
-		copy(s.mem[addr.Offset():], data)
-		s.memMu.Unlock()
-		s.rxBytes.Add(int64(len(data)))
 		s.flight.Record(telemetry.Event{
 			TimeNanos: start.UnixNano(), Op: "write", Addr: uint64(addr),
 			Len: len(data), Path: "tcp", LatNanos: int64(time.Since(start)),
 		})
 		return nil, nil
+
+	case OpWriteBatch:
+		n := int(req.U32())
+		reqs := make([]proxy.StageReq, 0, n)
+		for i := 0; i < n; i++ {
+			addr := region.GAddr(req.U64())
+			data := req.Blob()
+			if err := req.Err(); err != nil {
+				return nil, err
+			}
+			if addr.Server() != s.cfg.ID {
+				return nil, fmt.Errorf("tcpnet: %v not homed on server %d", addr, s.cfg.ID)
+			}
+			if addr.Offset()+int64(len(data)) > s.cfg.PoolBytes {
+				return nil, fmt.Errorf("tcpnet: write [%d,%d) out of pool", addr.Offset(), addr.Offset()+int64(len(data)))
+			}
+			reqs = append(reqs, proxy.StageReq{Addr: addr, NvmOff: addr.Offset(), Data: data})
+		}
+		if err := s.writeBatch(sess, reqs); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case OpDigest:
+		n := int(req.U32())
+		entries := make([]hotness.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			ent := hotness.Entry{
+				Addr:   region.GAddr(req.U64()),
+				Reads:  uint64(req.U32()),
+				Writes: uint64(req.U32()),
+			}
+			if req.Err() != nil {
+				break
+			}
+			entries = append(entries, ent)
+		}
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		epoch := s.eng.Digest(s.eng.Now(), entries)
+		var w payloadWriter
+		w.U64(epoch)
+		return w.Bytes(), nil
+
+	case OpVersion:
+		addr, err := s.homeAddr(req)
+		if err != nil {
+			return nil, err
+		}
+		var w payloadWriter
+		w.U64(s.eng.Version(addr))
+		return w.Bytes(), nil
 
 	case OpLockEx, OpLockSh:
 		addr, err := s.homeAddr(req)
@@ -336,32 +521,98 @@ func (s *PoolServer) handle(session uint64, op Op, req *payloadReader) (resp []b
 			lease = s.cfg.DefaultLease
 		}
 		if op == OpLockEx {
-			return nil, s.locks.lockExclusive(session, addr, lease, s.cfg.AcquireTimeout)
+			return nil, s.eng.Leases().LockExclusive(sess.id, addr, lease, s.cfg.AcquireTimeout)
 		}
-		return nil, s.locks.lockShared(session, addr, lease, s.cfg.AcquireTimeout)
+		return nil, s.eng.Leases().LockShared(sess.id, addr, lease, s.cfg.AcquireTimeout)
 
 	case OpUnlockEx:
 		addr, err := s.homeAddr(req)
 		if err != nil {
 			return nil, err
 		}
-		return nil, s.locks.unlockExclusive(session, addr)
+		return nil, s.eng.Leases().UnlockExclusive(sess.id, addr)
 
 	case OpUnlockSh:
 		addr, err := s.homeAddr(req)
 		if err != nil {
 			return nil, err
 		}
-		return nil, s.locks.unlockShared(session, addr)
+		return nil, s.eng.Leases().UnlockShared(sess.id, addr)
 
 	case OpStats:
+		st := s.eng.Stats()
 		var w payloadWriter
-		w.I64(s.objects.Load()).I64(s.pool.AllocatedBytes()).I64(s.ops.Load())
+		w.I64(int64(st.Objects)).I64(st.PoolUsed).I64(s.ops.Load()).
+			I64(st.Hits).I64(st.Misses).
+			I64(st.Proxy.Staged).I64(st.Proxy.Flushed).
+			I64(st.Promotions).I64(st.Demotions).I64(int64(st.Promoted)).
+			I64(st.Digests).U64(st.RemapEpoch)
 		return w.Bytes(), nil
 
 	default:
 		return nil, fmt.Errorf("tcpnet: unknown op %d", op)
 	}
+}
+
+// writeOne lands one write: staged into the session's ring (acknowledged
+// before the NVM flush, like the paper's proxied writes) when it fits,
+// written through to the pool otherwise.
+func (s *PoolServer) writeOne(sess *session, addr region.GAddr, data []byte) error {
+	if addr.Offset()+int64(len(data)) > s.cfg.PoolBytes {
+		return fmt.Errorf("tcpnet: write [%d,%d) out of pool", addr.Offset(), addr.Offset()+int64(len(data)))
+	}
+	at := s.eng.Now()
+	var err error
+	if sess.writer != nil && len(data) <= sess.writer.Ring().MaxPayload() {
+		_, err = sess.writer.Stage(at, addr, addr.Offset(), data)
+	} else {
+		_, err = s.eng.WriteNVM(at, addr, data)
+	}
+	if err != nil {
+		return err
+	}
+	sess.observe(addr, true)
+	s.rxBytes.Add(int64(len(data)))
+	return nil
+}
+
+// writeBatch lands a batched write chain. When every record fits the
+// ring it stages the whole chain at once (the TCP analogue of the
+// doorbell-batched WRITE chain); otherwise records land one by one.
+func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq) error {
+	allFit := sess.writer != nil
+	if sess.writer != nil {
+		maxPayload := sess.writer.Ring().MaxPayload()
+		for _, r := range reqs {
+			if len(r.Data) > maxPayload {
+				allFit = false
+				break
+			}
+		}
+	}
+	if allFit && len(reqs) > 0 {
+		if _, err := sess.writer.StageMulti(s.eng.Now(), reqs); err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			sess.observe(r.Addr, true)
+			s.rxBytes.Add(int64(len(r.Data)))
+		}
+		return nil
+	}
+	for _, r := range reqs {
+		if err := s.writeOne(sess, r.Addr, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPath(hit bool) string {
+	if hit {
+		return "tcp/cache"
+	}
+	return "tcp/nvm"
 }
 
 // homeAddr decodes an address operand and checks it is homed here.

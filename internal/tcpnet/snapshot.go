@@ -14,7 +14,9 @@ import (
 // state to a file on shutdown and restores it on start, so a daemon
 // restart does not lose the pool — the behavior users expect of a
 // *non-volatile* memory service even when the backing store is a file
-// standing in for NVM.
+// standing in for NVM. Only the NVM pool is persisted: the DRAM cache,
+// staging rings and lock state are volatile by design and rebuilt from
+// traffic after a restart.
 //
 // Format:
 //
@@ -27,12 +29,16 @@ const (
 	snapshotVersion = 1
 )
 
+// snapshotChunk sizes the streaming copies between the pool device and
+// the snapshot file.
+const snapshotChunk = 1 << 20
+
 // ErrBadSnapshot reports a corrupt or incompatible snapshot file.
 var ErrBadSnapshot = errors.New("tcpnet: bad snapshot")
 
 // WriteSnapshot persists the server's pool to path atomically (via a
 // temporary file and rename). Callers must ensure the server is
-// quiescent (gengard snapshots after Close).
+// quiescent (gengard snapshots after Close, which drains the flusher).
 func (s *PoolServer) WriteSnapshot(path string) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -47,7 +53,7 @@ func (s *PoolServer) WriteSnapshot(path string) (err error) {
 	}()
 
 	crc := crc32.NewIEEE()
-	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), snapshotChunk)
 
 	if _, err = w.WriteString(snapshotMagic); err != nil {
 		return err
@@ -60,7 +66,7 @@ func (s *PoolServer) WriteSnapshot(path string) (err error) {
 		return err
 	}
 
-	allocs := s.pool.Live()
+	allocs := s.eng.Pool().Live()
 	var cnt [4]byte
 	binary.BigEndian.PutUint32(cnt[:], uint32(len(allocs)))
 	if _, err = w.Write(cnt[:]); err != nil {
@@ -75,11 +81,21 @@ func (s *PoolServer) WriteSnapshot(path string) (err error) {
 		}
 	}
 
-	s.memMu.RLock()
-	_, err = w.Write(s.mem)
-	s.memMu.RUnlock()
-	if err != nil {
-		return err
+	// Stream the pool image out of the device in chunks; ReadRaw takes
+	// the device's internal lock per chunk, so a huge pool never pins it.
+	nvm := s.eng.NVM()
+	buf := make([]byte, snapshotChunk)
+	for off := int64(0); off < s.cfg.PoolBytes; off += snapshotChunk {
+		n := s.cfg.PoolBytes - off
+		if n > snapshotChunk {
+			n = snapshotChunk
+		}
+		if err = nvm.ReadRaw(off, buf[:n]); err != nil {
+			return err
+		}
+		if _, err = w.Write(buf[:n]); err != nil {
+			return err
+		}
 	}
 	if err = w.Flush(); err != nil {
 		return err
@@ -100,7 +116,8 @@ func (s *PoolServer) WriteSnapshot(path string) (err error) {
 
 // RestoreSnapshot loads a snapshot written by WriteSnapshot into a
 // freshly-constructed server. The server's ID and pool size must match
-// the snapshot's.
+// the snapshot's. On any validation failure the server is left
+// untouched — no partial restore.
 func (s *PoolServer) RestoreSnapshot(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -134,22 +151,36 @@ func (s *PoolServer) RestoreSnapshot(path string) error {
 	if int64(len(p)) != int64(n)*16+poolBytes {
 		return fmt.Errorf("%w: body length %d inconsistent", ErrBadSnapshot, len(p))
 	}
-	var objs int64
+	// Validate every allocation record before mutating any engine state,
+	// so a bad snapshot never leaves a half-restored pool.
+	type allocRec struct{ off, size int64 }
+	recs := make([]allocRec, 0, n)
 	for i := uint32(0); i < n; i++ {
 		off := int64(binary.BigEndian.Uint64(p[0:]))
 		size := int64(binary.BigEndian.Uint64(p[8:]))
 		p = p[16:]
 		if off == 0 {
-			continue // the reserved nil-address guard block is re-made by NewPoolServer
+			continue // the reserved nil-address guard block is re-made by the engine
 		}
-		if err := s.pool.Reserve(off, size); err != nil {
-			return fmt.Errorf("%w: allocation [%d,+%d): %v", ErrBadSnapshot, off, size, err)
+		if off < 0 || size <= 0 || off+size > poolBytes {
+			return fmt.Errorf("%w: allocation [%d,+%d) out of pool", ErrBadSnapshot, off, size)
 		}
-		objs++
+		for _, prev := range recs {
+			if off < prev.off+prev.size && prev.off < off+size {
+				return fmt.Errorf("%w: allocations [%d,+%d) and [%d,+%d) overlap",
+					ErrBadSnapshot, prev.off, prev.size, off, size)
+			}
+		}
+		recs = append(recs, allocRec{off, size})
 	}
-	s.memMu.Lock()
-	copy(s.mem, p)
-	s.memMu.Unlock()
-	s.objects.Add(objs)
-	return nil
+	pool := s.eng.Pool()
+	for _, a := range recs {
+		if err := pool.Reserve(a.off, a.size); err != nil {
+			return fmt.Errorf("%w: allocation [%d,+%d): %v", ErrBadSnapshot, a.off, a.size, err)
+		}
+		if err := s.eng.AdoptObject(a.off, a.size); err != nil {
+			return fmt.Errorf("%w: allocation [%d,+%d): %v", ErrBadSnapshot, a.off, a.size, err)
+		}
+	}
+	return s.eng.NVM().WriteRaw(0, p)
 }

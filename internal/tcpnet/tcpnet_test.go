@@ -62,7 +62,7 @@ func TestServerConfigValidation(t *testing.T) {
 	if _, err := NewPoolServer(ServerConfig{ID: 1, PoolBytes: 1000}); err == nil {
 		t.Fatal("non-pow2 pool accepted")
 	}
-	if _, err := newLockTable(3, nil); err == nil {
+	if _, err := NewPoolServer(ServerConfig{ID: 1, PoolBytes: 1 << 20, LockSlots: 3}); err == nil {
 		t.Fatal("non-pow2 lock slots accepted")
 	}
 }
@@ -307,46 +307,6 @@ func TestLeaseRecoversCrashedHolder(t *testing.T) {
 	}
 	if waited := time.Since(start); waited > time.Second {
 		t.Fatalf("lease recovery took %v", waited)
-	}
-}
-
-func TestLeaseRenewalByHolder(t *testing.T) {
-	tbl, err := newLockTable(16, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a := region.MustGAddr(1, 64)
-	if err := tbl.lockExclusive(7, a, 50*time.Millisecond, time.Second); err != nil {
-		t.Fatal(err)
-	}
-	// Re-acquire by the same session renews, never deadlocks.
-	if err := tbl.lockExclusive(7, a, 50*time.Millisecond, time.Second); err != nil {
-		t.Fatal(err)
-	}
-	if err := tbl.unlockExclusive(7, a); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestLockTableExpiredReaderReaped(t *testing.T) {
-	now := time.Now()
-	clock := func() time.Time { return now }
-	tbl, err := newLockTable(16, clock)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a := region.MustGAddr(1, 64)
-	if err := tbl.lockShared(1, a, 30*time.Millisecond, time.Millisecond); err != nil {
-		t.Fatal(err)
-	}
-	// Advance the injected clock past the lease: a writer gets in.
-	now = now.Add(time.Second)
-	if err := tbl.lockExclusive(2, a, time.Second, time.Millisecond); err != nil {
-		t.Fatalf("writer blocked by expired reader: %v", err)
-	}
-	// The expired reader's release is now an error.
-	if err := tbl.unlockShared(1, a); !errors.Is(err, ErrLockNotHeld) {
-		t.Fatalf("expired reader unlock: %v", err)
 	}
 }
 

@@ -26,16 +26,25 @@ type Op uint8
 
 // Wire operations.
 const (
-	OpHello    Op = iota + 1 // -> serverID u16, poolBytes i64
-	OpMalloc                 // size i64 -> gaddr u64
-	OpFree                   // gaddr u64
-	OpRead                   // gaddr u64, len u32 -> blob
-	OpWrite                  // gaddr u64, blob
-	OpLockEx                 // gaddr u64, leaseMs u32
-	OpUnlockEx               // gaddr u64
-	OpLockSh                 // gaddr u64, leaseMs u32
-	OpUnlockSh               // gaddr u64
-	OpStats                  // -> objects i64, poolUsed i64, ops i64
+	OpHello      Op = iota + 1 // -> serverID u16, poolBytes i64, features u8
+	OpMalloc                   // size i64 -> gaddr u64
+	OpFree                     // gaddr u64
+	OpRead                     // gaddr u64, len u32 -> blob, hit u8
+	OpWrite                    // gaddr u64, blob
+	OpLockEx                   // gaddr u64, leaseMs u32
+	OpUnlockEx                 // gaddr u64
+	OpLockSh                   // gaddr u64, leaseMs u32
+	OpUnlockSh                 // gaddr u64
+	OpStats                    // -> see ServerStats field order
+	OpWriteBatch               // n u32, n x (gaddr u64, blob)
+	OpDigest                   // n u32, n x (gaddr u64, reads u32, writes u32) -> epoch u64
+	OpVersion                  // gaddr u64 -> version u64
+)
+
+// OpHello feature bits.
+const (
+	featureCache = 1 << 0 // hotness tracking + DRAM cache serving reads
+	featureProxy = 1 << 1 // staged writes acknowledged before NVM flush
 )
 
 // String returns the op's wire name, for telemetry labels and errors.
@@ -61,6 +70,12 @@ func (o Op) String() string {
 		return "unlock_sh"
 	case OpStats:
 		return "stats"
+	case OpWriteBatch:
+		return "write_batch"
+	case OpDigest:
+		return "digest"
+	case OpVersion:
+		return "version"
 	default:
 		return fmt.Sprintf("op%d", uint8(o))
 	}
