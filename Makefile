@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-full e2e quick tidy clean
+.PHONY: all build vet lint test race race-short bench bench-full bench-wire fuzz-wire e2e quick tidy clean
 
 all: vet lint build test
 
@@ -35,6 +35,17 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Wire-level loopback smoke: one short iteration of each TCP data-plane
+# benchmark (experiment E17), with allocation counts.
+bench-wire:
+	$(GO) test ./internal/tcpnet -run=^$$ -bench=BenchmarkTCP -benchmem -benchtime=100x
+
+# Short coverage-guided pass over the frame reader's fuzz target; the
+# checked-in corpus under internal/tcpnet/testdata/fuzz always runs as
+# part of `make test`.
+fuzz-wire:
+	$(GO) test ./internal/tcpnet -run=^$$ -fuzz=^FuzzReadFrame$$ -fuzztime=10s
 
 # Deployment-shaped smoke: builds the real gengard and gengar-cli
 # binaries and drives malloc/write/read/lock/promotion/snapshot-restart

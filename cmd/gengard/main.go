@@ -47,6 +47,8 @@ func run() error {
 		lockWait    = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
 		dataFile    = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/events on this address (empty disables)")
+		nagle       = flag.Bool("nagle", false, "re-enable Nagle's algorithm on accepted connections (default sets TCP_NODELAY)")
+		keepAlive   = flag.Duration("keepalive", 0, "TCP keep-alive probe period on accepted connections (0 selects 30s, negative disables)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func run() error {
 		NoProxy:        *noProxy,
 		DefaultLease:   *lease,
 		AcquireTimeout: *lockWait,
+		Nagle:          *nagle,
+		KeepAlive:      *keepAlive,
 	})
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 // "Static analysis" in DESIGN.md).
 var raceExcludeAllowlist = map[string]bool{
 	"internal/core/scratch_alloc_test.go": true,
+	"internal/tcpnet/wire_alloc_test.go":  true,
 }
 
 // TestRaceGuardAudit walks every Go file in the module and fails if a

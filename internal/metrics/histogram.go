@@ -60,9 +60,13 @@ func bucketLow(i int) int64 {
 	return 1<<exp + int64(sub)<<(exp-4)
 }
 
-// Record adds one observation.
-func (h *Histogram) Record(d time.Duration) {
-	v := int64(d)
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) { h.Observe(int64(d)) }
+
+// Observe adds one raw observation. Most histograms hold durations in
+// nanoseconds (use Record); unitless distributions — batch lengths,
+// bytes per syscall — observe plain values and are exported unscaled.
+func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}

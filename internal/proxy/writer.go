@@ -488,6 +488,13 @@ func (w *Writer) PendingCount() int {
 // use by this writer.
 func (w *Writer) OccupancyHighWater() int64 { return w.occHW.Load() }
 
+// FreeSlots reports how many staging-ring slots are currently
+// uncommitted — an advisory, allocation-free backpressure probe for
+// transports deciding whether a stage would park behind the flusher.
+// The answer can be stale by the time a Stage runs; callers use it to
+// choose a dispatch mode, not as a capacity guarantee.
+func (w *Writer) FreeSlots() int { return len(w.credits) }
+
 // RingSlots returns the staging ring's slot count.
 func (w *Writer) RingSlots() int { return w.ring.Slots }
 

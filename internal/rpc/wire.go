@@ -84,6 +84,12 @@ type Writer struct {
 // Bytes returns the accumulated payload.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset makes w append after the existing contents of buf — the hook
+// transports use to encode payloads directly into pooled frame buffers
+// with wire headers reserved up front, instead of accumulating into a
+// fresh allocation and copying.
+func (w *Writer) Reset(buf []byte) { w.buf = buf }
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) *Writer { w.buf = append(w.buf, v); return w }
 
@@ -131,6 +137,11 @@ type Reader struct {
 
 // NewReader wraps a payload for decoding.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset points r at a new payload, clearing any sticky error — so hot
+// paths can decode with a stack-allocated Reader value instead of a
+// fresh NewReader per message.
+func (r *Reader) Reset(b []byte) { r.buf, r.err = b, nil }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }

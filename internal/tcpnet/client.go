@@ -43,12 +43,49 @@ type ServerStats struct {
 	RemapEpoch  uint64
 }
 
+// PoolConfig shapes a client pool beyond its server addresses.
+type PoolConfig struct {
+	// Addrs are the daemon dial addresses; required.
+	Addrs []string
+	// Timeout bounds each dial (and redial) attempt.
+	Timeout time.Duration
+	// Lease is the lock lease requested by this client; 0 selects
+	// DefaultLease.
+	Lease time.Duration
+	// Nagle re-enables Nagle's algorithm on dialed connections. The
+	// default (false) sets TCP_NODELAY: the pool coalesces pipelined
+	// frames itself, so kernel-side delay only adds latency.
+	Nagle bool
+	// KeepAlive is the TCP keep-alive probe period on dialed
+	// connections; 0 selects 30s, negative disables probing.
+	KeepAlive time.Duration
+}
+
+func (c *PoolConfig) fill() error {
+	if len(c.Addrs) == 0 {
+		return fmt.Errorf("tcpnet: no server addresses")
+	}
+	if c.Lease == 0 {
+		c.Lease = DefaultLease
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = defaultKeepAlive
+	}
+	return nil
+}
+
 // Pool is a client of a set of gengard daemons: one TCP connection per
-// server, requests pipelined and demultiplexed by ID. It is safe for
-// concurrent use. A connection that dies is redialed transparently on
-// the next operation that needs it.
+// server, requests pipelined and demultiplexed by ID, with send-side
+// flush coalescing — frames started together (a WriteMulti chain, a
+// ReadMulti scan, concurrent callers) leave in one writev. It is safe
+// for concurrent use. A connection that dies is redialed transparently
+// on the next operation that needs it.
 type Pool struct {
-	timeout time.Duration
+	cfg PoolConfig
+
+	// frames backs every request frame this client encodes and every
+	// response frame its demux loops read.
+	frames framePool
 
 	mu     sync.Mutex
 	conns  map[uint16]*serverConn
@@ -69,8 +106,9 @@ type serverConn struct {
 	poolBytes int64
 	features  uint8
 
-	c       net.Conn
-	writeMu sync.Mutex
+	c      net.Conn
+	q      *frameQueue // send side: coalesces pipelined frames per writev
+	frames *framePool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -79,34 +117,48 @@ type serverConn struct {
 	done    chan struct{}
 }
 
+// response is one demuxed reply. frame owns the pooled storage backing
+// payload; the receiver recycles it once the payload is decoded.
 type response struct {
+	frame   *[]byte
 	payload []byte
 	err     error
 }
 
+// waiters pools the single-use response channels handed to callers —
+// each completes exactly one send/receive, so it is clean for reuse.
+var waiters = sync.Pool{New: func() any { return make(chan response, 1) }}
+
 // dialServer opens and handshakes one connection.
-func dialServer(addr string, timeout time.Duration) (*serverConn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+func dialServer(addr string, cfg *PoolConfig, frames *framePool) (*serverConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
 	}
+	tuneConn(nc, cfg.Nagle, cfg.KeepAlive)
 	sc := &serverConn{
 		addr:    addr,
 		c:       nc,
+		q:       newFrameQueue(nc, frames),
+		frames:  frames,
 		pending: make(map[uint64]chan response),
 		done:    make(chan struct{}),
 	}
 	go sc.demux()
-	resp, err := sc.call(OpHello, nil)
+	var w payloadWriter
+	f := frames.newFrame(&w, 0)
+	resp, err := sc.roundTrip(f, &w, OpHello)
 	if err != nil {
 		sc.close()
 		return nil, fmt.Errorf("tcpnet: hello %s: %w", addr, err)
 	}
-	r := newPayloadReader(resp)
+	r := newPayloadReader(resp.payload)
 	sc.serverID = r.U16()
 	sc.poolBytes = r.I64()
 	sc.features = r.U8()
-	if err := r.Err(); err != nil {
+	err = r.Err()
+	sc.release(resp)
+	if err != nil {
 		sc.close()
 		return nil, err
 	}
@@ -116,12 +168,17 @@ func dialServer(addr string, timeout time.Duration) (*serverConn, error) {
 // Dial connects to every daemon address, performs the hello handshake
 // and returns a pool client. All servers must report distinct IDs.
 func Dial(addrs []string, timeout time.Duration) (*Pool, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("tcpnet: no server addresses")
+	return DialConfig(PoolConfig{Addrs: addrs, Timeout: timeout})
+}
+
+// DialConfig is Dial with the full knob set.
+func DialConfig(cfg PoolConfig) (*Pool, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
 	}
-	p := &Pool{conns: make(map[uint16]*serverConn), lease: DefaultLease, timeout: timeout}
-	for _, a := range addrs {
-		sc, err := dialServer(a, timeout)
+	p := &Pool{cfg: cfg, conns: make(map[uint16]*serverConn), lease: cfg.Lease}
+	for _, a := range cfg.Addrs {
+		sc, err := dialServer(a, &p.cfg, &p.frames)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -146,10 +203,15 @@ func (p *Pool) SetLease(d time.Duration) {
 	}
 }
 
+// demux reads response frames into pooled buffers and delivers each to
+// its waiter, which owns (and recycles) the buffer from then on.
+//
+//gengar:hotpath
 func (sc *serverConn) demux() {
 	defer close(sc.done)
+	r := newFrameReader(sc.c, sc.frames)
 	for {
-		id, status, payload, err := readFrame(sc.c)
+		id, status, frame, payload, err := r.read()
 		if err != nil {
 			sc.failAll(err)
 			return
@@ -159,12 +221,14 @@ func (sc *serverConn) demux() {
 		delete(sc.pending, id)
 		sc.mu.Unlock()
 		if ch == nil {
+			sc.frames.put(frame)
 			continue
 		}
 		if status == statusOK {
-			ch <- response{payload: payload}
+			ch <- response{frame: frame, payload: payload}
 		} else {
 			ch <- response{err: &RemoteError{Msg: string(payload)}}
+			sc.frames.put(frame)
 		}
 	}
 }
@@ -192,12 +256,19 @@ func (sc *serverConn) dead() bool {
 	return sc.closed
 }
 
-// call issues one request and waits for its response payload.
-func (sc *serverConn) call(op Op, payload []byte) ([]byte, error) {
-	ch := make(chan response, 1)
+// start registers a waiter and enqueues a request frame whose payload
+// was encoded in place over f via w. The returned channel receives
+// exactly one response; pass it to wait. Frames started back-to-back
+// before their waits coalesce into one writev.
+//
+//gengar:hotpath
+func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op) (chan response, error) {
+	ch := waiters.Get().(chan response)
 	sc.mu.Lock()
 	if sc.closed {
 		sc.mu.Unlock()
+		waiters.Put(ch)
+		sc.frames.put(f)
 		return nil, ErrClosed
 	}
 	sc.nextID++
@@ -205,28 +276,79 @@ func (sc *serverConn) call(op Op, payload []byte) ([]byte, error) {
 	sc.pending[id] = ch
 	sc.mu.Unlock()
 
-	sc.writeMu.Lock()
-	err := writeFrame(sc.c, id, uint8(op), payload)
-	sc.writeMu.Unlock()
-	if err != nil {
-		sc.mu.Lock()
-		delete(sc.pending, id)
-		sc.mu.Unlock()
+	if err := encodeFrameInto(f, w, id, uint8(op)); err != nil {
+		sc.unregister(id)
+		waiters.Put(ch)
+		sc.frames.put(f)
+		return nil, err
+	}
+	if err := sc.q.enqueue(f); err != nil {
+		sc.unregister(id)
+		waiters.Put(ch)
 		return nil, fmt.Errorf("tcpnet: send: %w", err)
 	}
+	return ch, nil
+}
+
+func (sc *serverConn) unregister(id uint64) {
+	sc.mu.Lock()
+	delete(sc.pending, id)
+	sc.mu.Unlock()
+}
+
+// wait receives the response started on ch. The caller must release
+// the returned response once decoded.
+//
+//gengar:hotpath
+func (sc *serverConn) wait(ch chan response, op Op) (response, error) {
 	resp := <-ch
+	waiters.Put(ch)
 	if resp.err != nil {
 		if re, ok := resp.err.(*RemoteError); ok {
 			re.Op = op
 		}
-		return nil, resp.err
+		return response{}, resp.err
 	}
-	return resp.payload, nil
+	return resp, nil
+}
+
+// release recycles a response's pooled frame once its payload is dead.
+//
+//gengar:hotpath
+func (sc *serverConn) release(resp response) {
+	if resp.frame != nil {
+		sc.frames.put(resp.frame)
+	}
+}
+
+// roundTrip issues one request and waits for its response.
+//
+//gengar:hotpath
+func (sc *serverConn) roundTrip(f *[]byte, w *payloadWriter, op Op) (response, error) {
+	ch, err := sc.start(f, w, op)
+	if err != nil {
+		return response{}, err
+	}
+	return sc.wait(ch, op)
+}
+
+// call issues one request and waits, discarding any response payload —
+// for ops whose reply is empty (write, free, locks).
+//
+//gengar:hotpath
+func (sc *serverConn) call(f *[]byte, w *payloadWriter, op Op) error {
+	resp, err := sc.roundTrip(f, w, op)
+	if err != nil {
+		return err
+	}
+	sc.release(resp)
+	return nil
 }
 
 func (sc *serverConn) close() {
 	_ = sc.c.Close()
 	<-sc.done
+	sc.q.close()
 }
 
 // connByID returns a live connection to the given server, redialing a
@@ -275,7 +397,7 @@ func (p *Pool) redial(id uint16, addr string) (*serverConn, error) {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		fresh, err := dialServer(addr, p.timeout)
+		fresh, err := dialServer(addr, &p.cfg, &p.frames)
 		if err != nil {
 			lastErr = err
 			continue
@@ -324,14 +446,18 @@ func (p *Pool) Malloc(size int64) (region.GAddr, error) {
 		return region.NilGAddr, err
 	}
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 8)
 	w.I64(size)
-	resp, err := sc.call(OpMalloc, w.Bytes())
+	resp, err := sc.roundTrip(f, &w, OpMalloc)
 	if err != nil {
 		return region.NilGAddr, err
 	}
-	r := newPayloadReader(resp)
+	var r payloadReader
+	r.Reset(resp.payload)
 	addr := region.GAddr(r.U64())
-	return addr, r.Err()
+	err = r.Err()
+	sc.release(resp)
+	return addr, err
 }
 
 // Free releases an object.
@@ -340,6 +466,8 @@ func (p *Pool) Free(addr region.GAddr) error {
 }
 
 // Read fills buf from global memory at addr.
+//
+//gengar:hotpath
 func (p *Pool) Read(addr region.GAddr, buf []byte) error {
 	_, err := p.ReadCheck(addr, buf)
 	return err
@@ -347,40 +475,58 @@ func (p *Pool) Read(addr region.GAddr, buf []byte) error {
 
 // ReadCheck fills buf from global memory at addr and reports whether
 // the daemon served it from its DRAM cache (a promoted hot object).
+//
+//gengar:hotpath
 func (p *Pool) ReadCheck(addr region.GAddr, buf []byte) (hit bool, err error) {
 	sc, err := p.conn(addr)
 	if err != nil {
 		return false, err
 	}
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 12)
 	w.U64(uint64(addr)).U32(uint32(len(buf)))
-	resp, err := sc.call(OpRead, w.Bytes())
+	resp, err := sc.roundTrip(f, &w, OpRead)
 	if err != nil {
 		return false, err
 	}
-	r := newPayloadReader(resp)
+	hit, err = decodeReadInto(sc, resp, buf)
+	return hit, err
+}
+
+// decodeReadInto copies an OpRead reply into the caller's buffer and
+// recycles the response frame.
+//
+//gengar:hotpath
+func decodeReadInto(sc *serverConn, resp response, buf []byte) (hit bool, err error) {
+	var r payloadReader
+	r.Reset(resp.payload)
 	data := r.Blob()
 	hit = r.U8() == 1
 	if err := r.Err(); err != nil {
+		sc.release(resp)
 		return false, err
 	}
 	if len(data) != len(buf) {
+		sc.release(resp)
 		return false, fmt.Errorf("tcpnet: short read: %d of %d bytes", len(data), len(buf))
 	}
 	copy(buf, data)
+	sc.release(resp)
 	return hit, nil
 }
 
 // Write stores data at addr.
+//
+//gengar:hotpath
 func (p *Pool) Write(addr region.GAddr, data []byte) error {
 	sc, err := p.conn(addr)
 	if err != nil {
 		return err
 	}
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 8+4+len(data))
 	w.U64(uint64(addr)).Blob(data)
-	_, err = sc.call(OpWrite, w.Bytes())
-	return err
+	return sc.call(f, &w, OpWrite)
 }
 
 // WriteReq is one record of a batched write.
@@ -389,9 +535,66 @@ type WriteReq struct {
 	Data []byte
 }
 
+// ReadReq is one record of a batched read: Buf gives both the length
+// requested and where the bytes land.
+type ReadReq struct {
+	Addr region.GAddr
+	Buf  []byte
+}
+
+// inflight tracks one started request awaiting its response.
+type inflight struct {
+	sc *serverConn
+	ch chan response
+	op Op
+}
+
+// ReadMulti fills every request's Buf — the wire analogue of the RDMA
+// client's doorbell-batched READ chains. All requests are started
+// before any is waited on, so a k-record chain to one daemon leaves in
+// a single writev and overlaps its round trips across daemons. The
+// first failure is reported after every started request has settled.
+func (p *Pool) ReadMulti(reqs []ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	started := make([]inflight, 0, len(reqs))
+	var firstErr error
+	for i := range reqs {
+		sc, err := p.conn(reqs[i].Addr)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		var w payloadWriter
+		f := p.frames.newFrame(&w, 12)
+		w.U64(uint64(reqs[i].Addr)).U32(uint32(len(reqs[i].Buf)))
+		ch, err := sc.start(f, &w, OpRead)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		started = append(started, inflight{sc: sc, ch: ch, op: OpRead})
+	}
+	for i, fl := range started {
+		resp, err := fl.sc.wait(fl.ch, fl.op)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if _, err := decodeReadInto(fl.sc, resp, reqs[i].Buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // WriteMulti stores a batch of records, one OpWriteBatch frame per home
 // server — the wire analogue of the RDMA client's doorbell-batched
-// write chains. Records to the same server land in request order.
+// write chains. Records to the same server land in request order; the
+// per-server chains are started together and overlap their round trips.
 func (p *Pool) WriteMulti(reqs []WriteReq) error {
 	if len(reqs) == 0 {
 		return nil
@@ -406,22 +609,43 @@ func (p *Pool) WriteMulti(reqs []WriteReq) error {
 		}
 		groups[id] = append(groups[id], r)
 	}
+	started := make([]inflight, 0, len(order))
+	var firstErr error
 	for _, id := range order {
 		sc, err := p.connByID(id)
 		if err != nil {
-			return err
+			firstErr = err
+			break
 		}
 		chain := groups[id]
+		size := 4
+		for _, r := range chain {
+			size += 8 + 4 + len(r.Data)
+		}
 		var w payloadWriter
+		f := p.frames.newFrame(&w, size)
 		w.U32(uint32(len(chain)))
 		for _, r := range chain {
 			w.U64(uint64(r.Addr)).Blob(r.Data)
 		}
-		if _, err := sc.call(OpWriteBatch, w.Bytes()); err != nil {
-			return err
+		ch, err := sc.start(f, &w, OpWriteBatch)
+		if err != nil {
+			firstErr = err
+			break
 		}
+		started = append(started, inflight{sc: sc, ch: ch, op: OpWriteBatch})
 	}
-	return nil
+	for _, fl := range started {
+		resp, err := fl.sc.wait(fl.ch, fl.op)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fl.sc.release(resp)
+	}
+	return firstErr
 }
 
 // Digest reports client-observed access counts to the home servers, one
@@ -444,17 +668,21 @@ func (p *Pool) Digest(entries []hotness.Entry) (map[uint16]uint64, error) {
 		}
 		batch := groups[id]
 		var w payloadWriter
+		f := p.frames.newFrame(&w, 4+16*len(batch))
 		w.U32(uint32(len(batch)))
 		for _, e := range batch {
 			w.U64(uint64(e.Addr)).U32(uint32(e.Reads)).U32(uint32(e.Writes))
 		}
-		resp, err := sc.call(OpDigest, w.Bytes())
+		resp, err := sc.roundTrip(f, &w, OpDigest)
 		if err != nil {
 			return nil, err
 		}
-		r := newPayloadReader(resp)
+		var r payloadReader
+		r.Reset(resp.payload)
 		epochs[id] = r.U64()
-		if err := r.Err(); err != nil {
+		err = r.Err()
+		sc.release(resp)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -469,14 +697,18 @@ func (p *Pool) Version(addr region.GAddr) (uint64, error) {
 		return 0, err
 	}
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 8)
 	w.U64(uint64(addr))
-	resp, err := sc.call(OpVersion, w.Bytes())
+	resp, err := sc.roundTrip(f, &w, OpVersion)
 	if err != nil {
 		return 0, err
 	}
-	r := newPayloadReader(resp)
+	var r payloadReader
+	r.Reset(resp.payload)
 	v := r.U64()
-	return v, r.Err()
+	err = r.Err()
+	sc.release(resp)
+	return v, err
 }
 
 // LockExclusive takes the write lock covering addr with the pool's
@@ -501,9 +733,9 @@ func (p *Pool) lockOp(op Op, addr region.GAddr) error {
 	lease := p.lease
 	p.mu.Unlock()
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 12)
 	w.U64(uint64(addr)).U32(uint32(lease / time.Millisecond))
-	_, err = sc.call(op, w.Bytes())
-	return err
+	return sc.call(f, &w, op)
 }
 
 func (p *Pool) addrOp(op Op, addr region.GAddr) error {
@@ -512,9 +744,9 @@ func (p *Pool) addrOp(op Op, addr region.GAddr) error {
 		return err
 	}
 	var w payloadWriter
+	f := p.frames.newFrame(&w, 8)
 	w.U64(uint64(addr))
-	_, err = sc.call(op, w.Bytes())
-	return err
+	return sc.call(f, &w, op)
 }
 
 // Stats fetches every server's snapshot, in dial order.
@@ -528,11 +760,14 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := sc.call(OpStats, nil)
+		var w payloadWriter
+		f := p.frames.newFrame(&w, 0)
+		resp, err := sc.roundTrip(f, &w, OpStats)
 		if err != nil {
 			return nil, err
 		}
-		r := newPayloadReader(resp)
+		var r payloadReader
+		r.Reset(resp.payload)
 		st := ServerStats{
 			ServerID:    id,
 			Objects:     r.I64(),
@@ -549,12 +784,21 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 			RemapEpoch:  r.U64(),
 			PoolBytes:   sc.poolBytes,
 		}
-		if err := r.Err(); err != nil {
+		err = r.Err()
+		sc.release(resp)
+		if err != nil {
 			return nil, err
 		}
 		out = append(out, st)
 	}
 	return out, nil
+}
+
+// WireStats reports the client's frame-pool recycling counters — how
+// many request/response buffers were served from the pool versus
+// freshly allocated.
+func (p *Pool) WireStats() (poolHits, poolMisses int64) {
+	return p.frames.hits.Load(), p.frames.misses.Load()
 }
 
 // Close tears down every connection.

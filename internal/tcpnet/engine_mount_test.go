@@ -93,7 +93,8 @@ func TestFeatureSwitchesOverTCP(t *testing.T) {
 		c.DigestEvery = 2
 	})
 	// The hello handshake reports both features off.
-	sc, err := dialServer(addrs[0], time.Second)
+	var frames framePool
+	sc, err := dialServer(addrs[0], &PoolConfig{Timeout: time.Second, KeepAlive: defaultKeepAlive}, &frames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFeatureSwitchesOverTCP(t *testing.T) {
 
 	// The default deployment advertises both features.
 	full := startServers(t, 1, func(c *ServerConfig) { c.ID = 7 })
-	sc2, err := dialServer(full[0], time.Second)
+	sc2, err := dialServer(full[0], &PoolConfig{Timeout: time.Second, KeepAlive: defaultKeepAlive}, &frames)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -45,6 +46,13 @@ type ServerConfig struct {
 	DefaultLease time.Duration
 	// AcquireTimeout bounds how long a lock request waits; 0 selects 2s.
 	AcquireTimeout time.Duration
+	// Nagle re-enables Nagle's algorithm on accepted connections. The
+	// default (false) sets TCP_NODELAY: the wire layer batches frames
+	// itself, so kernel-side delay only adds latency.
+	Nagle bool
+	// KeepAlive is the TCP keep-alive probe period on accepted
+	// connections; 0 selects 30s, negative disables probing.
+	KeepAlive time.Duration
 }
 
 func (c *ServerConfig) fill() error {
@@ -71,6 +79,9 @@ func (c *ServerConfig) fill() error {
 	}
 	if c.AcquireTimeout == 0 {
 		c.AcquireTimeout = 2 * time.Second
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = defaultKeepAlive
 	}
 	return nil
 }
@@ -104,6 +115,18 @@ type PoolServer struct {
 	txBytes  metrics.Counter // payload bytes read out of the pool
 	failures metrics.Counter // requests answered with an error status
 
+	// frames backs every request and response buffer this daemon
+	// touches; the flush histograms are wired into each connection's
+	// frame queue.
+	frames          framePool
+	framesPerFlush  *metrics.Histogram
+	bytesPerSyscall *metrics.Histogram
+
+	// Per-op instruments resolved once at startup so the request path
+	// never does a labeled registry lookup.
+	opRequests [maxOpTag]*metrics.Counter
+	opLatency  [maxOpTag]*metrics.Histogram
+
 	telem  *telemetry.Registry
 	flight *telemetry.FlightRecorder
 
@@ -114,6 +137,10 @@ type PoolServer struct {
 	sessions atomic.Uint64
 	wg       sync.WaitGroup
 }
+
+// maxOpTag bounds the per-op instrument caches; op bytes at or above it
+// are unknown and rejected before any instrument is touched.
+const maxOpTag = int(OpVersion) + 1
 
 // NewPoolServer validates cfg and builds an idle daemon; call Serve.
 func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
@@ -159,6 +186,24 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 		defer s.mu.Unlock()
 		return int64(len(s.conns))
 	}, sl)
+	// Wire-path instruments: syscall coalescing and frame-pool recycling.
+	s.framesPerFlush = s.telem.ValueHistogram("gengar_tcp_frames_per_flush",
+		"response frames drained per writev flush", sl)
+	s.bytesPerSyscall = s.telem.ValueHistogram("gengar_tcp_bytes_per_syscall",
+		"bytes handed to the kernel per response writev", sl)
+	s.telem.RegisterCounter("gengar_tcp_frame_pool_hits_total",
+		"frame buffers served from the pool", &s.frames.hits, sl)
+	s.telem.RegisterCounter("gengar_tcp_frame_pool_misses_total",
+		"frame buffers freshly allocated on pool miss", &s.frames.misses, sl)
+	// Per-op instruments, resolved once: the request path must not pay
+	// a labeled lookup (and its label-sorting allocation) per frame.
+	for tag := 1; tag < maxOpTag; tag++ {
+		op := telemetry.L("op", Op(tag).String())
+		s.opRequests[tag] = s.telem.Counter("gengar_tcp_requests_total",
+			"wire requests by kind", sl, op)
+		s.opLatency[tag] = s.telem.Histogram("gengar_tcp_request_latency_seconds",
+			"wall-clock request handling latency by kind", sl, op)
+	}
 	// The engine's own counters (promotions, cache hits, proxy staging,
 	// ...) under the same names the simulated mount uses, distinguished
 	// by the transport label.
@@ -318,12 +363,31 @@ func (sess *session) observe(addr region.GAddr, write bool) {
 	eng.Digest(eng.Now(), entries)
 }
 
+// serveConn runs one connection: a buffered read loop feeding a
+// dedicated writer goroutine (the frame queue) that flushes many
+// response frames per writev.
+//
+// Dispatch rule: ops that cannot park — read, write with ring credit,
+// digest, version, stats, malloc, unlock, hello — are handled inline on
+// the read goroutine, so the common path spawns nothing. Ops that can
+// park (lock acquires waiting out contention, frees draining staged
+// writes, writes facing staging-ring backpressure) get a goroutine so
+// a parked request never stalls the connection's other traffic.
+//
+// A response-write failure poisons the frame queue, which severs the
+// connection; the read loop then unwinds and tears down the session —
+// the daemon never keeps consuming requests whose replies go nowhere.
 func (s *PoolServer) serveConn(conn net.Conn) {
+	tuneConn(conn, s.cfg.Nagle, s.cfg.KeepAlive)
 	sess := s.openSession()
-	var writeMu sync.Mutex
+	q := newFrameQueue(conn, &s.frames)
+	q.framesPerFlush = s.framesPerFlush
+	q.bytesPerSyscall = s.bytesPerSyscall
+	r := newFrameReader(conn, &s.frames)
 	var reqWG sync.WaitGroup
 	defer func() {
-		reqWG.Wait()
+		reqWG.Wait() // parked handlers may still enqueue responses
+		q.close()    // flush them, then stop the writer goroutine
 		sess.close()
 		_ = conn.Close()
 		s.mu.Lock()
@@ -332,35 +396,96 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 	}()
 
 	for {
-		id, tag, payload, err := readFrame(conn)
+		id, tag, frame, payload, err := r.read()
 		if err != nil {
-			return // connection gone
+			return // connection gone (or a poisoned frame)
 		}
-		reqWG.Add(1)
-		go func() {
-			defer reqWG.Done()
-			resp, herr := s.handle(sess, Op(tag), newPayloadReader(payload))
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			if herr != nil {
-				s.failures.Inc()
-				_ = writeFrame(conn, id, statusErr, []byte(herr.Error()))
-				return
-			}
-			_ = writeFrame(conn, id, statusOK, resp)
-		}()
+		op := Op(tag)
+		if parks(sess, op, payload) {
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				s.dispatch(sess, q, id, op, frame, payload)
+			}()
+			continue
+		}
+		s.dispatch(sess, q, id, op, frame, payload)
 	}
 }
 
-func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []byte, err error) {
+// parks reports whether an op may block the handling goroutine: lock
+// acquires wait out contention, frees drain the session's staged
+// writes, and stages park when the ring is out of credits. The credit
+// probe is advisory — a concurrent stage can still win the last slot —
+// so an inline write may briefly wait on the flusher; that is bounded
+// and deadlock-free (the flusher runs independently).
+func parks(sess *session, op Op, payload []byte) bool {
+	switch op {
+	case OpLockEx, OpLockSh, OpFree:
+		return true
+	case OpWrite:
+		return sess.writer != nil && sess.writer.FreeSlots() < 1
+	case OpWriteBatch:
+		if sess.writer == nil || len(payload) < 4 {
+			return false
+		}
+		return sess.writer.FreeSlots() < int(binary.BigEndian.Uint32(payload))
+	}
+	return false
+}
+
+// dispatch handles one request and enqueues its response frame. It owns
+// frame (the pooled request buffer) and recycles it after handling.
+//
+//gengar:hotpath
+func (s *PoolServer) dispatch(sess *session, q *frameQueue, id uint64, op Op, frame *[]byte, payload []byte) {
+	var req payloadReader
+	req.Reset(payload)
+	resp, err := s.handle(sess, op, &req)
+	s.frames.put(frame)
+	if err != nil {
+		s.failures.Inc()
+		ef, eerr := s.frames.encodeFrame(id, statusErr, []byte(err.Error()))
+		if eerr != nil {
+			q.fail(eerr)
+			return
+		}
+		_ = q.enqueue(ef)
+		return
+	}
+	if resp == nil {
+		resp = s.frames.get(frameHeader)
+	}
+	if err := stampFrame(resp, id, statusOK); err != nil {
+		s.frames.put(resp)
+		q.fail(err)
+		return
+	}
+	_ = q.enqueue(resp)
+}
+
+// finishResp publishes a payload encoded in place over a pooled frame
+// image (header still unstamped — dispatch stamps it with the request
+// id and status).
+//
+//gengar:hotpath
+func finishResp(f *[]byte, w *payloadWriter) *[]byte {
+	*f = w.Bytes()
+	return f
+}
+
+// handle serves one request and returns its response as a pooled frame
+// with the header reserved and the payload encoded in place, or nil for
+// an empty-payload success. Errors travel back as error frames.
+func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]byte, err error) {
+	if int(op) <= 0 || int(op) >= maxOpTag {
+		return nil, fmt.Errorf("tcpnet: unknown op %d", op)
+	}
 	s.ops.Inc()
-	s.telem.Counter("gengar_tcp_requests_total", "wire requests by kind",
-		telemetry.L("op", op.String())).Inc()
+	s.opRequests[op].Inc()
 	start := time.Now()
 	defer func() {
-		s.telem.Histogram("gengar_tcp_request_latency_seconds",
-			"wall-clock request handling latency by kind",
-			telemetry.L("op", op.String())).Record(time.Since(start))
+		s.opLatency[op].Record(time.Since(start))
 	}()
 	switch op {
 	case OpHello:
@@ -372,8 +497,9 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 			feat |= featureProxy
 		}
 		var w payloadWriter
+		f := s.frames.newFrame(&w, 11)
 		w.U16(s.cfg.ID).I64(s.cfg.PoolBytes).U8(feat)
-		return w.Bytes(), nil
+		return finishResp(f, &w), nil
 
 	case OpMalloc:
 		size := req.I64()
@@ -385,8 +511,9 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 			return nil, err
 		}
 		var w payloadWriter
+		f := s.frames.newFrame(&w, 8)
 		w.U64(uint64(addr))
-		return w.Bytes(), nil
+		return finishResp(f, &w), nil
 
 	case OpFree:
 		addr, err := s.homeAddr(req)
@@ -412,9 +539,16 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 		if n < 0 || addr.Offset()+n > s.cfg.PoolBytes {
 			return nil, fmt.Errorf("tcpnet: read [%d,%d) out of pool", addr.Offset(), addr.Offset()+n)
 		}
-		out := make([]byte, n)
+		// The reply layout is blob(len u32, data) + hit u8; the engine
+		// fills the pool bytes directly into the frame that hits the
+		// socket — no intermediate payload copy.
+		f := s.frames.get(frameHeader + 4 + int(n) + 1)
+		b := *f
+		binary.BigEndian.PutUint32(b[frameHeader:], uint32(n))
+		out := b[frameHeader+4 : frameHeader+4+int(n)]
 		_, hit, err := s.eng.ReadAt(s.eng.Now(), addr, out)
 		if err != nil {
+			s.frames.put(f)
 			return nil, err
 		}
 		// Read-your-writes: overlay this session's staged-but-unflushed
@@ -422,20 +556,18 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 		if sess.writer != nil {
 			sess.writer.ApplyPending(addr, out)
 		}
+		if hit {
+			b[frameHeader+4+int(n)] = 1
+		} else {
+			b[frameHeader+4+int(n)] = 0
+		}
 		sess.observe(addr, false)
 		s.txBytes.Add(n)
 		s.flight.Record(telemetry.Event{
 			TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
 			Len: int(n), Path: readPath(hit), LatNanos: int64(time.Since(start)),
 		})
-		var w payloadWriter
-		w.Blob(out)
-		if hit {
-			w.U8(1)
-		} else {
-			w.U8(0)
-		}
-		return w.Bytes(), nil
+		return f, nil
 
 	case OpWrite:
 		addr, err := s.homeAddr(req)
@@ -496,8 +628,9 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 		}
 		epoch := s.eng.Digest(s.eng.Now(), entries)
 		var w payloadWriter
+		f := s.frames.newFrame(&w, 8)
 		w.U64(epoch)
-		return w.Bytes(), nil
+		return finishResp(f, &w), nil
 
 	case OpVersion:
 		addr, err := s.homeAddr(req)
@@ -505,8 +638,9 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 			return nil, err
 		}
 		var w payloadWriter
+		f := s.frames.newFrame(&w, 8)
 		w.U64(s.eng.Version(addr))
-		return w.Bytes(), nil
+		return finishResp(f, &w), nil
 
 	case OpLockEx, OpLockSh:
 		addr, err := s.homeAddr(req)
@@ -542,12 +676,13 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp []by
 	case OpStats:
 		st := s.eng.Stats()
 		var w payloadWriter
+		f := s.frames.newFrame(&w, 12*8)
 		w.I64(int64(st.Objects)).I64(st.PoolUsed).I64(s.ops.Load()).
 			I64(st.Hits).I64(st.Misses).
 			I64(st.Proxy.Staged).I64(st.Proxy.Flushed).
 			I64(st.Promotions).I64(st.Demotions).I64(int64(st.Promoted)).
 			I64(st.Digests).U64(st.RemapEpoch)
-		return w.Bytes(), nil
+		return finishResp(f, &w), nil
 
 	default:
 		return nil, fmt.Errorf("tcpnet: unknown op %d", op)

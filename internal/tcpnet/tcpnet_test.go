@@ -342,18 +342,14 @@ func TestServerCloseIsGraceful(t *testing.T) {
 }
 
 func TestFrameValidation(t *testing.T) {
-	// A frame larger than the cap is rejected by writeFrame.
-	c1, c2 := net.Pipe()
-	defer c1.Close()
-	defer c2.Close()
-	if err := writeFrame(c1, 1, 1, make([]byte, maxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+	var pool framePool
+	// A frame larger than the cap is rejected at encode time.
+	if _, err := pool.encodeFrame(1, 1, make([]byte, maxFrame)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversize frame: %v", err)
 	}
-	// Garbage length is rejected by readFrame.
-	go func() {
-		_, _ = c1.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	}()
-	if _, _, _, err := readFrame(c2); !errors.Is(err, ErrFrameTooLarge) {
+	// Garbage length is rejected by the frame reader.
+	r := newFrameReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}), &pool)
+	if _, _, _, _, err := r.read(); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("garbage length: %v", err)
 	}
 }
@@ -497,20 +493,23 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 func TestFrameRoundtripProperty(t *testing.T) {
 	// Property: any (id, tag, payload) under the size cap survives the
 	// framing intact.
+	var pool framePool
 	f := func(id uint64, tag uint8, payload []byte) bool {
 		if len(payload) > 1<<16 {
 			payload = payload[:1<<16]
 		}
-		c1, c2 := net.Pipe()
-		defer c1.Close()
-		defer c2.Close()
-		errc := make(chan error, 1)
-		go func() { errc <- writeFrame(c1, id, tag, payload) }()
-		gotID, gotTag, gotPayload, err := readFrame(c2)
-		if err != nil || <-errc != nil {
+		fr, err := pool.encodeFrame(id, tag, payload)
+		if err != nil {
 			return false
 		}
-		return gotID == id && gotTag == tag && bytes.Equal(gotPayload, payload)
+		r := newFrameReader(bytes.NewReader(*fr), &pool)
+		gotID, gotTag, frame, gotPayload, err := r.read()
+		if err != nil {
+			return false
+		}
+		ok := gotID == id && gotTag == tag && bytes.Equal(gotPayload, payload)
+		pool.put(frame)
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

@@ -12,12 +12,16 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
 
+	"gengar/internal/metrics"
 	"gengar/internal/rpc"
 )
 
@@ -112,39 +116,6 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("tcpnet: remote error on op %d: %s", e.Op, e.Msg)
 }
 
-// writeFrame sends one message: id, tag (op for requests, status for
-// responses) and payload.
-func writeFrame(conn net.Conn, id uint64, tag uint8, payload []byte) error {
-	n := 8 + 1 + len(payload)
-	if n+4 > maxFrame {
-		return ErrFrameTooLarge
-	}
-	buf := make([]byte, 4+n)
-	binary.BigEndian.PutUint32(buf, uint32(n))
-	binary.BigEndian.PutUint64(buf[4:], id)
-	buf[12] = tag
-	copy(buf[13:], payload)
-	_, err := conn.Write(buf)
-	return err
-}
-
-// readFrame receives one message.
-func readFrame(conn net.Conn) (id uint64, tag uint8, payload []byte, err error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return 0, 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 9 || n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(conn, body); err != nil {
-		return 0, 0, nil, err
-	}
-	return binary.BigEndian.Uint64(body), body[8], body[9:], nil
-}
-
 // payloadWriter/payloadReader reuse the rpc package's codec for message
 // bodies.
 type (
@@ -153,3 +124,337 @@ type (
 )
 
 func newPayloadReader(b []byte) *payloadReader { return rpc.NewReader(b) }
+
+// ---------------------------------------------------------------------
+// Pooled frame buffers.
+//
+// Every frame on the wire — requests, responses, read payloads — lives
+// in a size-classed pooled buffer. Payloads are encoded directly after
+// the reserved frameHeader prefix, so an OpRead reply is filled from
+// the engine straight into the bytes that hit the socket: no
+// intermediate payload slice, no header copy.
+
+// frameClasses are the pooled buffer capacities. The smallest covers
+// every control op; the ladder tops out at 1 MiB, above which frames
+// are allocated exactly and donated to the largest class on release.
+var frameClasses = [...]int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// framePool hands out pooled frame buffers by size class. Buffers move
+// as *[]byte so re-pooling never re-boxes the slice header. Each
+// endpoint (daemon, client pool) owns one, so hit rates are observable
+// per process role.
+type framePool struct {
+	classes [len(frameClasses)]sync.Pool
+	hits    metrics.Counter
+	misses  metrics.Counter
+}
+
+// frameClassFor returns the smallest class index holding n bytes, or -1
+// when n exceeds the largest class.
+func frameClassFor(n int) int {
+	for i, c := range frameClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// get returns a buffer with len n from the smallest fitting class.
+//
+//gengar:hotpath
+func (p *framePool) get(n int) *[]byte {
+	ci := frameClassFor(n)
+	if ci >= 0 {
+		if f, ok := p.classes[ci].Get().(*[]byte); ok {
+			p.hits.Inc()
+			*f = (*f)[:n]
+			return f
+		}
+	}
+	return p.alloc(n, ci)
+}
+
+// alloc is the pool-miss path: a fresh buffer sized to its class.
+func (p *framePool) alloc(n, ci int) *[]byte {
+	p.misses.Inc()
+	c := n
+	if ci >= 0 {
+		c = frameClasses[ci]
+	}
+	b := make([]byte, n, c)
+	return &b
+}
+
+// put recycles a buffer into the largest class its capacity can serve.
+// Buffers below the smallest class (never produced by get) are dropped.
+//
+//gengar:hotpath
+func (p *framePool) put(f *[]byte) {
+	if f == nil {
+		return
+	}
+	ci := -1
+	for i, c := range frameClasses {
+		if cap(*f) < c {
+			break
+		}
+		ci = i
+	}
+	if ci < 0 {
+		return
+	}
+	p.classes[ci].Put(f)
+}
+
+// ---------------------------------------------------------------------
+// Frame encoding.
+
+// newFrame returns a pooled buffer with the frame header reserved and w
+// positioned to append the payload in place.
+//
+//gengar:hotpath
+func (p *framePool) newFrame(w *payloadWriter, payloadHint int) *[]byte {
+	f := p.get(frameHeader + payloadHint)
+	w.Reset((*f)[:frameHeader])
+	return f
+}
+
+// stampFrame writes the wire header over a frame image whose payload is
+// already in place: length, request id, and tag (op or status).
+//
+//gengar:hotpath
+func stampFrame(f *[]byte, id uint64, tag uint8) error {
+	b := *f
+	if len(b) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	binary.BigEndian.PutUint64(b[4:], id)
+	b[12] = tag
+	return nil
+}
+
+// encodeFrameInto publishes w's accumulated frame image (header
+// reserved by newFrame, payload appended in place) back into f and
+// stamps the header. After it returns, *f is the exact byte sequence
+// the writer goroutine hands to the kernel.
+//
+//gengar:hotpath
+func encodeFrameInto(f *[]byte, w *payloadWriter, id uint64, tag uint8) error {
+	*f = w.Bytes()
+	return stampFrame(f, id, tag)
+}
+
+// encodeFrame builds a complete frame from a detached payload — the
+// cold path for error responses and tests; hot paths encode in place
+// via newFrame/encodeFrameInto.
+func (p *framePool) encodeFrame(id uint64, tag uint8, payload []byte) (*[]byte, error) {
+	var w payloadWriter
+	f := p.newFrame(&w, len(payload))
+	w.Reset(append((*f)[:frameHeader], payload...))
+	if err := encodeFrameInto(f, &w, id, tag); err != nil {
+		p.put(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------
+// Frame reading.
+
+// connReadBuf sizes the per-connection buffered reader: one kernel read
+// drains many queued frames, the receive-side mirror of the writer
+// goroutine's writev coalescing.
+const connReadBuf = 64 << 10
+
+// frameReader reads frames from a buffered connection into pooled
+// buffers.
+type frameReader struct {
+	br   *bufio.Reader
+	pool *framePool
+}
+
+func newFrameReader(conn io.Reader, pool *framePool) frameReader {
+	return frameReader{br: bufio.NewReaderSize(conn, connReadBuf), pool: pool}
+}
+
+// read receives one message. On success the returned frame owns the
+// pooled storage backing payload; the caller recycles it with
+// pool.put(frame) once the payload is dead.
+//
+//gengar:hotpath
+func (r *frameReader) read() (id uint64, tag uint8, frame *[]byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return 0, 0, nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrame {
+		return 0, 0, nil, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame = r.pool.get(int(n))
+	body := *frame
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		r.pool.put(frame)
+		return 0, 0, nil, nil, err
+	}
+	return binary.BigEndian.Uint64(body), body[8], frame, body[9:], nil
+}
+
+// ---------------------------------------------------------------------
+// Frame queue: the send half of a connection.
+
+// frameQueue serializes frame writes onto one connection through a
+// dedicated writer goroutine that drains every queued frame per wakeup
+// and hands the batch to the kernel as one writev (net.Buffers) — many
+// responses or pipelined requests per syscall, replacing the
+// lock-and-write-per-frame scheme. Enqueued frames transfer ownership;
+// the drain loop recycles them after the flush.
+type frameQueue struct {
+	conn net.Conn
+	pool *framePool
+
+	// Telemetry, optionally wired by the owning endpoint.
+	framesPerFlush  *metrics.Histogram // frames drained per writev
+	bytesPerSyscall *metrics.Histogram // bytes handed to the kernel per writev
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*[]byte // frames awaiting flush
+	spare  []*[]byte // drained slice, recycled to become the next queue
+	err    error     // first write failure; sticky
+	closed bool
+	done   chan struct{}
+
+	vecs net.Buffers // writev scratch, reused across flushes
+}
+
+func newFrameQueue(conn net.Conn, pool *framePool) *frameQueue {
+	q := &frameQueue{conn: conn, pool: pool, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.run()
+	return q
+}
+
+// enqueue hands one stamped frame to the writer goroutine. Ownership
+// transfers: the frame is recycled after the flush (or immediately if
+// the queue is dead).
+//
+//gengar:hotpath
+func (q *frameQueue) enqueue(f *[]byte) error {
+	q.mu.Lock()
+	if q.err != nil || q.closed {
+		err := q.err
+		q.mu.Unlock()
+		q.pool.put(f)
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	q.queue = append(q.queue, f)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return nil
+}
+
+// run is the writer goroutine: grab everything queued, flush it in one
+// writev, recycle the frames, repeat. A write failure poisons the queue
+// and closes the connection so the read side tears the session down —
+// a response that cannot be delivered must kill the connection, not
+// leave the read loop consuming requests whose replies go nowhere.
+//
+//gengar:hotpath
+func (q *frameQueue) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 {
+			q.mu.Unlock()
+			return // closed and drained
+		}
+		batch := q.queue
+		q.queue = q.spare[:0]
+		failed := q.err != nil
+		q.mu.Unlock()
+
+		if !failed {
+			total := 0
+			q.vecs = q.vecs[:0]
+			for _, f := range batch {
+				q.vecs = append(q.vecs, *f)
+				total += len(*f)
+			}
+			if q.framesPerFlush != nil {
+				q.framesPerFlush.Observe(int64(len(batch)))
+			}
+			if q.bytesPerSyscall != nil {
+				q.bytesPerSyscall.Observe(int64(total))
+			}
+			vecs := q.vecs // WriteTo consumes the header; keep q.vecs anchored
+			if _, err := vecs.WriteTo(q.conn); err != nil {
+				q.fail(err)
+			}
+		}
+		for i, f := range batch {
+			q.pool.put(f)
+			batch[i] = nil
+		}
+		q.mu.Lock()
+		q.spare = batch[:0]
+		q.mu.Unlock()
+	}
+}
+
+// fail records the first write error and severs the connection, which
+// unblocks the connection's read loop and triggers teardown.
+func (q *frameQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	_ = q.conn.Close()
+}
+
+// close stops the writer goroutine after it drains everything already
+// queued, and waits for it to exit. Safe to call more than once.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	<-q.done
+}
+
+// ---------------------------------------------------------------------
+// Connection tuning.
+
+// defaultKeepAlive is the keep-alive probe period selected when a
+// config leaves it zero.
+const defaultKeepAlive = 30 * time.Second
+
+// tuneConn applies the transport knobs to a TCP connection: explicit
+// TCP_NODELAY (on unless Nagle batching is requested — the wire layer
+// does its own coalescing in the frame queue, so delayed small writes
+// only add latency) and keep-alive probes so half-dead peers are
+// detected even when the protocol is idle. keepAlive <= 0 disables
+// probing. Non-TCP connections (in-process pipes in tests) pass
+// through untouched.
+func tuneConn(conn net.Conn, nagle bool, keepAlive time.Duration) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	_ = tc.SetNoDelay(!nagle)
+	if keepAlive > 0 {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(keepAlive)
+	} else {
+		_ = tc.SetKeepAlive(false)
+	}
+}

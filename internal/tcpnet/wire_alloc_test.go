@@ -1,0 +1,88 @@
+//go:build !race
+
+// Allocation-regression tests for the wire path: request and response
+// frames come from the size-classed frame pool and payloads are decoded
+// off the pooled body in place, so a small-object round trip must stay
+// within a handful of allocations — channel operations and the few
+// interface conversions the runtime charges, not buffers. The race
+// detector instruments allocations, so these run only in normal builds.
+
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Caps are measured steady-state counts plus headroom for runtime
+// noise. The point is catching a regression back to per-request buffer
+// allocation (the old wire path charged ~23 allocs per round trip), not
+// pinning the runtime's exact accounting.
+const (
+	maxReadAllocs  = 10
+	maxWriteAllocs = 10
+)
+
+func allocPool(t *testing.T) *Pool {
+	t.Helper()
+	addrs := startServers(t, 1, func(c *ServerConfig) { c.PoolBytes = 1 << 22 })
+	p, err := Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestReadRoundTripAllocs(t *testing.T) {
+	p := allocPool(t)
+	a, err := p.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x6b}, 256)
+	if err := p.Write(a, want); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	// Warm the frame pool and the daemon's session state.
+	for i := 0; i < 64; i++ {
+		if err := p.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !bytes.Equal(buf, want) {
+		t.Fatal("read returned wrong bytes")
+	}
+	if avg > maxReadAllocs {
+		t.Fatalf("OpRead round trip: %.1f allocs/op, want <= %d", avg, maxReadAllocs)
+	}
+}
+
+func TestWriteRoundTripAllocs(t *testing.T) {
+	p := allocPool(t)
+	a, err := p.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x3c}, 256)
+	for i := 0; i < 64; i++ {
+		if err := p.Write(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Write(a, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxWriteAllocs {
+		t.Fatalf("OpWrite round trip: %.1f allocs/op, want <= %d", avg, maxWriteAllocs)
+	}
+}

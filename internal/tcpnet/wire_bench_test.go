@@ -1,0 +1,165 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+)
+
+// The E17 wire-throughput suite: loopback TCP, one daemon, pipelined
+// clients. Run with -benchmem; results are recorded in EXPERIMENTS.md
+// (E17) and results/e17.csv. `make bench-wire` runs the short smoke.
+
+// benchPool starts one daemon on loopback and dials it.
+func benchPool(b *testing.B) (*Pool, *PoolServer) {
+	b.Helper()
+	srv, err := NewPoolServer(ServerConfig{ID: 1, PoolBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	p, err := Dial([]string{lis.Addr().String()}, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		maybeDumpE17Telemetry(b, srv)
+		p.Close()
+		srv.Close()
+	})
+	return p, srv
+}
+
+// benchObjects mallocs and initializes n objects of the given size.
+func benchObjects(b *testing.B, p *Pool, n int, size int) []region.GAddr {
+	b.Helper()
+	addrs := make([]region.GAddr, n)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := range addrs {
+		a, err := p.Malloc(int64(size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Write(a, data); err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	return addrs
+}
+
+var benchSizes = []int{64, 256, 4096}
+
+// BenchmarkTCPRead measures pipelined small-op read throughput: many
+// concurrent callers issuing OpRead against one daemon, the regime where
+// per-frame syscalls and allocations cap the wire.
+func BenchmarkTCPRead(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			p, _ := benchPool(b)
+			addrs := benchObjects(b, p, 64, size)
+			var next atomic.Uint64
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				buf := make([]byte, size)
+				for pb.Next() {
+					a := addrs[next.Add(1)%uint64(len(addrs))]
+					if err := p.Read(a, buf); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTCPWrite measures pipelined small-op write throughput.
+func BenchmarkTCPWrite(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			p, _ := benchPool(b)
+			addrs := benchObjects(b, p, 64, size)
+			var next atomic.Uint64
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				data := make([]byte, size)
+				for pb.Next() {
+					a := addrs[next.Add(1)%uint64(len(addrs))]
+					if err := p.Write(a, data); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTCPMixed measures a 90/10 read/write mix at 256 B — the
+// YCSB-B shape the paper's workloads center on.
+func BenchmarkTCPMixed(b *testing.B) {
+	const size = 256
+	p, _ := benchPool(b)
+	addrs := benchObjects(b, p, 64, size)
+	var next atomic.Uint64
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, size)
+		for pb.Next() {
+			n := next.Add(1)
+			a := addrs[n%uint64(len(addrs))]
+			if n%10 == 9 {
+				if err := p.Write(a, buf); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				if err := p.Read(a, buf); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// maybeDumpE17Telemetry writes the daemon's telemetry snapshot when the
+// E17 harness asks for it (GENGAR_E17_TELEMETRY=<path>), so the
+// committed results/e17.telemetry.json tracks the measured run.
+func maybeDumpE17Telemetry(b *testing.B, srv *PoolServer) {
+	path := os.Getenv("GENGAR_E17_TELEMETRY")
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Logf("e17 telemetry: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.Telemetry().Snapshot().WriteJSON(f); err != nil {
+		b.Logf("e17 telemetry: %v", err)
+	}
+}

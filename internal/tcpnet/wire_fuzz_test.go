@@ -1,0 +1,65 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader. The
+// reader must never panic, never hand back a frame that disagrees with
+// its own header, and must reject oversized or undersized length words
+// with ErrFrameTooLarge rather than attempting the allocation.
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed small frame.
+	good, _ := (&framePool{}).encodeFrame(42, uint8(OpRead), []byte("payload"))
+	f.Add(*good)
+	// Truncated header: too few bytes for even the length word.
+	f.Add([]byte{0x00, 0x00})
+	// Length word present, body missing entirely.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x20})
+	// Oversized length word.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	// Undersized length word (below the id+tag minimum).
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 1, 2, 3, 4})
+	// Short body: header promises more than the stream holds.
+	short := make([]byte, 4+9)
+	binary.BigEndian.PutUint32(short, 64)
+	f.Add(short)
+	// Two frames back to back, second truncated mid-body.
+	double := append(append([]byte(nil), *good...), (*good)[:len(*good)-3]...)
+	f.Add(double)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		var pool framePool
+		r := newFrameReader(bytes.NewReader(stream), &pool)
+		for {
+			id, tag, frame, payload, err := r.read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			// A delivered frame must be self-consistent: the body we
+			// decode from the raw bytes matches what read() reported.
+			raw := *frame
+			if len(raw) < 9 {
+				t.Fatalf("delivered body of %d bytes, below the id+tag minimum", len(raw))
+			}
+			if got := binary.BigEndian.Uint64(raw); got != id {
+				t.Fatalf("frame id %d != reported %d", got, id)
+			}
+			if raw[8] != tag {
+				t.Fatalf("frame tag %d != reported %d", raw[8], tag)
+			}
+			if !bytes.Equal(raw[9:], payload) {
+				t.Fatal("payload does not alias frame body")
+			}
+			pool.put(frame)
+		}
+	})
+}

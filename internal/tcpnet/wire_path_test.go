@@ -1,0 +1,195 @@
+package tcpnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gengar/internal/metrics"
+)
+
+// gatedConn wraps a net.Conn so tests can stall and fail its write
+// side independently of the (still healthy) read side.
+type gatedConn struct {
+	net.Conn
+	mu       sync.Mutex
+	gate     chan struct{} // non-nil: writes block here first
+	writeErr error         // non-nil: writes fail with this
+}
+
+func (c *gatedConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	gate, werr := c.gate, c.writeErr
+	c.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *gatedConn) setWriteErr(err error) {
+	c.mu.Lock()
+	c.writeErr = err
+	c.mu.Unlock()
+}
+
+// TestFlushCoalescing drives the frame queue through a stalled first
+// write and checks that frames enqueued during the stall leave as one
+// batch — the writev coalescing the wire path is built around.
+func TestFlushCoalescing(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	gate := make(chan struct{})
+	gc := &gatedConn{Conn: c1, gate: gate}
+
+	var pool framePool
+	q := newFrameQueue(gc, &pool)
+	q.framesPerFlush = new(metrics.Histogram)
+	q.bytesPerSyscall = new(metrics.Histogram)
+
+	// Drain everything the queue writes so the pipe never backs up once
+	// the gate opens.
+	drained := make(chan int)
+	go func() {
+		n, _ := io.Copy(io.Discard, c2)
+		drained <- int(n)
+	}()
+
+	// First frame occupies the writer goroutine at the gate; the next
+	// three pile up in the queue and must flush together.
+	var total int
+	for i := 0; i < 4; i++ {
+		f, err := pool.encodeFrame(uint64(i+1), statusOK, []byte("response"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(*f)
+		if err := q.enqueue(f); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// Give the writer goroutine time to reach the gate so the
+			// remaining frames land in the same pending batch.
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	close(gate)
+	q.close()
+	_ = gc.Close()
+	if got := <-drained; got != total {
+		t.Fatalf("receiver got %d bytes, want %d", got, total)
+	}
+	if int64(q.framesPerFlush.Max()) < 3 {
+		t.Fatalf("max frames per flush = %d, want >= 3 (no coalescing)", q.framesPerFlush.Max())
+	}
+	if q.framesPerFlush.Count() < 1 || q.bytesPerSyscall.Count() < 1 {
+		t.Fatal("flush histograms never observed")
+	}
+}
+
+// TestReadMultiRoundtrip pipelines a batch of reads spanning servers
+// and verifies every buffer lands, including the error path: a read of
+// a never-allocated address fails without losing the batch's other
+// responses.
+func TestReadMultiRoundtrip(t *testing.T) {
+	addrs := startServers(t, 3, nil)
+	p := dialPool(t, addrs)
+
+	const k = 12
+	var writes []WriteReq
+	for i := 0; i < k; i++ {
+		a, err := p.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes = append(writes, WriteReq{Addr: a, Data: bytes.Repeat([]byte{byte(i + 1)}, 512)})
+	}
+	if err := p.WriteMulti(writes); err != nil {
+		t.Fatal(err)
+	}
+	reads := make([]ReadReq, k)
+	for i := range reads {
+		reads[i] = ReadReq{Addr: writes[i].Addr, Buf: make([]byte, 512)}
+	}
+	if err := p.ReadMulti(reads); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reads {
+		if !bytes.Equal(reads[i].Buf, writes[i].Data) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	// One bad address mid-batch: the call reports the failure, and the
+	// good records still fill.
+	for i := range reads {
+		reads[i].Buf = make([]byte, 512)
+	}
+	bad := reads
+	bad[k/2].Addr = writes[k/2].Addr + 1<<30
+	if err := p.ReadMulti(bad); err == nil {
+		t.Fatal("ReadMulti with an unmapped address succeeded")
+	}
+	if !bytes.Equal(bad[0].Buf, writes[0].Data) || !bytes.Equal(bad[k-1].Buf, writes[k-1].Data) {
+		t.Fatal("good records lost alongside the failed one")
+	}
+}
+
+// TestWriteFailureTearsDownConn covers the regression where a response
+// write error was ignored and the daemon kept consuming requests whose
+// replies went nowhere. A write failure must sever the connection and
+// unwind the session even though the read side is still healthy.
+func TestWriteFailureTearsDownConn(t *testing.T) {
+	srv, err := NewPoolServer(ServerConfig{ID: 1, PoolBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	gc := &gatedConn{Conn: c1}
+	done := make(chan struct{})
+	go func() {
+		srv.serveConn(gc)
+		close(done)
+	}()
+
+	var pool framePool
+	r := newFrameReader(c2, &pool)
+	hello, _ := pool.encodeFrame(1, uint8(OpHello), nil)
+	if _, err := c2.Write(*hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, tag, frame, _, err := r.read(); err != nil || tag != statusOK {
+		t.Fatalf("hello: tag=%d err=%v", tag, err)
+	} else {
+		pool.put(frame)
+	}
+
+	// Break the write side only, then issue a request. The response
+	// write fails, which must tear the whole connection down.
+	gc.setWriteErr(errors.New("injected write failure"))
+	var w payloadWriter
+	req := pool.newFrame(&w, 8)
+	w.I64(64)
+	if err := encodeFrameInto(req, &w, 2, uint8(OpMalloc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write(*req); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server kept the connection alive after a response-write failure")
+	}
+}

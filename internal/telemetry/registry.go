@@ -68,8 +68,14 @@ type family struct {
 	name  string
 	kind  Kind
 	help  string
+	unit  string                 // histogram unit: "" for nanosecond durations, UnitValue for raw values
 	insts map[string]*instrument // keyed by label signature
 }
+
+// UnitValue marks a histogram family as holding raw values (batch
+// lengths, bytes per syscall) rather than nanosecond durations, so
+// exporters skip the duration scaling.
+const UnitValue = "value"
 
 // Registry is a concurrent, labeled metrics registry. The zero value is
 // not usable; call NewRegistry.
@@ -210,6 +216,18 @@ func (r *Registry) RegisterHistogram(name, help string, h *metrics.Histogram, la
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	inst.hist = h
+	return h
+}
+
+// ValueHistogram returns the live histogram for name+labels with the
+// family marked as raw-valued (UnitValue): observations are plain
+// numbers — frames per flush, bytes per syscall — and exporters report
+// them unscaled instead of converting nanoseconds to seconds.
+func (r *Registry) ValueHistogram(name, help string, labels ...Label) *metrics.Histogram {
+	h := r.Histogram(name, help, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families[name].unit = UnitValue
 	return h
 }
 

@@ -16,10 +16,13 @@ type Sample struct {
 }
 
 // HistogramSample is one histogram digest. Durations are simulated (or,
-// in the TCP deployment mode, wall-clock) nanoseconds.
+// in the TCP deployment mode, wall-clock) nanoseconds; for raw-valued
+// families (Unit == UnitValue) the *_ns fields hold plain values —
+// batch lengths, byte counts — with no time unit.
 type HistogramSample struct {
 	Name     string            `json:"name"`
 	Labels   map[string]string `json:"labels,omitempty"`
+	Unit     string            `json:"unit,omitempty"`
 	Count    int64             `json:"count"`
 	SumNanos int64             `json:"sum_ns"`
 	MinNanos int64             `json:"min_ns"`
@@ -95,6 +98,7 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Histograms = append(s.Histograms, HistogramSample{
 				Name:     c.fam.name,
 				Labels:   labels,
+				Unit:     c.fam.unit,
 				Count:    sum.Count,
 				SumNanos: int64(sum.Mean) * sum.Count,
 				MinNanos: int64(sum.Min),
@@ -194,13 +198,19 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	for _, h := range s.Histograms {
 		typeHeader(h.Name, "summary")
+		// Duration histograms export in seconds per Prometheus
+		// convention; raw-valued families export unscaled.
+		scale := seconds
+		if h.Unit == UnitValue {
+			scale = func(v int64) float64 { return float64(v) }
+		}
 		for _, q := range []struct {
 			q string
 			v int64
 		}{{"0.5", h.P50Nanos}, {"0.95", h.P95Nanos}, {"0.99", h.P99Nanos}} {
-			fmt.Fprintf(&b, "%s%s %g\n", h.Name, promLabels(h.Labels, "quantile", q.q), seconds(q.v))
+			fmt.Fprintf(&b, "%s%s %g\n", h.Name, promLabels(h.Labels, "quantile", q.q), scale(q.v))
 		}
-		fmt.Fprintf(&b, "%s_sum%s %g\n", h.Name, promLabels(h.Labels, "", ""), seconds(h.SumNanos))
+		fmt.Fprintf(&b, "%s_sum%s %g\n", h.Name, promLabels(h.Labels, "", ""), scale(h.SumNanos))
 		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
 	}
 	_, err := io.WriteString(w, b.String())
