@@ -277,23 +277,40 @@ func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op) (chan response, 
 	sc.mu.Unlock()
 
 	if err := encodeFrameInto(f, w, id, uint8(op)); err != nil {
-		sc.unregister(id)
-		waiters.Put(ch)
+		sc.abort(id, ch)
 		sc.frames.put(f)
 		return nil, err
 	}
 	if err := sc.q.enqueue(f); err != nil {
-		sc.unregister(id)
-		waiters.Put(ch)
+		sc.abort(id, ch)
 		return nil, fmt.Errorf("tcpnet: send: %w", err)
 	}
 	return ch, nil
 }
 
-func (sc *serverConn) unregister(id uint64) {
+// unregister removes a pending waiter and reports whether it was still
+// registered. A false return means demux or failAll claimed the id
+// first and has sent (or will send) exactly one response into the
+// waiter channel.
+func (sc *serverConn) unregister(id uint64) bool {
 	sc.mu.Lock()
+	_, ok := sc.pending[id]
 	delete(sc.pending, id)
 	sc.mu.Unlock()
+	return ok
+}
+
+// abort retires the waiter of a request that failed before reaching the
+// wire. If a concurrent demux or failAll claimed the id in the window
+// between registration and the failure, the channel's one guaranteed
+// response is drained (recycling any frame it carries) before the
+// channel returns to the pool — re-pooling it buffered would hand a
+// stale response, or another request's payload, to a future caller.
+func (sc *serverConn) abort(id uint64, ch chan response) {
+	if !sc.unregister(id) {
+		sc.release(<-ch)
+	}
+	waiters.Put(ch)
 }
 
 // wait receives the response started on ch. The caller must release

@@ -539,6 +539,12 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 		if n < 0 || addr.Offset()+n > s.cfg.PoolBytes {
 			return nil, fmt.Errorf("tcpnet: read [%d,%d) out of pool", addr.Offset(), addr.Offset()+n)
 		}
+		// Bound the reply frame up front: a read the pool can satisfy may
+		// still not fit a frame, and that must come back as an error frame,
+		// not reach stampFrame and sever the whole connection.
+		if frameHeader+4+n+1 > maxFrame {
+			return nil, fmt.Errorf("tcpnet: read of %d bytes exceeds max frame", n)
+		}
 		// The reply layout is blob(len u32, data) + hit u8; the engine
 		// fills the pool bytes directly into the frame that hits the
 		// socket — no intermediate payload copy.

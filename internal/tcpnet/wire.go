@@ -136,7 +136,7 @@ func newPayloadReader(b []byte) *payloadReader { return rpc.NewReader(b) }
 
 // frameClasses are the pooled buffer capacities. The smallest covers
 // every control op; the ladder tops out at 1 MiB, above which frames
-// are allocated exactly and donated to the largest class on release.
+// are allocated exactly and dropped on release.
 var frameClasses = [...]int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
 // framePool hands out pooled frame buffers by size class. Buffers move
@@ -187,11 +187,17 @@ func (p *framePool) alloc(n, ci int) *[]byte {
 }
 
 // put recycles a buffer into the largest class its capacity can serve.
-// Buffers below the smallest class (never produced by get) are dropped.
+// Buffers below the smallest class (never produced by get) are dropped,
+// as are buffers above the largest: donating a multi-MiB exact-size
+// allocation to the 1 MiB class would pin it behind ~1 MiB requests and
+// amplify steady-state memory by its oversize factor.
 //
 //gengar:hotpath
 func (p *framePool) put(f *[]byte) {
 	if f == nil {
+		return
+	}
+	if cap(*f) > frameClasses[len(frameClasses)-1] {
 		return
 	}
 	ci := -1

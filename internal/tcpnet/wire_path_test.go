@@ -94,6 +94,99 @@ func TestFlushCoalescing(t *testing.T) {
 	}
 }
 
+// TestAbortDrainsClaimedWaiter covers the start/failAll race: when a
+// request's send fails because the connection died, failAll may already
+// have claimed its id and sent a failure into the waiter channel. The
+// abort path must drain that message before the channel returns to the
+// pool — re-pooling it buffered hands the stale response (or another
+// request's payload) to a future caller.
+func TestAbortDrainsClaimedWaiter(t *testing.T) {
+	var pool framePool
+	sc := &serverConn{frames: &pool, pending: make(map[uint64]chan response)}
+
+	// Uncontended path: the id is still pending; abort unregisters it
+	// and the empty channel is safe to pool.
+	ch := make(chan response, 1)
+	sc.pending[1] = ch
+	sc.abort(1, ch)
+	if _, live := sc.pending[1]; live {
+		t.Fatal("abort left the waiter registered")
+	}
+	select {
+	case <-ch:
+		t.Fatal("abort of a still-pending id produced a message")
+	default:
+	}
+
+	// Raced path: failAll (or demux) claimed the id first and delivered
+	// a response carrying a pooled frame. Abort must consume it so the
+	// channel is empty — and the frame recycled — before re-pooling.
+	ch = make(chan response, 1)
+	f := pool.get(32)
+	ch <- response{frame: f, payload: (*f)[:0]}
+	sc.abort(2, ch)
+	select {
+	case <-ch:
+		t.Fatal("abort left the claimed response buffered in the channel")
+	default:
+	}
+}
+
+// TestOversizedReadKeepsConnAlive covers the regression where an OpRead
+// whose reply could not fit a frame only failed at stampFrame, which
+// poisoned the frame queue and severed the connection. A read the pool
+// can satisfy but the wire cannot must come back as an ordinary error
+// frame on a connection that keeps serving.
+func TestOversizedReadKeepsConnAlive(t *testing.T) {
+	addrs := startServers(t, 1, func(c *ServerConfig) { c.PoolBytes = 32 << 20 })
+	p := dialPool(t, addrs)
+
+	a, err := p.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := p.conn(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reply frame would be frameHeader+4+n+1 = maxFrame+1 bytes.
+	big := make([]byte, maxFrame-frameHeader-4)
+	err = p.Read(a, big)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("oversized read: got %v, want RemoteError", err)
+	}
+	if sc.dead() {
+		t.Fatal("oversized read severed the connection")
+	}
+	if err := p.Read(a, make([]byte, 64)); err != nil {
+		t.Fatalf("follow-up read on the same connection: %v", err)
+	}
+}
+
+// TestFramePoolDropsOversized checks that exact-size allocations above
+// the largest class are dropped on release rather than donated to the
+// 1 MiB class, where they would be pinned behind ~1 MiB requests.
+func TestFramePoolDropsOversized(t *testing.T) {
+	var p framePool
+	big := make([]byte, 2<<20)
+	p.put(&big)
+	largest := frameClasses[len(frameClasses)-1]
+	if f, ok := p.classes[len(frameClasses)-1].Get().(*[]byte); ok && f != nil && cap(*f) > largest {
+		t.Fatalf("oversized buffer (cap %d) donated to the %d class", cap(*f), largest)
+	}
+
+	// A buffer of exactly the largest class still recycles.
+	exact := make([]byte, largest)
+	p.put(&exact)
+	before := p.hits.Load()
+	p.put(p.get(largest))
+	if p.hits.Load() == before {
+		t.Fatal("largest-class buffer was not recycled")
+	}
+}
+
 // TestReadMultiRoundtrip pipelines a batch of reads spanning servers
 // and verifies every buffer lands, including the error path: a read of
 // a never-allocated address fails without losing the batch's other
