@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-full bench-wire fuzz-wire e2e quick tidy clean
+.PHONY: all build vet lint test race race-short bench bench-full bench-wire fuzz-wire e2e trace-e2e quick tidy clean
 
 all: vet lint build test
 
@@ -52,6 +52,13 @@ fuzz-wire:
 # over loopback TCP.
 e2e:
 	$(GO) test ./e2e/ -count=1 -v
+
+# Tracing end-to-end: stitched client+server spans over a real gengard
+# via /debug/trace, plus the in-process wire-extension negotiation and
+# malformed-extension rejection tests.
+trace-e2e:
+	$(GO) test ./e2e/ -run '^TestTraceEndToEnd$$' -count=1 -v
+	$(GO) test ./internal/tcpnet -run 'TestTraced|TestClientGatesTrace|TestServerRejectsMalformedTrace' -count=1
 
 # Fast full-evaluation pass; writes CSVs + telemetry snapshots.
 quick:

@@ -87,3 +87,8 @@ func BenchmarkE15ScanBatching(b *testing.B) { runExperiment(b, "E15") }
 // BenchmarkE16WriteBatching regenerates E16: doorbell-batched write
 // bursts vs sequential writes, proxied and direct.
 func BenchmarkE16WriteBatching(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkE18LatencyAnatomy regenerates E18: per-stage latency
+// attribution across the four serving paths (E17 is the tcpnet wire
+// benchmark suite, not a harness experiment).
+func BenchmarkE18LatencyAnatomy(b *testing.B) { runExperiment(b, "E18") }

@@ -7,12 +7,20 @@
 //	gengar-stat -addr localhost:8081              # refresh every 2s
 //	gengar-stat -addr localhost:8081 -once        # one snapshot and exit
 //	gengar-stat -addr localhost:8081 -filter tcp  # only gengar_tcp_* rows
+//	gengar-stat -addr localhost:8081 -trace 16    # tail 16 slow traced ops
+//
+// When the daemon traces ops (gengard -trace-sample), the display adds
+// a per-stage latency pane (gengar_trace_stage_seconds broken down by
+// op and stage) and, with -trace N, the last N records of the slow-op
+// ring from /debug/trace.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -21,6 +29,7 @@ import (
 	"time"
 
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 func main() {
@@ -36,14 +45,16 @@ func run() error {
 		interval = flag.Duration("interval", 2*time.Second, "refresh period")
 		once     = flag.Bool("once", false, "print one snapshot and exit")
 		filter   = flag.String("filter", "", "only show metrics whose name contains this substring")
+		traceN   = flag.Int("trace", 0, "also tail the last N slow-op trace records (0 disables)")
 	)
 	flag.Parse()
 
-	url := *addr
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
 	}
-	url = strings.TrimRight(url, "/") + "/metrics.json"
+	base = strings.TrimRight(base, "/")
+	url := base + "/metrics.json"
 
 	var prev telemetry.Snapshot
 	var prevAt time.Time
@@ -57,12 +68,43 @@ func run() error {
 			fmt.Print("\033[H\033[2J") // clear screen between refreshes
 		}
 		render(os.Stdout, snap, prev, now.Sub(prevAt), *filter)
+		renderStages(os.Stdout, snap)
+		if *traceN > 0 {
+			recs, err := fetchTrace(base, *traceN)
+			if err != nil {
+				fmt.Fprintf(os.Stdout, "\n(trace ring unavailable: %v)\n", err)
+			} else {
+				renderTrace(os.Stdout, recs)
+			}
+		}
 		if *once {
 			return nil
 		}
 		prev, prevAt = snap, now
 		time.Sleep(*interval)
 	}
+}
+
+// fetchTrace tails the daemon's slow-op ring (JSONL, oldest first).
+func fetchTrace(base string, n int) ([]span.Record, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/debug/trace?n=%d", base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/debug/trace: %s", base, resp.Status)
+	}
+	var out []span.Record
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r span.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
 }
 
 func fetch(url string) (telemetry.Snapshot, error) {
@@ -123,6 +165,63 @@ func render(w *os.File, snap, prev telemetry.Snapshot, elapsed time.Duration, fi
 			h.Name, labelString(h.Labels), h.Count,
 			time.Duration(h.P50Nanos), time.Duration(h.P95Nanos),
 			time.Duration(h.P99Nanos), time.Duration(h.MaxNanos))
+	}
+	tw.Flush()
+}
+
+// renderStages prints the latency-anatomy pane: the per-(op, stage)
+// quantiles the tracer exports as gengar_trace_stage_seconds cells.
+func renderStages(w io.Writer, snap telemetry.Snapshot) {
+	type row struct {
+		op, stage string
+		h         telemetry.HistogramSample
+	}
+	var rows []row
+	for _, h := range snap.Histograms {
+		if h.Name != span.StageMetric || h.Count == 0 {
+			continue
+		}
+		rows = append(rows, row{op: h.Labels["op"], stage: h.Labels["stage"], h: h})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].op != rows[j].op {
+			return rows[i].op < rows[j].op
+		}
+		return rows[i].stage < rows[j].stage
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w)
+	fmt.Fprintln(tw, "OP\tSTAGE\tCOUNT\tP50\tP99\tMAX")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+			r.op, r.stage, r.h.Count,
+			time.Duration(r.h.P50Nanos), time.Duration(r.h.P99Nanos), time.Duration(r.h.MaxNanos))
+	}
+	tw.Flush()
+}
+
+// renderTrace prints the slow-op ring tail, one line per record with
+// its per-stage breakdown.
+func renderTrace(w io.Writer, recs []span.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w)
+	fmt.Fprintln(tw, "TRACE\tOP\tSIDE\tTOTAL\tSTAGES")
+	for _, r := range recs {
+		parts := make([]string, 0, len(r.Stages))
+		for _, s := range r.Stages {
+			parts = append(parts, fmt.Sprintf("%s=%s", s.Stage, time.Duration(s.Nanos)))
+		}
+		if r.Dropped > 0 {
+			parts = append(parts, fmt.Sprintf("(+%d dropped)", r.Dropped))
+		}
+		fmt.Fprintf(tw, "%016x\t%s\t%s\t%s\t%s\n",
+			r.TraceID, r.Op, r.Side, time.Duration(r.TotalNanos), strings.Join(parts, " "))
 	}
 	tw.Flush()
 }

@@ -17,6 +17,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +25,7 @@ import (
 
 	"gengar/internal/tcpnet"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 func main() {
@@ -46,9 +48,12 @@ func run() error {
 		lease       = flag.Duration("lease", 5*time.Second, "default lock lease")
 		lockWait    = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
 		dataFile    = flag.String("data", "", "snapshot file: restored on start if present, written on shutdown")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/events on this address (empty disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/events and /debug/trace on this address (empty disables)")
 		nagle       = flag.Bool("nagle", false, "re-enable Nagle's algorithm on accepted connections (default sets TCP_NODELAY)")
 		keepAlive   = flag.Duration("keepalive", 0, "TCP keep-alive probe period on accepted connections (0 selects 30s, negative disables)")
+		traceSample = flag.Int("trace-sample", 64, "trace one in N server-initiated ops (0 disables local sampling; client-sampled ops are always traced)")
+		traceSlow   = flag.Duration("trace-slow", time.Millisecond, "retain traced ops at least this slow in the /debug/trace ring (0 retains all)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the debug address")
 	)
 	flag.Parse()
 
@@ -64,6 +69,8 @@ func run() error {
 		AcquireTimeout: *lockWait,
 		Nagle:          *nagle,
 		KeepAlive:      *keepAlive,
+		TraceSample:    *traceSample,
+		TraceSlow:      *traceSlow,
 	})
 	if err != nil {
 		return err
@@ -90,9 +97,22 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		log.Printf("gengard: debug endpoints on http://%s/{metrics,metrics.json,healthz,debug/events}", dlis.Addr())
+		log.Printf("gengard: debug endpoints on http://%s/{metrics,metrics.json,healthz,debug/events,debug/trace}", dlis.Addr())
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(srv.Telemetry(), srv.Recorder()))
+		mux.Handle("/debug/trace", span.Handler(srv.Tracer()))
+		if *pprofOn {
+			// Off by default: profiling endpoints expose internals and
+			// cost CPU when scraped, so they are an explicit opt-in.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("gengard: pprof on http://%s/debug/pprof/", dlis.Addr())
+		}
 		go func() {
-			if err := http.Serve(dlis, telemetry.Handler(srv.Telemetry(), srv.Recorder())); err != nil {
+			if err := http.Serve(dlis, mux); err != nil {
 				log.Printf("gengard: debug server: %v", err)
 			}
 		}()

@@ -1,0 +1,155 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"gengar/internal/tcpnet"
+	"gengar/internal/telemetry/span"
+)
+
+// fetchTraceRecords drains the daemon's /debug/trace JSONL ring.
+func fetchTraceRecords(t *testing.T, debugAddr string) []span.Record {
+	t.Helper()
+	res, err := http.Get(fmt.Sprintf("http://%s/debug/trace", debugAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out []span.Record
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		var r span.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad trace JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// stageNames flattens a record's stage sequence.
+func stageNames(r span.Record) []string {
+	out := make([]string, len(r.Stages))
+	for i, s := range r.Stages {
+		out[i] = s.Stage
+	}
+	return out
+}
+
+func containsStage(seq []string, want string) bool {
+	for _, s := range seq {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceEndToEnd drives a sampled read and a sampled staged write
+// against a real gengard over loopback and stitches each op's client
+// span (from the in-process pool tracer) to its server span (from the
+// daemon's /debug/trace ring) by trace ID, checking the expected stage
+// sequence on both sides.
+func TestTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and execs real binaries")
+	}
+	dir := t.TempDir()
+	gengard, _ := buildBinaries(t, dir)
+	addr := freePort(t)
+	debugAddr := freePort(t)
+	startDaemon(t, gengard, addr,
+		"-debug-addr", debugAddr, "-trace-sample", "1", "-trace-slow", "0")
+
+	p, err := tcpnet.DialConfig(tcpnet.PoolConfig{
+		Addrs: []string{addr}, Timeout: 5 * time.Second, TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	a, err := p.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 256)
+	if err := p.Write(a, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if err := p.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read returned wrong bytes")
+	}
+
+	var clientRead, clientWrite span.Record
+	for _, r := range p.Tracer().Records() {
+		switch r.Op {
+		case "read":
+			clientRead = r
+		case "write":
+			clientWrite = r
+		}
+	}
+	if clientRead.TraceID == 0 || clientWrite.TraceID == 0 {
+		t.Fatalf("client spans missing: %+v", p.Tracer().Records())
+	}
+	for _, want := range []string{"encode", "netWait", "decode"} {
+		if !containsStage(stageNames(clientRead), want) {
+			t.Fatalf("client read stages %v missing %q", stageNames(clientRead), want)
+		}
+	}
+	for _, want := range []string{"encode", "netWait"} {
+		if !containsStage(stageNames(clientWrite), want) {
+			t.Fatalf("client write stages %v missing %q", stageNames(clientWrite), want)
+		}
+	}
+
+	// The server half finishes after the response writev; poll the ring
+	// until both stitched records appear.
+	var serverRead, serverWrite *span.Record
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && (serverRead == nil || serverWrite == nil) {
+		for _, r := range fetchTraceRecords(t, debugAddr) {
+			r := r
+			switch r.TraceID {
+			case clientRead.TraceID:
+				serverRead = &r
+			case clientWrite.TraceID:
+				serverWrite = &r
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if serverRead == nil || serverWrite == nil {
+		t.Fatalf("stitched server spans never appeared in /debug/trace (read=%v write=%v)",
+			serverRead, serverWrite)
+	}
+	if !serverRead.Remote || !serverWrite.Remote {
+		t.Fatalf("server spans not marked remote: %+v %+v", serverRead, serverWrite)
+	}
+	rSeq := stageNames(*serverRead)
+	for _, want := range []string{"queueWait", "dispatch", "writevFlush"} {
+		if !containsStage(rSeq, want) {
+			t.Fatalf("server read stages %v missing %q", rSeq, want)
+		}
+	}
+	if !containsStage(rSeq, "cacheHit") && !containsStage(rSeq, "nvmCopy") {
+		t.Fatalf("server read stages %v name no serving path", rSeq)
+	}
+	wSeq := stageNames(*serverWrite)
+	for _, want := range []string{"queueWait", "dispatch", "ringStage", "writevFlush"} {
+		if !containsStage(wSeq, want) {
+			t.Fatalf("server write stages %v missing %q", wSeq, want)
+		}
+	}
+}

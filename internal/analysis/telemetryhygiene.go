@@ -23,7 +23,13 @@ import (
 //     series cardinality unbounded;
 //   - no double registration: two registrations with the same constant
 //     metric name in one function is the copy-paste bug the registry
-//     only catches at runtime.
+//     only catches at runtime;
+//   - bounded span identifiers: the op name handed to a tracer
+//     (Start/StartAt/StartRemote/ObserveStage) must be a constant or an
+//     enum's String(), and stage arguments must be the named span.Stage
+//     constants — a span.Stage conversion of a non-constant expression
+//     would mint stage labels outside the fixed enum. Every (op, stage)
+//     pair becomes a histogram series, so both sets must be closed.
 const telemetryHygieneName = "telemetry-hygiene"
 
 var telemetryHygiene = &Analyzer{
@@ -32,16 +38,20 @@ var telemetryHygiene = &Analyzer{
 	Run:  runTelemetryHygiene,
 }
 
-const telemetryPkgPath = "gengar/internal/telemetry"
+const (
+	telemetryPkgPath = "gengar/internal/telemetry"
+	spanPkgPath      = "gengar/internal/telemetry/span"
+)
 
 func runTelemetryHygiene(p *Pass) []Finding {
-	if p.Pkg.Path == telemetryPkgPath {
-		return nil // the registry implementation is exempt from its own client rules
+	if p.Pkg.Path == telemetryPkgPath || p.Pkg.Path == spanPkgPath {
+		return nil // the instrumentation implementations are exempt from their own client rules
 	}
 	var out []Finding
 	out = append(out, packageLevelRegistries(p)...)
 	for _, fn := range funcDecls(p.Pkg) {
 		out = append(out, labelAndRegistrationChecks(p, fn)...)
+		out = append(out, spanIdentifierChecks(p, fn)...)
 	}
 	return out
 }
@@ -196,6 +206,59 @@ func registrationKey(p *Pass, name string, rest []ast.Expr) (string, bool) {
 		parts = append(parts, kv.Value.ExactString()+"="+vv.Value.ExactString())
 	}
 	return strings.Join(parts, "\x00"), true
+}
+
+// tracerOpArg maps the span.Tracer methods that take an op name to the
+// argument index carrying it.
+var tracerOpArg = map[string]int{
+	"Start": 0, "StartAt": 0, "ObserveStage": 0,
+	"StartRemote": 1,
+}
+
+// spanIdentifierChecks enforces the closed span vocabularies: op names
+// handed to a tracer are constants or enum String(), and span.Stage
+// values never come from converting a non-constant expression. Unlike
+// identity labels, span identifiers are per-operation-type, so the
+// constructor exemption does not apply.
+func spanIdentifierChecks(p *Pass, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// span.Stage(expr) conversions with a non-constant operand.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() &&
+			isNamedType(tv.Type, spanPkgPath, "Stage") {
+			if len(call.Args) == 1 && !isConstExpr(info, ast.Unparen(call.Args[0])) {
+				out = append(out, p.finding(telemetryHygieneName, call.Pos(),
+					"non-constant conversion to span.Stage of %s: stage marks must use the named stage constants", exprText(call.Args[0])))
+			}
+			return true
+		}
+		c, ok := resolveCallee(info, call)
+		if !ok || c.pkgPath != spanPkgPath || c.recv != "Tracer" {
+			return true
+		}
+		idx, ok := tracerOpArg[c.name]
+		if !ok || idx >= len(call.Args) {
+			return true
+		}
+		arg := ast.Unparen(call.Args[idx])
+		if isConstExpr(info, arg) {
+			return true
+		}
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			if ic, ok := resolveCallee(info, inner); ok && ic.name == "String" && ic.recv != "" {
+				return true // enum stringer: the op set is the enum's
+			}
+		}
+		out = append(out, p.finding(telemetryHygieneName, arg.Pos(),
+			"unbounded span op %s: op names must be constants or enum String()", exprText(arg)))
+		return true
+	})
+	return out
 }
 
 // checkLabelValue accepts compile-time constants and enum String()

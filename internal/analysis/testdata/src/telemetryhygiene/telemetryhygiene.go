@@ -4,6 +4,7 @@ package telemetryhygiene
 
 import (
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // Package-level registries outlive clusters and merge series across
@@ -38,4 +39,32 @@ func registerAll(reg *telemetry.Registry) {
 	reg.Counter("dup_total", "dup") // want "metric \"dup_total\" registered twice with identical labels"
 	reg.Counter("family_total", "family", telemetry.L("verb", "read"))
 	reg.Counter("family_total", "family", telemetry.L("verb", "write"))
+}
+
+// traceOp exercises the span vocabulary rules: op names and stage
+// values are closed sets; every (op, stage) pair mints a histogram
+// series.
+func traceOp(tr *span.Tracer, peer string, v verb, code int) {
+	tr.Start("read")
+	tr.StartAt("read_multi", 0)
+	if sp := tr.Start(v.String()); sp != nil {
+		sp.Finish()
+	}
+	tr.Start(peer)                                   // want "unbounded span op peer"
+	tr.StartRemote(1, peer)                          // want "unbounded span op peer"
+	tr.ObserveStage(peer, span.StageFlushPersist, 1) // want "unbounded span op peer"
+	tr.ObserveStage("write", span.StageFlushPersist, 1)
+
+	sp := tr.StartRemote(1, "read")
+	sp.Mark(span.StageDispatch)
+	sp.Mark(span.Stage(code)) // want "non-constant conversion to span.Stage"
+	const fixed = 3
+	sp.Mark(span.Stage(fixed))
+	sp.Finish()
+}
+
+// newTraceSession is a constructor, but span identifiers are not
+// identity labels: the op-name rule still applies inside it.
+func newTraceSession(tr *span.Tracer, client string) {
+	tr.Start(client) // want "unbounded span op client"
 }

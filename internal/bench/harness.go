@@ -63,6 +63,9 @@ func Experiments() []struct {
 		{"E14", E14NVMSensitivity},
 		{"E15", E15ScanBatching},
 		{"E16", E16WriteBatching},
+		// E17 is the TCP wire-throughput suite (internal/tcpnet Go
+		// benchmarks); it lives outside this registry.
+		{"E18", E18LatencyAnatomy},
 	}
 }
 

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+	"gengar/internal/telemetry/span"
+)
+
+// E18LatencyAnatomy: the observability experiment — where does an
+// operation's time go? Each scenario drives one serving path with the
+// tracer sampling every op, then reports the per-stage latency cells
+// (internal/telemetry/span) next to the client-observed end-to-end
+// digest. Four scenarios separate the paths the paper's latency claims
+// rest on: reads served from the promoted DRAM copy, reads paying the
+// NVM pool, writes absorbed by the staging ring (with the asynchronous
+// flush-persist lag the client never waits for), and reads whose tail
+// inflates because the flusher is draining staged bursts into the same
+// pool device.
+func E18LatencyAnatomy(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "Latency anatomy: per-stage attribution across serving paths",
+		Columns: []string{"scenario", "op", "stage", "count", "p50_us", "p99_us", "max_us"},
+	}
+	if err := e18CacheHitRead(t, s); err != nil {
+		return nil, fmt.Errorf("E18 cache_hit_read: %w", err)
+	}
+	if err := e18NVMRead(t, s, false); err != nil {
+		return nil, fmt.Errorf("E18 nvm_read: %w", err)
+	}
+	if err := e18StagedWrite(t, s); err != nil {
+		return nil, fmt.Errorf("E18 staged_write: %w", err)
+	}
+	if err := e18NVMRead(t, s, true); err != nil {
+		return nil, fmt.Errorf("E18 flush_interfered_read: %w", err)
+	}
+	t.Note("shape: cacheHit p50 < nvmCopy p50; staged-write ringStage p50 << flushPersist p50 " +
+		"(the client returns at ring admission, persistence is asynchronous); " +
+		"flush-interfered nvmCopy p99 > quiet nvmCopy p99")
+	return t, nil
+}
+
+// e18Emit appends one scenario's rows: the client-observed end-to-end
+// digest ("total") plus every traced stage cell the scenario's op
+// exercised.
+func e18Emit(t *Table, scenario, op string, total metrics.Summary, sums []span.StageSummary) {
+	t.AddRow(scenario, op, "total", strconv.FormatInt(total.Count, 10),
+		us(total.P50), us(total.P99), us(total.Max))
+	for _, ss := range sums {
+		if ss.Op != op || ss.Summary.Count == 0 {
+			continue
+		}
+		t.AddRow(scenario, op, ss.Stage, strconv.FormatInt(ss.Summary.Count, 10),
+			us(ss.Summary.P50), us(ss.Summary.P99), us(ss.Summary.Max))
+	}
+}
+
+// e18Quiesce drains flushers and refreshes the client's remap view so a
+// warm-up's promotions are visible before measurement.
+func e18Quiesce(cl *server.Cluster, client *core.Client) error {
+	for pass := 0; pass < 2; pass++ {
+		for _, srv := range cl.Registry().Servers() {
+			if err := srv.Engine().Barrier(); err != nil {
+				return err
+			}
+		}
+		if err := client.SyncAllViews(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e18CacheHitRead measures reads against full Gengar after the warm-up
+// promoted the zipfian hot set: most measured reads are served from the
+// DRAM copy and attribute to the cacheHit stage, with the residual cold
+// tail visible as nvmCopy.
+func e18CacheHitRead(t *Table, s Scale) error {
+	cfg := baseConfig(s, 0.125)
+	// Single-client rows advance simulated time slowly; a tighter plan
+	// period lets warm-up promotions land (same tuning as E13).
+	cfg.Hotness.PlanEvery = 50 * time.Microsecond
+	objects := e13Objects(s, s.RecordSize)
+	cfg.DRAMBufferBytes = pow2Floor(int64(objects) * int64(s.RecordSize) / 8)
+	if cfg.DRAMBufferBytes < 1<<15 {
+		cfg.DRAMBufferBytes = 1 << 15
+	}
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "reader")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	addrs, err := e13Load(client, objects, s.RecordSize)
+	if err != nil {
+		return err
+	}
+	// Warm untraced (sampling is off until measurement) so promotions
+	// land without polluting the stage histograms.
+	if err := e13ReadLoop(nil, client, addrs, s.RecordSize, s.OpsPerClient, 1801); err != nil {
+		return err
+	}
+	if err := e18Quiesce(cl, client); err != nil {
+		return err
+	}
+
+	cl.Tracer().SetSampleEvery(1)
+	var hist metrics.Histogram
+	if err := e13ReadLoop(&hist, client, addrs, s.RecordSize, s.OpsPerClient, 1802); err != nil {
+		return err
+	}
+	e18Emit(t, "cache_hit_read", "read", hist.Summarize(), cl.Tracer().StageSummaries())
+	return nil
+}
+
+// e18NVMRead measures reads that always pay the NVM pool (cache off).
+// With interfere set, the same client also stages write bursts through
+// the proxy ring between reads, so the flusher drains into the pool
+// device concurrently with the measured reads — the read path is
+// unchanged, only the device contention differs from the quiet run.
+func e18NVMRead(t *Table, s Scale, interfere bool) error {
+	cfg := baseConfig(s, 0.125)
+	cfg.Features = config.Features{Proxy: interfere}
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "reader")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	objects := e13Objects(s, s.RecordSize)
+	addrs, err := e13Load(client, objects, s.RecordSize)
+	if err != nil {
+		return err
+	}
+	// Disjoint burst window so interfering writes never overlap the
+	// addresses the measured reads touch. The bursts are sized to keep
+	// the NVM controllers' flush backlog comparable to the reader's
+	// progress (32 XPLine-amplified 4 KiB records per measured read), so
+	// reads genuinely queue behind flush writes.
+	const burst, burstSize = 32, 4096
+	burstAddrs := make([]region.GAddr, burst)
+	burstBufs := make([][]byte, burst)
+	for i := range burstAddrs {
+		a, err := client.Malloc(burstSize)
+		if err != nil {
+			return err
+		}
+		burstAddrs[i] = a
+		burstBufs[i] = make([]byte, burstSize)
+		for j := range burstBufs[i] {
+			burstBufs[i][j] = byte(i + j)
+		}
+	}
+	if err := e13ReadLoop(nil, client, addrs, s.RecordSize, 32, 1803); err != nil {
+		return err // warm scratch pools and sessions
+	}
+
+	cl.Tracer().SetSampleEvery(1)
+	var hist metrics.Histogram
+	rng := rand.New(rand.NewSource(1804))
+	zipf := rand.NewZipf(rng, 1.1, 8, uint64(len(addrs)-1))
+	buf := make([]byte, s.RecordSize)
+	for i := 0; i < s.OpsPerClient; i++ {
+		if interfere {
+			// Keep the flusher's queue non-empty: a staged burst lands in
+			// the ring just before each measured read and drains into the
+			// pool behind it. The burst itself is not timed — only the
+			// read that contends with its flush.
+			if err := client.WriteMulti(burstAddrs, burstBufs); err != nil {
+				return err
+			}
+		}
+		a := addrs[zipf.Uint64()]
+		before := client.Now()
+		if err := client.Read(a, buf); err != nil {
+			return err
+		}
+		hist.Record(client.Now().Sub(before))
+	}
+	scenario := "nvm_read"
+	if interfere {
+		scenario = "flush_interfered_read"
+		// E18's attached telemetry snapshot comes from the interfered
+		// run, whose counters show both the flush traffic and the reads.
+		snap := cl.Telemetry().Snapshot()
+		t.Telemetry = &snap
+	}
+	e18Emit(t, scenario, "read", hist.Summarize(), cl.Tracer().StageSummaries())
+	return nil
+}
+
+// e18StagedWrite measures writes through the proxy ring on full Gengar.
+// The client-visible write ends at ring admission (ringStage); the
+// flush-persist lag of every staged record is observed asynchronously by
+// the flusher hook and lands in the flushPersist cell, so the row pair
+// shows the decoupling the proxy buys.
+func e18StagedWrite(t *Table, s Scale) error {
+	cfg := baseConfig(s, 0.125)
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	client, err := core.Connect(cl, "writer")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	objects := e13Objects(s, s.RecordSize)
+	addrs, err := e13Load(client, objects, s.RecordSize)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, s.RecordSize)
+	for j := range buf {
+		buf[j] = 0x5a
+	}
+	for i := 0; i < 32; i++ { // warm the ring session
+		if err := client.Write(addrs[i%len(addrs)], buf); err != nil {
+			return err
+		}
+	}
+
+	cl.Tracer().SetSampleEvery(1)
+	var hist metrics.Histogram
+	for i := 0; i < s.OpsPerClient; i++ {
+		a := addrs[i%len(addrs)]
+		before := client.Now()
+		if err := client.Write(a, buf); err != nil {
+			return err
+		}
+		hist.Record(client.Now().Sub(before))
+	}
+	// Drain the flushers so every measured record's flushPersist lag has
+	// been observed before the summaries are read.
+	if err := e18Quiesce(cl, client); err != nil {
+		return err
+	}
+	e18Emit(t, "staged_write", "write", hist.Summarize(), cl.Tracer().StageSummaries())
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"gengar/internal/server"
 	"gengar/internal/simnet"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // Errors returned by client operations.
@@ -81,6 +82,12 @@ type Client struct {
 	// op appends one structured event.
 	flight *telemetry.FlightRecorder
 
+	// tracer is the cluster's shared op tracer. Ops mark spans with
+	// explicit simulated instants (StartAt/MarkAt/FinishAt), so both
+	// mounts attribute the same stages; sampling off (the default) makes
+	// every span call a nil no-op.
+	tracer *span.Tracer
+
 	readLat  metrics.Histogram
 	writeLat metrics.Histogram
 	hits     metrics.Counter
@@ -115,6 +122,7 @@ func Connect(c *server.Cluster, name string) (*Client, error) {
 		maxStg:  cfg.MaxProxiedWrite(),
 		poolNVM: cfg.PoolMedia.Kind == hmem.KindNVM,
 		flight:  c.Recorder(),
+		tracer:  c.Tracer(),
 		conns:   make(map[uint16]*serverConn),
 		nodeQPs: make(map[string]*rdma.QP),
 	}

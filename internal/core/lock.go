@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gengar/internal/region"
+	"gengar/internal/telemetry/span"
 )
 
 // LockExclusive acquires the write lock covering addr. While held, the
@@ -24,17 +25,22 @@ func (c *Client) LockExclusive(addr region.GAddr) error {
 	if err != nil {
 		return err
 	}
+	sp := c.tracer.StartAt("lock_ex", int64(c.now))
 	end, err := conn.locks.LockExclusive(c.now, addr)
 	if err != nil {
+		sp.FinishAt(int64(c.now))
 		return err
 	}
 	c.now = end
 	if _, end, err = conn.locks.BumpVersion(c.now, addr); err != nil {
 		// Roll the lock back so a failed acquire leaves no odd version.
 		_, _ = conn.locks.UnlockExclusive(c.now, addr)
+		sp.FinishAt(int64(c.now))
 		return err
 	}
 	c.now = end
+	sp.MarkAt(span.StageLockWait, int64(end))
+	sp.FinishAt(int64(end))
 	return nil
 }
 
@@ -82,11 +88,15 @@ func (c *Client) LockShared(addr region.GAddr) error {
 	if err != nil {
 		return err
 	}
+	sp := c.tracer.StartAt("lock_sh", int64(c.now))
 	end, err := conn.locks.LockShared(c.now, addr)
 	if err != nil {
+		sp.FinishAt(int64(c.now))
 		return err
 	}
 	c.now = end
+	sp.MarkAt(span.StageLockWait, int64(end))
+	sp.FinishAt(int64(end))
 	return nil
 }
 
@@ -135,7 +145,7 @@ func (c *Client) ReadOptimistic(addr region.GAddr, buf []byte) error {
 		if v1%2 == 1 {
 			continue // writer in progress
 		}
-		if c.now, _, err = c.readAt(conn, c.now, addr, buf); err != nil {
+		if c.now, _, err = c.readAt(conn, c.now, addr, buf, nil); err != nil {
 			return err
 		}
 		v2, end, err := conn.locks.ReadVersion(c.now, addr)

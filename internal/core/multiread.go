@@ -8,6 +8,7 @@ import (
 	"gengar/internal/rdma"
 	"gengar/internal/region"
 	"gengar/internal/simnet"
+	"gengar/internal/telemetry/span"
 )
 
 // ReadMulti performs a vectored gread: bufs[i] is filled from addrs[i].
@@ -73,22 +74,26 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 
 	start := c.now
 	end := start
+	sp := c.tracer.StartAt("read_multi", int64(start))
 	for node, reqs := range s.readGroups {
 		if len(reqs) == 0 {
 			continue
 		}
 		qp, err := c.qpToNode(node)
 		if err != nil {
+			sp.FinishAt(int64(start))
 			return err
 		}
 		e, err := qp.ReadBatch(start, reqs)
 		if err != nil {
+			sp.FinishAt(int64(start))
 			return fmt.Errorf("core: read batch to %s: %w", node, err)
 		}
 		if e > end {
 			end = e
 		}
 	}
+	firstEnd := end
 
 	// Validate cached entries; stale generations fall back to home NVM.
 	hits := 0
@@ -105,6 +110,13 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 	}
 	c.hits.Add(int64(hits))
 	c.misses.Add(int64(len(addrs) - hits))
+	// One stage mark covers the overlapped first round: cacheHit if any
+	// entry was served from a DRAM copy, nvmCopy for an all-NVM chain.
+	if hits > 0 {
+		sp.MarkAt(span.StageCacheHit, int64(firstEnd))
+	} else {
+		sp.MarkAt(span.StageNVMCopy, int64(firstEnd))
+	}
 	if len(s.nvmRetry) > 0 {
 		// The follow-ups go out as one batched chain per home node, not
 		// as sequential per-entry reads: a burst of stale copies (a remap
@@ -123,17 +135,21 @@ func (c *Client) ReadMulti(addrs []region.GAddr, bufs [][]byte) error {
 			}
 			qp, err := c.qpToNode(node)
 			if err != nil {
+				sp.FinishAt(int64(end))
 				return err
 			}
 			e, err := qp.ReadBatch(retryStart, reqs)
 			if err != nil {
+				sp.FinishAt(int64(end))
 				return fmt.Errorf("core: stale-retry batch to %s: %w", node, err)
 			}
 			if e > end {
 				end = e
 			}
 		}
+		sp.MarkAt(span.StageNVMCopy, int64(end))
 	}
+	sp.FinishAt(int64(end))
 	c.now = end
 	for i, addr := range addrs {
 		if s.conns[i].writer != nil {

@@ -11,6 +11,7 @@ import (
 	"gengar/internal/server"
 	"gengar/internal/simnet"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // WriteMulti performs a vectored gwrite: bufs[i] is stored at addrs[i].
@@ -84,31 +85,41 @@ func (c *Client) WriteMulti(addrs []region.GAddr, bufs [][]byte) error {
 
 	start := c.now
 	end := start
+	sp := c.tracer.StartAt("write_multi", int64(start))
 
 	// Proxied chains: one doorbell-batched stage per home server.
+	staged := false
 	for conn, reqs := range s.stage {
 		if len(reqs) == 0 {
 			continue
 		}
 		e, err := conn.writer.StageMulti(start, reqs)
 		if err != nil {
+			sp.FinishAt(int64(start))
 			return fmt.Errorf("core: stage batch to server %d: %w", conn.srv.ID(), err)
 		}
+		staged = true
 		c.recordWriteChain(e, start, pathProxyRing, reqs[0].Addr, len(reqs), stageBytes(reqs), conn.writer.PendingCount())
 		if e > end {
 			end = e
 		}
 	}
+	if staged {
+		sp.MarkAt(span.StageRingStage, int64(end))
+	}
 
 	// Direct chains: one WRITE chain + one fence + one write-through RPC
 	// per home server.
+	direct := false
 	for node, reqs := range s.writeGroups {
 		if len(reqs) == 0 {
 			continue
 		}
+		direct = true
 		conn := s.nodeConn[node]
 		e, err := conn.qp.WriteBatch(start, reqs)
 		if err != nil {
+			sp.FinishAt(int64(end))
 			return fmt.Errorf("core: write batch to %s: %w", node, err)
 		}
 		if c.poolNVM {
@@ -118,6 +129,7 @@ func (c *Client) WriteMulti(addrs []region.GAddr, bufs [][]byte) error {
 			// durability round trips coalesced away.
 			e, err = conn.qp.Read(e, nil, reqs[len(reqs)-1].Raddr)
 			if err != nil {
+				sp.FinishAt(int64(end))
 				return fmt.Errorf("core: persist fence %s: %w", node, err)
 			}
 			c.coalescedFences.Add(int64(len(reqs) - 1))
@@ -132,6 +144,7 @@ func (c *Client) WriteMulti(addrs []region.GAddr, bufs [][]byte) error {
 			}
 			_, rpcEnd, err := conn.ctl.Call(e, server.KindWriteThroughBatch, w.Bytes())
 			if err != nil {
+				sp.FinishAt(int64(end))
 				return fmt.Errorf("core: write-through batch to %s: %w", node, err)
 			}
 			e = simnet.MaxTime(e, rpcEnd)
@@ -142,6 +155,10 @@ func (c *Client) WriteMulti(addrs []region.GAddr, bufs [][]byte) error {
 			end = e
 		}
 	}
+	if direct {
+		sp.MarkAt(span.StageFlushPersist, int64(end))
+	}
+	sp.FinishAt(int64(end))
 
 	c.now = end
 	for i, addr := range addrs {

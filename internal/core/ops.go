@@ -11,6 +11,7 @@ import (
 	"gengar/internal/server"
 	"gengar/internal/simnet"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // Flight-recorder path labels: how an op was served.
@@ -116,10 +117,13 @@ func (c *Client) Read(addr region.GAddr, buf []byte) error {
 		return err
 	}
 	start := c.now
-	end, path, err := c.readAt(conn, start, addr, buf)
+	sp := c.tracer.StartAt("read", int64(start))
+	end, path, err := c.readAt(conn, start, addr, buf, sp)
 	if err != nil {
+		sp.FinishAt(int64(start))
 		return err
 	}
+	sp.FinishAt(int64(end))
 	c.now = end
 	c.reads.Inc()
 	c.readLat.Record(end.Sub(start))
@@ -134,8 +138,10 @@ func (c *Client) Read(addr region.GAddr, buf []byte) error {
 }
 
 // readAt performs the redirected read at the given simulated instant,
-// reporting which path served it.
-func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, string, error) {
+// reporting which path served it. sp (may be nil) gets the serving
+// stage marked at the transfer's completion instant: cacheHit for a
+// DRAM-copy read, nvmCopy for the home-NVM path.
+func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf []byte, sp *span.Span) (simnet.Time, string, error) {
 	var end simnet.Time
 	served := false
 
@@ -144,6 +150,7 @@ func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf
 			end, served = c.readCopy(at, loc, base, addr, buf)
 			if served {
 				c.hits.Inc()
+				sp.MarkAt(span.StageCacheHit, int64(end))
 			} else {
 				c.staleGen.Inc()
 				at = end // retry against NVM after the failed attempt
@@ -159,6 +166,7 @@ func (c *Client) readAt(conn *serverConn, at simnet.Time, addr region.GAddr, buf
 		}
 		c.misses.Inc()
 		path = pathNVM
+		sp.MarkAt(span.StageNVMCopy, int64(end))
 	}
 	if conn.writer != nil {
 		conn.writer.ApplyPending(addr, buf)
@@ -209,17 +217,22 @@ func (c *Client) Write(addr region.GAddr, data []byte) error {
 		return err
 	}
 	start := c.now
+	sp := c.tracer.StartAt("write", int64(start))
 	var end simnet.Time
 	path, ringDepth := pathNVMDirect, 0
 	if conn.writer != nil {
 		end, err = c.writeProxied(conn, start, addr, data)
 		path, ringDepth = pathProxyRing, conn.writer.PendingCount()
+		sp.MarkAt(span.StageRingStage, int64(end))
 	} else {
 		end, err = c.writeDirect(conn, start, addr, data)
+		sp.MarkAt(span.StageFlushPersist, int64(end))
 	}
 	if err != nil {
+		sp.FinishAt(int64(start))
 		return err
 	}
+	sp.FinishAt(int64(end))
 	c.now = end
 	c.writes.Inc()
 	c.writeLat.Record(end.Sub(start))

@@ -93,3 +93,88 @@ func TestWriteMultiDirectSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("WriteMulti allocates %.1f times per call for %d entries", allocs, k)
 	}
 }
+
+// measureSimOpAllocs reports steady-state allocs/op for Read, Write,
+// ReadMulti and WriteMulti against a fresh single-server sim cluster.
+func measureSimOpAllocs(t *testing.T, sample int) (read, write, readMulti, writeMulti float64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Servers = 1
+	cfg.Hotness.DigestEvery = 1 << 30
+	c := newTestCluster(t, cfg)
+	c.Tracer().SetSampleEvery(sample)
+	cl := connect(t, c, "u1")
+	const k = 8
+	addrs := make([]region.GAddr, k)
+	bufs := make([][]byte, k)
+	for i := range addrs {
+		a, err := cl.Malloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+		bufs[i] = bytes.Repeat([]byte{byte(i)}, 128)
+	}
+	one := make([]byte, 128)
+	warm := func() {
+		if err := cl.Write(addrs[0], bufs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Read(addrs[0], one); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WriteMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.ReadMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		warm()
+	}
+	read = testing.AllocsPerRun(50, func() {
+		if err := cl.Read(addrs[0], one); err != nil {
+			t.Fatal(err)
+		}
+	})
+	write = testing.AllocsPerRun(50, func() {
+		if err := cl.Write(addrs[0], bufs[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	readMulti = testing.AllocsPerRun(50, func() {
+		if err := cl.ReadMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	writeMulti = testing.AllocsPerRun(50, func() {
+		if err := cl.WriteMulti(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return read, write, readMulti, writeMulti
+}
+
+// TestUnsampledTracingAddsNoAllocsSim is the sim-mount half of the
+// tracing zero-cost claim: with the cluster tracer's sampling gate
+// armed but never firing, every data-path op must allocate exactly as
+// much as with tracing disabled.
+func TestUnsampledTracingAddsNoAllocsSim(t *testing.T) {
+	baseR, baseW, baseRM, baseWM := measureSimOpAllocs(t, 0)
+	trR, trW, trRM, trWM := measureSimOpAllocs(t, 1<<30)
+	for _, c := range []struct {
+		op           string
+		base, traced float64
+	}{
+		{"Read", baseR, trR},
+		{"Write", baseW, trW},
+		{"ReadMulti", baseRM, trRM},
+		{"WriteMulti", baseWM, trWM},
+	} {
+		if c.traced > c.base+0.5 {
+			t.Errorf("%s: %.1f allocs/op with unsampled tracing, %.1f without — tracing must be free when unsampled",
+				c.op, c.traced, c.base)
+		}
+	}
+}

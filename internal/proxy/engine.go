@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gengar/internal/hmem"
@@ -115,6 +116,11 @@ type Engine struct {
 	barriers metrics.Counter
 	queueHW  metrics.Gauge // flusher-queue depth high-water mark
 	flushLag metrics.Histogram
+
+	// flushObserver, when set, receives each flushed record's staged-to-
+	// applied lag in nanoseconds. It runs on the flush worker, so it must
+	// be cheap and never block.
+	flushObserver atomic.Value // of func(lagNanos int64)
 }
 
 // NewEngine starts the flush workers draining records into nvm. ringDev
@@ -210,8 +216,22 @@ func (e *Engine) flushRecord(rec record, buf []byte) []byte {
 	e.flushed.Inc()
 	e.bytes.Add(int64(rec.size))
 	e.flushLag.Record(end.Sub(rec.stagedAt))
+	if fn, ok := e.flushObserver.Load().(func(int64)); ok {
+		fn(int64(end.Sub(rec.stagedAt)))
+	}
 	rec.acks <- Ack{Seq: rec.seq, AppliedAt: end}
 	return buf
+}
+
+// SetFlushObserver installs a hook invoked on each flushed record with
+// its staged-to-applied lag in nanoseconds. The op's trace span finishes
+// at the acknowledgement, before the async NVM apply, so the tracer
+// observes flushPersist through this hook instead of a span mark. Pass
+// nil-safe functions only; the hook runs on flush workers.
+func (e *Engine) SetFlushObserver(fn func(lagNanos int64)) {
+	if fn != nil {
+		e.flushObserver.Store(fn)
+	}
 }
 
 // enqueue hands a staged record to its ring's worker, preserving the

@@ -6,6 +6,7 @@ import (
 	"gengar/internal/config"
 	"gengar/internal/rdma"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // Cluster owns a fabric and a set of meshed Gengar servers — the
@@ -20,6 +21,7 @@ type Cluster struct {
 	registry   *Registry
 	telem      *telemetry.Registry
 	flight     *telemetry.FlightRecorder
+	tracer     *span.Tracer
 	nextClient atomic.Uint32
 }
 
@@ -45,6 +47,18 @@ func NewCluster(cfg config.Cluster) (*Cluster, error) {
 	c.telem.GaugeFunc("gengar_flight_events", "operation events recorded since start", func() int64 {
 		return int64(c.flight.Total())
 	})
+	// The sim mount runs client and servers in one process, so one
+	// tracer spans the whole path. Sampling starts disabled (the
+	// zero-allocation default); harness code opts in per run via
+	// Tracer().SetSampleEvery. Stage instants come from the virtual
+	// timeline — ops mark spans with explicit simnet instants — so the
+	// clock here only stamps the rare wall-path fallbacks.
+	c.tracer = span.NewTracer(span.Config{
+		Side:     "sim",
+		Clock:    func() int64 { return int64(fabric.Clock().Now()) },
+		Registry: c.telem,
+		Labels:   []telemetry.Label{telemetry.L("transport", "sim")},
+	})
 	for i := 1; i <= cfg.Servers; i++ {
 		s, err := New(fabric, uint16(i), cfg)
 		if err != nil {
@@ -57,6 +71,12 @@ func NewCluster(cfg config.Cluster) (*Cluster, error) {
 			return nil, err
 		}
 		s.RegisterTelemetry(c.telem)
+		// Staged writes ack before their NVM apply, so the flusher's
+		// persist latency is observed from the flush worker rather than
+		// marked on the (already finished) op span.
+		s.Engine().SetFlushObserver(func(lagNanos int64) {
+			c.tracer.ObserveStage("write", span.StageFlushPersist, lagNanos)
+		})
 	}
 	if err := c.registry.ConnectMesh(); err != nil {
 		c.Close()
@@ -77,6 +97,10 @@ func (c *Cluster) Telemetry() *telemetry.Registry { return c.telem }
 // Recorder returns the cluster-wide flight recorder of recent
 // operations.
 func (c *Cluster) Recorder() *telemetry.FlightRecorder { return c.flight }
+
+// Tracer returns the cluster-wide op tracer. Sampling is disabled until
+// a caller raises it with SetSampleEvery.
+func (c *Cluster) Tracer() *span.Tracer { return c.tracer }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() config.Cluster { return c.cfg }

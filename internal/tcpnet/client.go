@@ -8,6 +8,7 @@ import (
 
 	"gengar/internal/hotness"
 	"gengar/internal/region"
+	"gengar/internal/telemetry/span"
 )
 
 // DefaultLease is the lock lease clients request unless overridden.
@@ -59,6 +60,13 @@ type PoolConfig struct {
 	// KeepAlive is the TCP keep-alive probe period on dialed
 	// connections; 0 selects 30s, negative disables probing.
 	KeepAlive time.Duration
+	// TraceSample opens a client span (and propagates its trace ID to
+	// the daemon) on one in every N data operations; 0 disables
+	// tracing entirely — the zero-allocation default.
+	TraceSample int
+	// TraceSlow gates the client tracer's slow-op ring: sampled spans
+	// at least this slow are retained. 0 retains every sampled span.
+	TraceSlow time.Duration
 }
 
 func (c *PoolConfig) fill() error {
@@ -86,6 +94,10 @@ type Pool struct {
 	// frames backs every request frame this client encodes and every
 	// response frame its demux loops read.
 	frames framePool
+
+	// tracer samples per-op spans; nil unless PoolConfig.TraceSample
+	// is set, so the untraced pool pays only nil checks.
+	tracer *span.Tracer
 
 	mu     sync.Mutex
 	conns  map[uint16]*serverConn
@@ -147,7 +159,7 @@ func dialServer(addr string, cfg *PoolConfig, frames *framePool) (*serverConn, e
 	go sc.demux()
 	var w payloadWriter
 	f := frames.newFrame(&w, 0)
-	resp, err := sc.roundTrip(f, &w, OpHello)
+	resp, err := sc.roundTrip(f, &w, OpHello, nil)
 	if err != nil {
 		sc.close()
 		return nil, fmt.Errorf("tcpnet: hello %s: %w", addr, err)
@@ -177,6 +189,13 @@ func DialConfig(cfg PoolConfig) (*Pool, error) {
 		return nil, err
 	}
 	p := &Pool{cfg: cfg, conns: make(map[uint16]*serverConn), lease: cfg.Lease}
+	if cfg.TraceSample > 0 {
+		p.tracer = span.NewTracer(span.Config{
+			Side:          "client",
+			SampleEvery:   cfg.TraceSample,
+			SlowThreshold: cfg.TraceSlow,
+		})
+	}
 	for _, a := range cfg.Addrs {
 		sc, err := dialServer(a, &p.cfg, &p.frames)
 		if err != nil {
@@ -203,6 +222,48 @@ func (p *Pool) SetLease(d time.Duration) {
 	}
 }
 
+// Tracer returns the pool's span tracer (nil unless TraceSample was
+// set): per-stage latency digests and the slow-op ring for the client
+// half of every stitched span.
+func (p *Pool) Tracer() *span.Tracer { return p.tracer }
+
+// traceStart opens a client span for one op against sc, or returns nil
+// when tracing is off, the op lost the sampling draw, or the server
+// predates the trace extension — negotiation means a peer that never
+// advertised featureTrace is never sent an extended frame.
+//
+//gengar:hotpath
+func (p *Pool) traceStart(sc *serverConn, op Op) *span.Span {
+	if p.tracer == nil || sc.features&featureTrace == 0 {
+		return nil
+	}
+	return p.tracer.Start(op.String())
+}
+
+// traceFor gates an already-open span per connection: a multi-op chain
+// spanning servers must not leak extended frames to one that did not
+// negotiate the extension.
+//
+//gengar:hotpath
+func traceFor(sc *serverConn, sp *span.Span) *span.Span {
+	if sp == nil || sc.features&featureTrace != 0 {
+		return sp
+	}
+	return nil
+}
+
+// opFrame reserves a request frame: a plain one on the untraced path,
+// one carrying the span's trace extension otherwise. The sp passed here
+// must be the sp passed to start, which sets the matching tag bit.
+//
+//gengar:hotpath
+func (p *Pool) opFrame(sp *span.Span, w *payloadWriter, hint int) *[]byte {
+	if sp == nil {
+		return p.frames.newFrame(w, hint)
+	}
+	return p.frames.newTracedFrame(w, hint, sp.TraceID())
+}
+
 // demux reads response frames into pooled buffers and delivers each to
 // its waiter, which owns (and recycles) the buffer from then on.
 //
@@ -211,7 +272,7 @@ func (sc *serverConn) demux() {
 	defer close(sc.done)
 	r := newFrameReader(sc.c, sc.frames)
 	for {
-		id, status, frame, payload, err := r.read()
+		id, status, frame, payload, _, err := r.read()
 		if err != nil {
 			sc.failAll(err)
 			return
@@ -259,10 +320,12 @@ func (sc *serverConn) dead() bool {
 // start registers a waiter and enqueues a request frame whose payload
 // was encoded in place over f via w. The returned channel receives
 // exactly one response; pass it to wait. Frames started back-to-back
-// before their waits coalesce into one writev.
+// before their waits coalesce into one writev. A non-nil sp means f was
+// reserved via opFrame with the trace extension in place; start sets
+// the matching tag bit and marks the span's encode stage.
 //
 //gengar:hotpath
-func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op) (chan response, error) {
+func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op, sp *span.Span) (chan response, error) {
 	ch := waiters.Get().(chan response)
 	sc.mu.Lock()
 	if sc.closed {
@@ -276,7 +339,11 @@ func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op) (chan response, 
 	sc.pending[id] = ch
 	sc.mu.Unlock()
 
-	if err := encodeFrameInto(f, w, id, uint8(op)); err != nil {
+	tag := uint8(op)
+	if sp != nil {
+		tag |= tagTraced
+	}
+	if err := encodeFrameInto(f, w, id, tag); err != nil {
 		sc.abort(id, ch)
 		sc.frames.put(f)
 		return nil, err
@@ -285,6 +352,7 @@ func (sc *serverConn) start(f *[]byte, w *payloadWriter, op Op) (chan response, 
 		sc.abort(id, ch)
 		return nil, fmt.Errorf("tcpnet: send: %w", err)
 	}
+	sp.Mark(span.StageEncode)
 	return ch, nil
 }
 
@@ -317,9 +385,10 @@ func (sc *serverConn) abort(id uint64, ch chan response) {
 // the returned response once decoded.
 //
 //gengar:hotpath
-func (sc *serverConn) wait(ch chan response, op Op) (response, error) {
+func (sc *serverConn) wait(ch chan response, op Op, sp *span.Span) (response, error) {
 	resp := <-ch
 	waiters.Put(ch)
+	sp.Mark(span.StageNetWait)
 	if resp.err != nil {
 		if re, ok := resp.err.(*RemoteError); ok {
 			re.Op = op
@@ -341,20 +410,20 @@ func (sc *serverConn) release(resp response) {
 // roundTrip issues one request and waits for its response.
 //
 //gengar:hotpath
-func (sc *serverConn) roundTrip(f *[]byte, w *payloadWriter, op Op) (response, error) {
-	ch, err := sc.start(f, w, op)
+func (sc *serverConn) roundTrip(f *[]byte, w *payloadWriter, op Op, sp *span.Span) (response, error) {
+	ch, err := sc.start(f, w, op, sp)
 	if err != nil {
 		return response{}, err
 	}
-	return sc.wait(ch, op)
+	return sc.wait(ch, op, sp)
 }
 
 // call issues one request and waits, discarding any response payload —
 // for ops whose reply is empty (write, free, locks).
 //
 //gengar:hotpath
-func (sc *serverConn) call(f *[]byte, w *payloadWriter, op Op) error {
-	resp, err := sc.roundTrip(f, w, op)
+func (sc *serverConn) call(f *[]byte, w *payloadWriter, op Op, sp *span.Span) error {
+	resp, err := sc.roundTrip(f, w, op, sp)
 	if err != nil {
 		return err
 	}
@@ -465,7 +534,7 @@ func (p *Pool) Malloc(size int64) (region.GAddr, error) {
 	var w payloadWriter
 	f := p.frames.newFrame(&w, 8)
 	w.I64(size)
-	resp, err := sc.roundTrip(f, &w, OpMalloc)
+	resp, err := sc.roundTrip(f, &w, OpMalloc, nil)
 	if err != nil {
 		return region.NilGAddr, err
 	}
@@ -499,14 +568,18 @@ func (p *Pool) ReadCheck(addr region.GAddr, buf []byte) (hit bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	sp := p.traceStart(sc, OpRead)
 	var w payloadWriter
-	f := p.frames.newFrame(&w, 12)
+	f := p.opFrame(sp, &w, 12)
 	w.U64(uint64(addr)).U32(uint32(len(buf)))
-	resp, err := sc.roundTrip(f, &w, OpRead)
+	resp, err := sc.roundTrip(f, &w, OpRead, sp)
 	if err != nil {
+		sp.Finish()
 		return false, err
 	}
 	hit, err = decodeReadInto(sc, resp, buf)
+	sp.Mark(span.StageDecode)
+	sp.Finish()
 	return hit, err
 }
 
@@ -540,10 +613,13 @@ func (p *Pool) Write(addr region.GAddr, data []byte) error {
 	if err != nil {
 		return err
 	}
+	sp := p.traceStart(sc, OpWrite)
 	var w payloadWriter
-	f := p.frames.newFrame(&w, 8+4+len(data))
+	f := p.opFrame(sp, &w, 8+4+len(data))
 	w.U64(uint64(addr)).Blob(data)
-	return sc.call(f, &w, OpWrite)
+	err = sc.call(f, &w, OpWrite, sp)
+	sp.Finish()
+	return err
 }
 
 // WriteReq is one record of a batched write.
@@ -577,16 +653,21 @@ func (p *Pool) ReadMulti(reqs []ReadReq) error {
 	}
 	started := make([]inflight, 0, len(reqs))
 	var firstErr error
+	var sp *span.Span
 	for i := range reqs {
 		sc, err := p.conn(reqs[i].Addr)
 		if err != nil {
 			firstErr = err
 			break
 		}
+		if i == 0 {
+			sp = p.traceStart(sc, OpRead)
+		}
+		fsp := traceFor(sc, sp)
 		var w payloadWriter
-		f := p.frames.newFrame(&w, 12)
+		f := p.opFrame(fsp, &w, 12)
 		w.U64(uint64(reqs[i].Addr)).U32(uint32(len(reqs[i].Buf)))
-		ch, err := sc.start(f, &w, OpRead)
+		ch, err := sc.start(f, &w, OpRead, fsp)
 		if err != nil {
 			firstErr = err
 			break
@@ -594,7 +675,7 @@ func (p *Pool) ReadMulti(reqs []ReadReq) error {
 		started = append(started, inflight{sc: sc, ch: ch, op: OpRead})
 	}
 	for i, fl := range started {
-		resp, err := fl.sc.wait(fl.ch, fl.op)
+		resp, err := fl.sc.wait(fl.ch, fl.op, traceFor(fl.sc, sp))
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -605,6 +686,8 @@ func (p *Pool) ReadMulti(reqs []ReadReq) error {
 			firstErr = err
 		}
 	}
+	sp.Mark(span.StageDecode)
+	sp.Finish()
 	return firstErr
 }
 
@@ -628,24 +711,29 @@ func (p *Pool) WriteMulti(reqs []WriteReq) error {
 	}
 	started := make([]inflight, 0, len(order))
 	var firstErr error
-	for _, id := range order {
+	var sp *span.Span
+	for i, id := range order {
 		sc, err := p.connByID(id)
 		if err != nil {
 			firstErr = err
 			break
 		}
+		if i == 0 {
+			sp = p.traceStart(sc, OpWriteBatch)
+		}
+		fsp := traceFor(sc, sp)
 		chain := groups[id]
 		size := 4
 		for _, r := range chain {
 			size += 8 + 4 + len(r.Data)
 		}
 		var w payloadWriter
-		f := p.frames.newFrame(&w, size)
+		f := p.opFrame(fsp, &w, size)
 		w.U32(uint32(len(chain)))
 		for _, r := range chain {
 			w.U64(uint64(r.Addr)).Blob(r.Data)
 		}
-		ch, err := sc.start(f, &w, OpWriteBatch)
+		ch, err := sc.start(f, &w, OpWriteBatch, fsp)
 		if err != nil {
 			firstErr = err
 			break
@@ -653,7 +741,7 @@ func (p *Pool) WriteMulti(reqs []WriteReq) error {
 		started = append(started, inflight{sc: sc, ch: ch, op: OpWriteBatch})
 	}
 	for _, fl := range started {
-		resp, err := fl.sc.wait(fl.ch, fl.op)
+		resp, err := fl.sc.wait(fl.ch, fl.op, traceFor(fl.sc, sp))
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -662,6 +750,7 @@ func (p *Pool) WriteMulti(reqs []WriteReq) error {
 		}
 		fl.sc.release(resp)
 	}
+	sp.Finish()
 	return firstErr
 }
 
@@ -690,7 +779,7 @@ func (p *Pool) Digest(entries []hotness.Entry) (map[uint16]uint64, error) {
 		for _, e := range batch {
 			w.U64(uint64(e.Addr)).U32(uint32(e.Reads)).U32(uint32(e.Writes))
 		}
-		resp, err := sc.roundTrip(f, &w, OpDigest)
+		resp, err := sc.roundTrip(f, &w, OpDigest, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -716,7 +805,7 @@ func (p *Pool) Version(addr region.GAddr) (uint64, error) {
 	var w payloadWriter
 	f := p.frames.newFrame(&w, 8)
 	w.U64(uint64(addr))
-	resp, err := sc.roundTrip(f, &w, OpVersion)
+	resp, err := sc.roundTrip(f, &w, OpVersion, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -749,10 +838,13 @@ func (p *Pool) lockOp(op Op, addr region.GAddr) error {
 	p.mu.Lock()
 	lease := p.lease
 	p.mu.Unlock()
+	sp := p.traceStart(sc, op)
 	var w payloadWriter
-	f := p.frames.newFrame(&w, 12)
+	f := p.opFrame(sp, &w, 12)
 	w.U64(uint64(addr)).U32(uint32(lease / time.Millisecond))
-	return sc.call(f, &w, op)
+	err = sc.call(f, &w, op, sp)
+	sp.Finish()
+	return err
 }
 
 func (p *Pool) addrOp(op Op, addr region.GAddr) error {
@@ -763,7 +855,7 @@ func (p *Pool) addrOp(op Op, addr region.GAddr) error {
 	var w payloadWriter
 	f := p.frames.newFrame(&w, 8)
 	w.U64(uint64(addr))
-	return sc.call(f, &w, op)
+	return sc.call(f, &w, op, nil)
 }
 
 // Stats fetches every server's snapshot, in dial order.
@@ -779,7 +871,7 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 		}
 		var w payloadWriter
 		f := p.frames.newFrame(&w, 0)
-		resp, err := sc.roundTrip(f, &w, OpStats)
+		resp, err := sc.roundTrip(f, &w, OpStats, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -99,8 +99,8 @@ func TestFeatureSwitchesOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc.close()
-	if sc.features != 0 {
-		t.Fatalf("features = %b, want none", sc.features)
+	if sc.features != featureTrace {
+		t.Fatalf("features = %b, want trace only", sc.features)
 	}
 
 	p := dialPool(t, addrs)
@@ -140,8 +140,8 @@ func TestFeatureSwitchesOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc2.close()
-	if sc2.features != featureCache|featureProxy {
-		t.Fatalf("features = %b, want cache|proxy", sc2.features)
+	if sc2.features != featureCache|featureProxy|featureTrace {
+		t.Fatalf("features = %b, want cache|proxy|trace", sc2.features)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"gengar/internal/proxy"
 	"gengar/internal/region"
 	"gengar/internal/telemetry"
+	"gengar/internal/telemetry/span"
 )
 
 // ServerConfig shapes one gengard daemon.
@@ -53,6 +54,14 @@ type ServerConfig struct {
 	// KeepAlive is the TCP keep-alive probe period on accepted
 	// connections; 0 selects 30s, negative disables probing.
 	KeepAlive time.Duration
+	// TraceSample opens a server-initiated span on one in every N
+	// requests that did not already carry a client trace ID; 0
+	// disables local sampling. Client-sampled requests are always
+	// traced regardless — the peer decided up front.
+	TraceSample int
+	// TraceSlow gates the slow-op ring served at /debug/trace: spans
+	// at least this slow are retained. 0 retains every sampled span.
+	TraceSlow time.Duration
 }
 
 func (c *ServerConfig) fill() error {
@@ -129,6 +138,7 @@ type PoolServer struct {
 
 	telem  *telemetry.Registry
 	flight *telemetry.FlightRecorder
+	tracer *span.Tracer
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -208,6 +218,22 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	// ...) under the same names the simulated mount uses, distinguished
 	// by the transport label.
 	eng.RegisterTelemetry(s.telem, sl, telemetry.L("transport", "tcp"))
+	// The span tracer: stage timestamps flow through the engine's
+	// clock seam (the wall mount's WallClock here), never raw time.Now,
+	// so the same marking code traces identically under virtual time.
+	s.tracer = span.NewTracer(span.Config{
+		Side:          "server",
+		SampleEvery:   cfg.TraceSample,
+		SlowThreshold: cfg.TraceSlow,
+		Clock:         func() int64 { return int64(eng.Now()) },
+		Registry:      s.telem,
+		Labels:        []telemetry.Label{sl},
+	})
+	// The flusher persists staged writes after their spans finish, so
+	// its stage is observed standalone: staged→applied lag per record.
+	eng.Flusher().SetFlushObserver(func(lagNanos int64) {
+		s.tracer.ObserveStage("write", span.StageFlushPersist, lagNanos)
+	})
 	return s, nil
 }
 
@@ -220,6 +246,10 @@ func (s *PoolServer) Telemetry() *telemetry.Registry { return s.telem }
 
 // Recorder returns the daemon's flight recorder of recent operations.
 func (s *PoolServer) Recorder() *telemetry.FlightRecorder { return s.flight }
+
+// Tracer returns the daemon's span tracer (stage quantiles and the
+// slow-op ring served by gengard's /debug/trace endpoint).
+func (s *PoolServer) Tracer() *span.Tracer { return s.tracer }
 
 // Serve accepts and serves connections on lis until Close. It returns
 // nil after a graceful Close and the accept error otherwise.
@@ -396,20 +426,29 @@ func (s *PoolServer) serveConn(conn net.Conn) {
 	}()
 
 	for {
-		id, tag, frame, payload, err := r.read()
+		id, tag, frame, payload, ext, err := r.read()
 		if err != nil {
 			return // connection gone (or a poisoned frame)
 		}
 		op := Op(tag)
+		// Span policy: a request carrying a sampled trace extension is
+		// always traced (the client decided up front, and its ID makes
+		// the two halves stitchable); otherwise local sampling applies.
+		var sp *span.Span
+		if ext.sampled {
+			sp = s.tracer.StartRemote(ext.traceID, op.String())
+		} else {
+			sp = s.tracer.Start(op.String())
+		}
 		if parks(sess, op, payload) {
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				s.dispatch(sess, q, id, op, frame, payload)
+				s.dispatch(sess, q, id, op, frame, payload, sp)
 			}()
 			continue
 		}
-		s.dispatch(sess, q, id, op, frame, payload)
+		s.dispatch(sess, q, id, op, frame, payload, sp)
 	}
 }
 
@@ -435,22 +474,27 @@ func parks(sess *session, op Op, payload []byte) bool {
 }
 
 // dispatch handles one request and enqueues its response frame. It owns
-// frame (the pooled request buffer) and recycles it after handling.
+// frame (the pooled request buffer) and recycles it after handling. It
+// also owns sp until the response is enqueued, at which point span
+// ownership transfers to the frame queue's drain loop — the one place
+// that can stamp the writevFlush stage and finish the span.
 //
 //gengar:hotpath
-func (s *PoolServer) dispatch(sess *session, q *frameQueue, id uint64, op Op, frame *[]byte, payload []byte) {
+func (s *PoolServer) dispatch(sess *session, q *frameQueue, id uint64, op Op, frame *[]byte, payload []byte, sp *span.Span) {
+	sp.Mark(span.StageQueueWait)
 	var req payloadReader
 	req.Reset(payload)
-	resp, err := s.handle(sess, op, &req)
+	resp, err := s.handle(sess, op, &req, sp)
 	s.frames.put(frame)
 	if err != nil {
 		s.failures.Inc()
 		ef, eerr := s.frames.encodeFrame(id, statusErr, []byte(err.Error()))
 		if eerr != nil {
+			sp.Finish()
 			q.fail(eerr)
 			return
 		}
-		_ = q.enqueue(ef)
+		_ = q.enqueueTraced(ef, sp)
 		return
 	}
 	if resp == nil {
@@ -458,10 +502,11 @@ func (s *PoolServer) dispatch(sess *session, q *frameQueue, id uint64, op Op, fr
 	}
 	if err := stampFrame(resp, id, statusOK); err != nil {
 		s.frames.put(resp)
+		sp.Finish()
 		q.fail(err)
 		return
 	}
-	_ = q.enqueue(resp)
+	_ = q.enqueueTraced(resp, sp)
 }
 
 // finishResp publishes a payload encoded in place over a pooled frame
@@ -476,8 +521,10 @@ func finishResp(f *[]byte, w *payloadWriter) *[]byte {
 
 // handle serves one request and returns its response as a pooled frame
 // with the header reserved and the payload encoded in place, or nil for
-// an empty-payload success. Errors travel back as error frames.
-func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]byte, err error) {
+// an empty-payload success. Errors travel back as error frames. A
+// non-nil sp collects engine-level stage marks; traced ops skip the
+// blanket flight-recorder capture, which the span supersedes.
+func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.Span) (resp *[]byte, err error) {
 	if int(op) <= 0 || int(op) >= maxOpTag {
 		return nil, fmt.Errorf("tcpnet: unknown op %d", op)
 	}
@@ -489,7 +536,7 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 	}()
 	switch op {
 	case OpHello:
-		var feat uint8
+		feat := uint8(featureTrace) // this daemon parses the trace extension
 		if s.eng.Features().Cache {
 			feat |= featureCache
 		}
@@ -552,6 +599,7 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 		b := *f
 		binary.BigEndian.PutUint32(b[frameHeader:], uint32(n))
 		out := b[frameHeader+4 : frameHeader+4+int(n)]
+		sp.Mark(span.StageDispatch)
 		_, hit, err := s.eng.ReadAt(s.eng.Now(), addr, out)
 		if err != nil {
 			s.frames.put(f)
@@ -564,15 +612,19 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 		}
 		if hit {
 			b[frameHeader+4+int(n)] = 1
+			sp.Mark(span.StageCacheHit)
 		} else {
 			b[frameHeader+4+int(n)] = 0
+			sp.Mark(span.StageNVMCopy)
 		}
 		sess.observe(addr, false)
 		s.txBytes.Add(n)
-		s.flight.Record(telemetry.Event{
-			TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
-			Len: int(n), Path: readPath(hit), LatNanos: int64(time.Since(start)),
-		})
+		if sp == nil {
+			s.flight.Record(telemetry.Event{
+				TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
+				Len: int(n), Path: readPath(hit), LatNanos: int64(time.Since(start)),
+			})
+		}
 		return f, nil
 
 	case OpWrite:
@@ -584,13 +636,16 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 		if err := req.Err(); err != nil {
 			return nil, err
 		}
-		if err := s.writeOne(sess, addr, data); err != nil {
+		sp.Mark(span.StageDispatch)
+		if err := s.writeOne(sess, addr, data, sp); err != nil {
 			return nil, err
 		}
-		s.flight.Record(telemetry.Event{
-			TimeNanos: start.UnixNano(), Op: "write", Addr: uint64(addr),
-			Len: len(data), Path: "tcp", LatNanos: int64(time.Since(start)),
-		})
+		if sp == nil {
+			s.flight.Record(telemetry.Event{
+				TimeNanos: start.UnixNano(), Op: "write", Addr: uint64(addr),
+				Len: len(data), Path: "tcp", LatNanos: int64(time.Since(start)),
+			})
+		}
 		return nil, nil
 
 	case OpWriteBatch:
@@ -610,7 +665,8 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 			}
 			reqs = append(reqs, proxy.StageReq{Addr: addr, NvmOff: addr.Offset(), Data: data})
 		}
-		if err := s.writeBatch(sess, reqs); err != nil {
+		sp.Mark(span.StageDispatch)
+		if err := s.writeBatch(sess, reqs, sp); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -661,9 +717,12 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 			lease = s.cfg.DefaultLease
 		}
 		if op == OpLockEx {
-			return nil, s.eng.Leases().LockExclusive(sess.id, addr, lease, s.cfg.AcquireTimeout)
+			err = s.eng.Leases().LockExclusive(sess.id, addr, lease, s.cfg.AcquireTimeout)
+		} else {
+			err = s.eng.Leases().LockShared(sess.id, addr, lease, s.cfg.AcquireTimeout)
 		}
-		return nil, s.eng.Leases().LockShared(sess.id, addr, lease, s.cfg.AcquireTimeout)
+		sp.Mark(span.StageLockWait)
+		return nil, err
 
 	case OpUnlockEx:
 		addr, err := s.homeAddr(req)
@@ -697,8 +756,10 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader) (resp *[]b
 
 // writeOne lands one write: staged into the session's ring (acknowledged
 // before the NVM flush, like the paper's proxied writes) when it fits,
-// written through to the pool otherwise.
-func (s *PoolServer) writeOne(sess *session, addr region.GAddr, data []byte) error {
+// written through to the pool otherwise. The span stage tells the two
+// apart: ringStage covers staging (including any credit backpressure
+// wait), flushPersist covers an inline write-through.
+func (s *PoolServer) writeOne(sess *session, addr region.GAddr, data []byte, sp *span.Span) error {
 	if addr.Offset()+int64(len(data)) > s.cfg.PoolBytes {
 		return fmt.Errorf("tcpnet: write [%d,%d) out of pool", addr.Offset(), addr.Offset()+int64(len(data)))
 	}
@@ -706,8 +767,10 @@ func (s *PoolServer) writeOne(sess *session, addr region.GAddr, data []byte) err
 	var err error
 	if sess.writer != nil && len(data) <= sess.writer.Ring().MaxPayload() {
 		_, err = sess.writer.Stage(at, addr, addr.Offset(), data)
+		sp.Mark(span.StageRingStage)
 	} else {
 		_, err = s.eng.WriteNVM(at, addr, data)
+		sp.Mark(span.StageFlushPersist)
 	}
 	if err != nil {
 		return err
@@ -720,7 +783,7 @@ func (s *PoolServer) writeOne(sess *session, addr region.GAddr, data []byte) err
 // writeBatch lands a batched write chain. When every record fits the
 // ring it stages the whole chain at once (the TCP analogue of the
 // doorbell-batched WRITE chain); otherwise records land one by one.
-func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq) error {
+func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq, sp *span.Span) error {
 	allFit := sess.writer != nil
 	if sess.writer != nil {
 		maxPayload := sess.writer.Ring().MaxPayload()
@@ -735,6 +798,7 @@ func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq) error {
 		if _, err := sess.writer.StageMulti(s.eng.Now(), reqs); err != nil {
 			return err
 		}
+		sp.Mark(span.StageRingStage)
 		for _, r := range reqs {
 			sess.observe(r.Addr, true)
 			s.rxBytes.Add(int64(len(r.Data)))
@@ -742,7 +806,7 @@ func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq) error {
 		return nil
 	}
 	for _, r := range reqs {
-		if err := s.writeOne(sess, r.Addr, r.Data); err != nil {
+		if err := s.writeOne(sess, r.Addr, r.Data, sp); err != nil {
 			return err
 		}
 	}

@@ -23,6 +23,7 @@ import (
 
 	"gengar/internal/metrics"
 	"gengar/internal/rpc"
+	"gengar/internal/telemetry/span"
 )
 
 // Op identifies a request type on the wire.
@@ -49,6 +50,7 @@ const (
 const (
 	featureCache = 1 << 0 // hotness tracking + DRAM cache serving reads
 	featureProxy = 1 << 1 // staged writes acknowledged before NVM flush
+	featureTrace = 1 << 2 // understands the trace frame-header extension
 )
 
 // String returns the op's wire name, for telemetry labels and errors.
@@ -96,6 +98,43 @@ const (
 	statusOK  = 0
 	statusErr = 1
 )
+
+// ---------------------------------------------------------------------
+// Trace frame-header extension.
+//
+// A request stitching a client span across the wire sets tagTraced on
+// its op byte and carries a length-versioned extension between the tag
+// and the payload:
+//
+//	extLen u8 | flags u8 | traceID u64 | (future fields) | payload
+//
+// extLen counts the bytes after itself, so a receiver skips fields it
+// does not understand and a future version grows the extension without
+// a flag day. Negotiation: servers advertise featureTrace in the
+// OpHello reply; clients only emit extended frames to peers that did.
+// A pre-trace peer receiving one anyway sees an op byte >= maxOpTag
+// and rejects the frame as an unknown op — a clean error, not a
+// misparse, because tagTraced is far above the op vocabulary.
+
+// tagTraced flags an op byte as carrying the trace extension.
+const tagTraced = 0x80
+
+// traceExtLen is the current extension length (flags + trace ID);
+// traceExtSize adds the length byte itself.
+const (
+	traceExtLen  = 1 + 8
+	traceExtSize = 1 + traceExtLen
+)
+
+// traceFlagSampled marks the operation as sampled by the sender.
+const traceFlagSampled = 1 << 0
+
+// traceExt is a decoded trace extension.
+type traceExt struct {
+	present bool
+	sampled bool
+	traceID uint64
+}
 
 // Wire errors.
 var (
@@ -226,6 +265,21 @@ func (p *framePool) newFrame(w *payloadWriter, payloadHint int) *[]byte {
 	return f
 }
 
+// newTracedFrame is newFrame for a sampled request: it additionally
+// reserves and fills the trace extension, so the payload writer starts
+// after it. The caller stamps the frame with tagTraced set.
+//
+//gengar:hotpath
+func (p *framePool) newTracedFrame(w *payloadWriter, payloadHint int, traceID uint64) *[]byte {
+	f := p.get(frameHeader + traceExtSize + payloadHint)
+	b := *f
+	b[frameHeader] = traceExtLen
+	b[frameHeader+1] = traceFlagSampled
+	binary.BigEndian.PutUint64(b[frameHeader+2:], traceID)
+	w.Reset(b[:frameHeader+traceExtSize])
+	return f
+}
+
 // stampFrame writes the wire header over a frame image whose payload is
 // already in place: length, request id, and tag (op or status).
 //
@@ -287,25 +341,42 @@ func newFrameReader(conn io.Reader, pool *framePool) frameReader {
 
 // read receives one message. On success the returned frame owns the
 // pooled storage backing payload; the caller recycles it with
-// pool.put(frame) once the payload is dead.
+// pool.put(frame) once the payload is dead. A frame flagged tagTraced
+// has its extension decoded into ext and stripped from both the
+// returned tag and payload; a malformed extension is rejected in the
+// ErrFrameTooLarge class, like any other unparseable header.
 //
 //gengar:hotpath
-func (r *frameReader) read() (id uint64, tag uint8, frame *[]byte, payload []byte, err error) {
+func (r *frameReader) read() (id uint64, tag uint8, frame *[]byte, payload []byte, ext traceExt, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		return 0, 0, nil, nil, err
+		return 0, 0, nil, nil, traceExt{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < 9 || n > maxFrame {
-		return 0, 0, nil, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return 0, 0, nil, nil, traceExt{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	frame = r.pool.get(int(n))
 	body := *frame
 	if _, err := io.ReadFull(r.br, body); err != nil {
 		r.pool.put(frame)
-		return 0, 0, nil, nil, err
+		return 0, 0, nil, nil, traceExt{}, err
 	}
-	return binary.BigEndian.Uint64(body), body[8], frame, body[9:], nil
+	id, tag, payload = binary.BigEndian.Uint64(body), body[8], body[9:]
+	if tag&tagTraced != 0 {
+		tag &^= tagTraced
+		// The extension is length-versioned: at least the fields this
+		// version defines, and any longer tail is skipped unread.
+		if len(payload) < traceExtSize || int(payload[0]) < traceExtLen || 1+int(payload[0]) > len(payload) {
+			r.pool.put(frame)
+			return 0, 0, nil, nil, traceExt{}, fmt.Errorf("%w: bad trace extension", ErrFrameTooLarge)
+		}
+		ext.present = true
+		ext.sampled = payload[1]&traceFlagSampled != 0
+		ext.traceID = binary.BigEndian.Uint64(payload[2:])
+		payload = payload[1+int(payload[0]):]
+	}
+	return id, tag, frame, payload, ext, nil
 }
 
 // ---------------------------------------------------------------------
@@ -316,7 +387,11 @@ func (r *frameReader) read() (id uint64, tag uint8, frame *[]byte, payload []byt
 // and hands the batch to the kernel as one writev (net.Buffers) — many
 // responses or pipelined requests per syscall, replacing the
 // lock-and-write-per-frame scheme. Enqueued frames transfer ownership;
-// the drain loop recycles them after the flush.
+// the drain loop recycles them after the flush. A frame enqueued with
+// a span additionally transfers span ownership: the drain loop marks
+// the span's writevFlush stage once the syscall returns and finishes
+// it — the single-owner hand-off that lets a traced response attribute
+// its queue wait plus syscall share without any span locking.
 type frameQueue struct {
 	conn net.Conn
 	pool *framePool
@@ -327,13 +402,20 @@ type frameQueue struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*[]byte // frames awaiting flush
-	spare  []*[]byte // drained slice, recycled to become the next queue
-	err    error     // first write failure; sticky
+	queue  []queuedFrame // frames awaiting flush
+	spare  []queuedFrame // drained slice, recycled to become the next queue
+	err    error         // first write failure; sticky
 	closed bool
 	done   chan struct{}
 
 	vecs net.Buffers // writev scratch, reused across flushes
+}
+
+// queuedFrame is one frame awaiting flush, with the span riding it (nil
+// for the untraced common case).
+type queuedFrame struct {
+	f  *[]byte
+	sp *span.Span
 }
 
 func newFrameQueue(conn net.Conn, pool *framePool) *frameQueue {
@@ -349,17 +431,27 @@ func newFrameQueue(conn net.Conn, pool *framePool) *frameQueue {
 //
 //gengar:hotpath
 func (q *frameQueue) enqueue(f *[]byte) error {
+	return q.enqueueTraced(f, nil)
+}
+
+// enqueueTraced is enqueue carrying a span. The span is finished by the
+// drain loop after the flush — or here, without a writevFlush mark, if
+// the queue is already dead.
+//
+//gengar:hotpath
+func (q *frameQueue) enqueueTraced(f *[]byte, sp *span.Span) error {
 	q.mu.Lock()
 	if q.err != nil || q.closed {
 		err := q.err
 		q.mu.Unlock()
 		q.pool.put(f)
+		sp.Finish()
 		if err == nil {
 			err = ErrClosed
 		}
 		return err
 	}
-	q.queue = append(q.queue, f)
+	q.queue = append(q.queue, queuedFrame{f: f, sp: sp})
 	q.mu.Unlock()
 	q.cond.Signal()
 	return nil
@@ -391,9 +483,9 @@ func (q *frameQueue) run() {
 		if !failed {
 			total := 0
 			q.vecs = q.vecs[:0]
-			for _, f := range batch {
-				q.vecs = append(q.vecs, *f)
-				total += len(*f)
+			for _, e := range batch {
+				q.vecs = append(q.vecs, *e.f)
+				total += len(*e.f)
 			}
 			if q.framesPerFlush != nil {
 				q.framesPerFlush.Observe(int64(len(batch)))
@@ -406,9 +498,13 @@ func (q *frameQueue) run() {
 				q.fail(err)
 			}
 		}
-		for i, f := range batch {
-			q.pool.put(f)
-			batch[i] = nil
+		for i, e := range batch {
+			q.pool.put(e.f)
+			if e.sp != nil {
+				e.sp.Mark(span.StageWritevFlush)
+				e.sp.Finish()
+			}
+			batch[i] = queuedFrame{}
 		}
 		q.mu.Lock()
 		q.spare = batch[:0]

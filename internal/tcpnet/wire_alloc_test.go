@@ -65,6 +65,98 @@ func TestReadRoundTripAllocs(t *testing.T) {
 	}
 }
 
+// dialTracedPool dials its own single-server deployment with the given
+// trace cadence. A cadence of 1<<30 never fires within a test, so every
+// op runs the full sampling gate and traced-frame decision without ever
+// allocating a span — the configuration the zero-allocation tracing
+// claim covers.
+func dialTracedPool(t *testing.T, sample int) *Pool {
+	t.Helper()
+	addrs := startServers(t, 1, func(c *ServerConfig) { c.PoolBytes = 1 << 22 })
+	p, err := DialConfig(PoolConfig{Addrs: addrs, Timeout: 2 * time.Second, TraceSample: sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// measureOpAllocs reports steady-state allocs/op for a read, a write, a
+// 4-record ReadMulti and a 4-record WriteMulti against p.
+func measureOpAllocs(t *testing.T, p *Pool) (read, write, readMulti, writeMulti float64) {
+	t.Helper()
+	a, err := p.Malloc(4 * 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5a}, 256)
+	buf := make([]byte, 256)
+	rreqs := make([]ReadReq, 4)
+	wreqs := make([]WriteReq, 4)
+	for i := range rreqs {
+		rreqs[i] = ReadReq{Addr: a.Add(int64(i * 256)), Buf: make([]byte, 256)}
+		wreqs[i] = WriteReq{Addr: a.Add(int64(i * 256)), Data: data}
+	}
+	for i := 0; i < 64; i++ {
+		if err := p.Write(a, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.WriteMulti(wreqs); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ReadMulti(rreqs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read = testing.AllocsPerRun(200, func() {
+		if err := p.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	write = testing.AllocsPerRun(200, func() {
+		if err := p.Write(a, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	readMulti = testing.AllocsPerRun(200, func() {
+		if err := p.ReadMulti(rreqs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	writeMulti = testing.AllocsPerRun(200, func() {
+		if err := p.WriteMulti(wreqs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return read, write, readMulti, writeMulti
+}
+
+// TestUnsampledTracingAddsNoAllocs is the differential half of the
+// tracing zero-cost claim: a pool with sampling configured (but never
+// firing) must allocate exactly as much per op as a pool with tracing
+// off entirely, across the whole op surface.
+func TestUnsampledTracingAddsNoAllocs(t *testing.T) {
+	baseR, baseW, baseRM, baseWM := measureOpAllocs(t, dialTracedPool(t, 0))
+	trR, trW, trRM, trWM := measureOpAllocs(t, dialTracedPool(t, 1<<30))
+	for _, c := range []struct {
+		op           string
+		base, traced float64
+	}{
+		{"Read", baseR, trR},
+		{"Write", baseW, trW},
+		{"ReadMulti", baseRM, trRM},
+		{"WriteMulti", baseWM, trWM},
+	} {
+		if c.traced > c.base+0.5 {
+			t.Errorf("%s: %.1f allocs/op with unsampled tracing, %.1f without — tracing must be free when unsampled",
+				c.op, c.traced, c.base)
+		}
+	}
+}
+
 func TestWriteRoundTripAllocs(t *testing.T) {
 	p := allocPool(t)
 	a, err := p.Malloc(256)

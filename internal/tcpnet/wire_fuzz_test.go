@@ -8,10 +8,26 @@ import (
 	"testing"
 )
 
+// tracedSeed builds one complete wire frame carrying a trace extension
+// with the given extLen byte and body, for seeding the fuzzer with
+// well-formed and malformed extension shapes.
+func tracedSeed(id uint64, op Op, extLen byte, extBody, payload []byte) []byte {
+	body := make([]byte, 0, 9+1+len(extBody)+len(payload))
+	body = binary.BigEndian.AppendUint64(body, id)
+	body = append(body, uint8(op)|tagTraced)
+	body = append(body, extLen)
+	body = append(body, extBody...)
+	body = append(body, payload...)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	return append(frame, body...)
+}
+
 // FuzzReadFrame throws arbitrary byte streams at the frame reader. The
 // reader must never panic, never hand back a frame that disagrees with
-// its own header, and must reject oversized or undersized length words
-// with ErrFrameTooLarge rather than attempting the allocation.
+// its own header, must reject oversized or undersized length words with
+// ErrFrameTooLarge rather than attempting the allocation, and must
+// decode or reject the versioned trace extension without ever letting a
+// malformed extension leak into the delivered payload.
 func FuzzReadFrame(f *testing.F) {
 	// A well-formed small frame.
 	good, _ := (&framePool{}).encodeFrame(42, uint8(OpRead), []byte("payload"))
@@ -31,12 +47,23 @@ func FuzzReadFrame(f *testing.F) {
 	// Two frames back to back, second truncated mid-body.
 	double := append(append([]byte(nil), *good...), (*good)[:len(*good)-3]...)
 	f.Add(double)
+	// A well-formed traced frame: sampled flag + trace ID + payload.
+	ext := append([]byte{traceFlagSampled}, binary.BigEndian.AppendUint64(nil, 0xabcdef01)...)
+	f.Add(tracedSeed(7, OpRead, traceExtLen, ext, []byte("pay")))
+	// A longer extension from a future peer: the tail must be skipped.
+	f.Add(tracedSeed(7, OpRead, traceExtLen+4, append(ext, 1, 2, 3, 4), []byte("pay")))
+	// Truncated extension: traced tag but body ends mid-extension.
+	f.Add(tracedSeed(7, OpRead, traceExtLen, ext[:4], nil))
+	// Undersized extension length word (below this version's fields).
+	f.Add(tracedSeed(7, OpRead, 4, ext, []byte("pay")))
+	// Extension length word pointing past the body.
+	f.Add(tracedSeed(7, OpRead, 200, ext, nil))
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		var pool framePool
 		r := newFrameReader(bytes.NewReader(stream), &pool)
 		for {
-			id, tag, frame, payload, err := r.read()
+			id, tag, frame, payload, ext, err := r.read()
 			if err != nil {
 				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
 					!errors.Is(err, ErrFrameTooLarge) {
@@ -53,10 +80,34 @@ func FuzzReadFrame(f *testing.F) {
 			if got := binary.BigEndian.Uint64(raw); got != id {
 				t.Fatalf("frame id %d != reported %d", got, id)
 			}
-			if raw[8] != tag {
+			if tag&tagTraced != 0 {
+				t.Fatalf("reported tag %#x still carries the traced bit", tag)
+			}
+			if raw[8]&^tagTraced != tag {
 				t.Fatalf("frame tag %d != reported %d", raw[8], tag)
 			}
-			if !bytes.Equal(raw[9:], payload) {
+			rest := raw[9:]
+			if raw[8]&tagTraced != 0 {
+				// A traced frame that survived read() must have a
+				// well-formed extension, decoded and stripped.
+				if !ext.present {
+					t.Fatal("traced frame delivered without a decoded extension")
+				}
+				extLen := int(rest[0])
+				if extLen < traceExtLen || 1+extLen > len(rest) {
+					t.Fatalf("malformed extension (extLen=%d body=%d) was delivered", extLen, len(rest))
+				}
+				if ext.sampled != (rest[1]&traceFlagSampled != 0) {
+					t.Fatalf("sampled flag %v disagrees with wire byte %#x", ext.sampled, rest[1])
+				}
+				if got := binary.BigEndian.Uint64(rest[2:]); got != ext.traceID {
+					t.Fatalf("trace ID %#x != reported %#x", got, ext.traceID)
+				}
+				rest = rest[1+extLen:]
+			} else if ext.present {
+				t.Fatal("untraced frame delivered an extension")
+			}
+			if !bytes.Equal(rest, payload) {
 				t.Fatal("payload does not alias frame body")
 			}
 			pool.put(frame)

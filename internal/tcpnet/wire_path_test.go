@@ -261,7 +261,7 @@ func TestWriteFailureTearsDownConn(t *testing.T) {
 	if _, err := c2.Write(*hello); err != nil {
 		t.Fatal(err)
 	}
-	if _, tag, frame, _, err := r.read(); err != nil || tag != statusOK {
+	if _, tag, frame, _, _, err := r.read(); err != nil || tag != statusOK {
 		t.Fatalf("hello: tag=%d err=%v", tag, err)
 	} else {
 		pool.put(frame)

@@ -1,0 +1,31 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the tracer's slow-op ring as JSONL — one Record per
+// line, oldest first, ?n=K for just the last K. gengard mounts it at
+// /debug/trace. A nil tracer serves an empty body.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if t == nil {
+			return
+		}
+		recs := t.Records()
+		if nStr := req.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(recs) {
+				recs = recs[len(recs)-n:]
+			}
+		}
+		enc := json.NewEncoder(w)
+		for i := range recs {
+			if err := enc.Encode(&recs[i]); err != nil {
+				return
+			}
+		}
+	})
+}
