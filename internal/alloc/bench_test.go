@@ -1,0 +1,47 @@
+package alloc
+
+import "testing"
+
+// pool is the allocator surface the benchmarks exercise, so the same
+// harness measures Buddy and any front wrapped around it.
+type benchPool interface {
+	Alloc(size int64) (int64, error)
+	Free(off int64) error
+}
+
+// benchParallelAllocFree hammers small-object alloc/free cycles from
+// every benchmark goroutine — the contention shape of many sessions
+// mallocing staging buffers and copies concurrently. Sizes straddle two
+// size classes so the allocator both splits and coalesces.
+func benchParallelAllocFree(b *testing.B, p benchPool) {
+	b.Helper()
+	sizes := [4]int64{64, 256, 1024, 4096}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			off, err := p.Alloc(sizes[i&3])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := p.Free(off); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkBuddyParallel is the contention baseline for the single-mutex
+// buddy allocator: every Alloc/Free serializes on Buddy.mu, so
+// throughput should not scale with goroutine count. Recorded before the
+// sharded-pool change so the speedup is differential, not asserted.
+func BenchmarkBuddyParallel(b *testing.B) {
+	pool, err := New(1 << 26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelAllocFree(b, pool)
+}

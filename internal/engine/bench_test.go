@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gengar/internal/config"
+	"gengar/internal/hotness"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// newBenchEngine builds a one-server engine with a local placer and one
+// promoted 4 KiB object, returning the engine and the object's address.
+// The promotion is verified before the caller starts timing.
+func newBenchEngine(b *testing.B) (*Engine, region.GAddr) {
+	b.Helper()
+	cfg := config.Default()
+	cfg.Servers = 1
+	eng, err := New(Config{ID: 1, Name: "eng-bench", Cluster: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	eng.SetPlacer(NewLocalPlacer(eng))
+
+	a, err := eng.Malloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if _, err := eng.WriteNVM(0, a, data); err != nil {
+		b.Fatal(err)
+	}
+	eng.Digest(simnet.Time(time.Millisecond), []hotness.Entry{{Addr: a, Reads: 100}})
+	done := make(chan struct{})
+	if err := eng.Flusher().Submit(func() { close(done) }); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+
+	buf := make([]byte, 128)
+	if _, hit, err := eng.ReadAt(0, a, buf); err != nil || !hit {
+		b.Fatalf("warm-up read: hit=%v err=%v", hit, err)
+	}
+	return eng, a
+}
+
+// BenchmarkReadHitParallel measures the server-mediated cache-hit read
+// path under goroutine fan-in — the per-op cost every TCP connection
+// pays once the object is promoted. Run with -cpu=1,4,16 to see the
+// contention profile; recorded before the seqlock change so the speedup
+// is differential, not asserted.
+func BenchmarkReadHitParallel(b *testing.B) {
+	eng, a := newBenchEngine(b)
+	addr := region.MustGAddr(1, a.Offset()+64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 128)
+		for pb.Next() {
+			if _, hit, err := eng.ReadAt(0, addr, buf); err != nil || !hit {
+				b.Errorf("read hit=%v err=%v", hit, err)
+				return
+			}
+		}
+	})
+}
