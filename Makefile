@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-full bench-wire fuzz-wire e2e trace-e2e quick tidy clean
+.PHONY: all build vet lint test race race-short bench bench-full bench-wire bench-scale fuzz-wire e2e trace-e2e quick tidy clean
 
 all: vet lint build test
 
@@ -40,6 +40,14 @@ bench-full:
 # benchmark (experiment E17), with allocation counts.
 bench-wire:
 	$(GO) test ./internal/tcpnet -run=^$$ -bench=BenchmarkTCP -benchmem -benchtime=100x
+
+# Fan-in scaling smoke (experiment E19): cache-hit read throughput at
+# 1/4/16 client connections, plus the parallel allocator and read-hit
+# differential benchmarks the sharded hot-path work is gated on.
+bench-scale:
+	$(GO) test ./internal/tcpnet -run=^$$ -bench=BenchmarkTCPFanIn -short -benchtime=500x
+	$(GO) test ./internal/engine -run=^$$ -bench=BenchmarkReadHitParallel -benchtime=1000x -cpu=1,4
+	$(GO) test ./internal/alloc -run=^$$ -bench='BenchmarkBuddyParallel|BenchmarkShardedPoolParallel' -benchtime=1000x -cpu=1,4
 
 # Short coverage-guided pass over the frame reader's fuzz target; the
 # checked-in corpus under internal/tcpnet/testdata/fuzz always runs as

@@ -68,6 +68,7 @@ func run() error {
 			fmt.Print("\033[H\033[2J") // clear screen between refreshes
 		}
 		render(os.Stdout, snap, prev, now.Sub(prevAt), *filter)
+		renderShards(os.Stdout, snap)
 		renderStages(os.Stdout, snap)
 		if *traceN > 0 {
 			recs, err := fetchTrace(base, *traceN)
@@ -167,6 +168,68 @@ func render(w *os.File, snap, prev telemetry.Snapshot, elapsed time.Duration, fi
 			time.Duration(h.P99Nanos), time.Duration(h.MaxNanos))
 	}
 	tw.Flush()
+}
+
+// renderShards prints the allocator-balance pane: per-shard slab
+// occupancy (gengar_alloc_shard_* gauges) for each arena, with the
+// seqlock read-path counters alongside — together they show whether
+// client fan-in is actually spreading across the sharded hot paths.
+func renderShards(w io.Writer, snap telemetry.Snapshot) {
+	type key struct{ pool, shard string }
+	used := make(map[key]int64)
+	slabs := make(map[key]int64)
+	pools := make(map[string][]string) // pool -> shard ids, insertion order
+	for _, g := range snap.Gauges {
+		k := key{g.Labels["pool"], g.Labels["shard"]}
+		switch g.Name {
+		case "gengar_alloc_shard_used_bytes":
+			if _, seen := used[k]; !seen {
+				pools[k.pool] = append(pools[k.pool], k.shard)
+			}
+			used[k] = g.Value
+		case "gengar_alloc_shard_slabs":
+			slabs[k] = g.Value
+		}
+	}
+	if len(pools) == 0 {
+		return
+	}
+	names := make([]string, 0, len(pools))
+	for p := range pools {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w)
+	fmt.Fprintln(tw, "ARENA\tSHARD\tSLABS\tUSED")
+	for _, p := range names {
+		shards := pools[p]
+		sort.Slice(shards, func(i, j int) bool {
+			return len(shards[i]) < len(shards[j]) || (len(shards[i]) == len(shards[j]) && shards[i] < shards[j])
+		})
+		var totalUsed, totalSlabs int64
+		for _, s := range shards {
+			k := key{p, s}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", p, s, slabs[k], used[k])
+			totalUsed += used[k]
+			totalSlabs += slabs[k]
+		}
+		fmt.Fprintf(tw, "%s\t(all)\t%d\t%d\n", p, totalSlabs, totalUsed)
+	}
+	tw.Flush()
+
+	var retries, fallbacks, hits int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "gengar_read_seqlock_retries_total":
+			retries += c.Value
+		case "gengar_read_seqlock_fallbacks_total":
+			fallbacks += c.Value
+		case "gengar_server_cache_hits_total":
+			hits += c.Value
+		}
+	}
+	fmt.Fprintf(w, "seqlock: %d hits, %d retries, %d locked fallbacks\n", hits, retries, fallbacks)
 }
 
 // renderStages prints the latency-anatomy pane: the per-(op, stage)

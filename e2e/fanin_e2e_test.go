@@ -1,0 +1,147 @@
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+	"gengar/internal/tcpnet"
+)
+
+// TestManyClientFanIn drives a real gengard with 16 concurrent client
+// connections — one tcpnet.Pool (own socket) per client — mixing reads
+// of a shared promoted working set with writes to per-client objects.
+// It is the deployment-shaped check behind the sharded hot-path work:
+// many independent clients fan into one daemon and every one of them
+// sees correct bytes and cache-served reads.
+func TestManyClientFanIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and execs real binaries")
+	}
+	dir := t.TempDir()
+	gengard, _ := buildBinaries(t, dir)
+	addr := freePort(t)
+	startDaemon(t, gengard, addr, "-digest-every", "8")
+
+	const (
+		clients = 16
+		objSize = 1024
+		shared  = 8
+	)
+
+	// One setup connection prepares the shared working set and warms it
+	// into the DRAM cache.
+	setup, err := tcpnet.Dial([]string{addr}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	sharedAddrs := make([]region.GAddr, shared)
+	sharedData := make([][]byte, shared)
+	for i := range sharedAddrs {
+		a, err := setup.Malloc(objSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedAddrs[i] = a
+		sharedData[i] = bytes.Repeat([]byte{byte(0x10 + i)}, objSize)
+		if err := setup.Write(a, sharedData[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, objSize)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, a := range sharedAddrs {
+		for {
+			hit, err := setup.ReadCheck(a, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("shared working set never promoted")
+			}
+		}
+	}
+
+	// Each client dials its own connection, then mixes cache reads of
+	// the shared set with writes and read-backs of a private object.
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	hits := make(chan int64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p, err := tcpnet.Dial([]string{addr}, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer p.Close()
+			mine, err := p.Malloc(objSize)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var clientHits int64
+			got := make([]byte, objSize)
+			for i := 0; i < 200; i++ {
+				// Shared read: promoted, so it should come from the cache.
+				s := (c + i) % shared
+				hit, err := p.ReadCheck(sharedAddrs[s], got)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if hit {
+					clientHits++
+				}
+				if !bytes.Equal(got, sharedData[s]) {
+					errs <- fmt.Errorf("client %d: shared object %d corrupt on read %d", c, s, i)
+					return
+				}
+				// Private write + read-back every few iterations.
+				if i%5 == 0 {
+					data := bytes.Repeat([]byte{byte(c + 1)}, objSize)
+					if err := p.Write(mine, data); err != nil {
+						errs <- err
+						return
+					}
+					if err := p.Read(mine, got); err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(got, data) {
+						errs <- fmt.Errorf("client %d: private read-your-writes violated", c)
+						return
+					}
+				}
+			}
+			hits <- clientHits
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	close(hits)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for h := range hits {
+		total += h
+	}
+	// The shared set was warmed before the fan-in, so the overwhelming
+	// majority of shared reads must be cache hits.
+	if total < clients*100 {
+		t.Fatalf("only %d cache hits across %d clients×200 reads", total, clients)
+	}
+}

@@ -1,0 +1,272 @@
+package alloc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestShardedAllocFreeRoundTrip(t *testing.T) {
+	p, err := NewSharded(1 << 24) // 16 MiB arena: 2 MiB slabs, classes up to 128 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AllocatedBytes() != 0 {
+		t.Fatalf("fresh pool reports %d allocated bytes", p.AllocatedBytes())
+	}
+	// A mix of slab-class and buddy-class sizes.
+	sizes := []int64{64, 100, 1024, 4096, 1 << 17, 1 << 21, 3 << 20}
+	offs := make([]int64, len(sizes))
+	var want int64
+	for i, sz := range sizes {
+		off, err := p.Alloc(sz)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", sz, err)
+		}
+		offs[i] = off
+		want += BlockSize(sz)
+		got, err := p.SizeOf(off)
+		if err != nil || got != BlockSize(sz) {
+			t.Fatalf("SizeOf(%d) = %d, %v; want %d", off, got, err, BlockSize(sz))
+		}
+	}
+	if p.AllocatedBytes() != want {
+		t.Fatalf("AllocatedBytes = %d, want %d", p.AllocatedBytes(), want)
+	}
+	for _, off := range offs {
+		if err := p.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.AllocatedBytes() != 0 {
+		t.Fatalf("AllocatedBytes after frees = %d, want 0", p.AllocatedBytes())
+	}
+	if err := p.Free(offs[0]); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestShardedDistinctOffsets(t *testing.T) {
+	p, err := NewSharded(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 2000; i++ {
+		off, err := p.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d handed out twice", off)
+		}
+		seen[off] = true
+	}
+}
+
+func TestShardedSmallArenaDegradesToBuddy(t *testing.T) {
+	// 64 KiB arena: slabBytes would be 8 KiB < slabMinBytes, so every
+	// allocation must go straight to the buddy and still round-trip.
+	p, err := NewSharded(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := p.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := p.SizeOf(off); err != nil || sz != 128 {
+		t.Fatalf("SizeOf = %d, %v", sz, err)
+	}
+	if err := p.Free(off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedParentBudgetLeavesRoom(t *testing.T) {
+	// Slab parents may hold at most half the arena: allocations past
+	// that budget fall through to the buddy rather than starving big
+	// placements — the failure mode that broke DRAM promotion on small
+	// arenas.
+	p, err := NewSharded(1 << 23) // 8 MiB, 1 MiB slabs
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := p.Alloc(4096); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if got := p.parentB.Load(); got > p.ArenaSize()/2 {
+		t.Fatalf("slab parents hold %d bytes, budget %d", got, p.ArenaSize()/2)
+	}
+	// A large placement must still succeed alongside the slab load.
+	if _, err := p.Alloc(2 << 20); err != nil {
+		t.Fatalf("large alloc under slab load: %v", err)
+	}
+}
+
+func TestShardedLiveReserveRoundTrip(t *testing.T) {
+	p, err := NewSharded(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(0, MinBlock); err != nil {
+		t.Fatal(err) // the engine's guard block
+	}
+	sizes := []int64{64, 4096, 4096, 1 << 18, 1 << 21}
+	for _, sz := range sizes {
+		if _, err := p.Alloc(sz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := p.Live()
+	if len(live) != len(sizes)+1 {
+		t.Fatalf("Live reports %d allocations, want %d", len(live), len(sizes)+1)
+	}
+
+	// Restore into a fresh pool: every block reserves cleanly, the
+	// inventory matches, and restored blocks free through the buddy.
+	r, err := NewSharded(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range live {
+		if err := r.Reserve(a.Off, a.Size); err != nil {
+			t.Fatalf("reserve [%d,+%d): %v", a.Off, a.Size, err)
+		}
+	}
+	restored := r.Live()
+	if len(restored) != len(live) {
+		t.Fatalf("restored Live reports %d allocations, want %d", len(restored), len(live))
+	}
+	for i := range live {
+		if restored[i] != live[i] {
+			t.Fatalf("restored[%d] = %+v, want %+v", i, restored[i], live[i])
+		}
+	}
+	if r.AllocatedBytes() != p.AllocatedBytes() {
+		t.Fatalf("restored AllocatedBytes = %d, want %d", r.AllocatedBytes(), p.AllocatedBytes())
+	}
+	for _, a := range restored {
+		if a.Off == 0 {
+			continue // guard block stays
+		}
+		if err := r.Free(a.Off); err != nil {
+			t.Fatalf("free restored block at %d: %v", a.Off, err)
+		}
+	}
+}
+
+func TestShardedScavengeRescuesBigPlacement(t *testing.T) {
+	// Fill the arena with slab traffic, free it all (leaving empty hot
+	// spares pinned on their shards), then ask for a block the buddy can
+	// only serve by reclaiming those spares. The scavenge retry must
+	// rescue the placement instead of failing it.
+	p, err := NewSharded(1 << 23) // 8 MiB, 1 MiB slabs
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for i := 0; i < 512; i++ {
+		off, err := p.Alloc(4096)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	for _, off := range offs {
+		if err := p.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nearly the whole arena: only satisfiable once every spare parent
+	// is back in the buddy.
+	off, err := p.Alloc(1 << 22)
+	if err != nil {
+		t.Fatalf("big placement after slab churn: %v", err)
+	}
+	if err := p.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if p.AllocatedBytes() != 0 {
+		t.Fatalf("AllocatedBytes = %d, want 0", p.AllocatedBytes())
+	}
+}
+
+// TestShardedConcurrent is the allocator concurrency stress: parallel
+// Alloc/Free/SizeOf across slab and buddy classes, meant to run under
+// the race detector.
+func TestShardedConcurrent(t *testing.T) {
+	p, err := NewSharded(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	iters := 3000
+	if testing.Short() {
+		iters = 600
+	}
+	sizes := []int64{64, 256, 1024, 4096, 1 << 16, 1 << 21}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			held := make([]int64, 0, 16)
+			heldSz := make([]int64, 0, 16)
+			rng := uint64(seed)*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				sz := sizes[rng%uint64(len(sizes))]
+				off, err := p.Alloc(sz)
+				if err != nil {
+					continue // transient arena pressure is fine
+				}
+				got, err := p.SizeOf(off)
+				if err != nil || got != BlockSize(sz) {
+					errs <- err
+					return
+				}
+				held = append(held, off)
+				heldSz = append(heldSz, sz)
+				if len(held) >= 16 {
+					for _, h := range held {
+						if err := p.Free(h); err != nil {
+							errs <- err
+							return
+						}
+					}
+					held = held[:0]
+					heldSz = heldSz[:0]
+				}
+			}
+			for _, h := range held {
+				if err := p.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.AllocatedBytes() != 0 {
+		t.Fatalf("AllocatedBytes after concurrent churn = %d, want 0", p.AllocatedBytes())
+	}
+}
+
+// BenchmarkShardedPoolParallel is the post-change counterpart of
+// BenchmarkBuddyParallel: the same parallel alloc/free churn against
+// the sharded front's slab fast path.
+func BenchmarkShardedPoolParallel(b *testing.B) {
+	p, err := NewSharded(1 << 26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelAllocFree(b, p)
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -163,12 +164,32 @@ func TestShapeE10LockSerializesSharers(t *testing.T) {
 }
 
 func TestShapeE11GengarFasterJobs(t *testing.T) {
-	tb := mustRun(t, "E11")
-	for r, row := range tb.Rows {
-		if sp := cell(t, tb, r, 4); sp < 1.0 {
-			t.Errorf("%s: Gengar slower than NVM-Direct (%.2fx)", row[0], sp)
+	// Quick-scale MapReduce jobs complete in tens of simulated µs, so
+	// flusher-goroutine scheduling alone swings the Gengar/NVM-Direct
+	// ratio by more than the margin this shape asserts — a single run
+	// crosses 1.0x every few attempts on a loaded host (seed-era flake).
+	// Assert the median of three runs instead: the winner must be
+	// systematic, not a scheduling accident. (Three, not more: the race
+	// detector's memory pressure grows across back-to-back sims in one
+	// process, biasing later runs against the flusher-heavy configs.)
+	const runs = 3
+	tables := make([]*Table, runs)
+	for i := range tables {
+		tables[i] = mustRun(t, "E11")
+	}
+	median := func(r, c int) float64 {
+		vals := make([]float64, runs)
+		for i, tb := range tables {
+			vals[i] = cell(t, tb, r, c)
 		}
-		g, d := cell(t, tb, r, 1), cell(t, tb, r, 3)
+		sort.Float64s(vals)
+		return vals[runs/2]
+	}
+	for r, row := range tables[0].Rows {
+		if sp := median(r, 4); sp < 1.0 {
+			t.Errorf("%s: Gengar slower than NVM-Direct (median %.2fx)", row[0], sp)
+		}
+		g, d := median(r, 1), median(r, 3)
 		if g < d*0.9 {
 			t.Errorf("%s: Gengar %.2fms beats the DRAM-Pool bound %.2fms", row[0], g, d)
 		}

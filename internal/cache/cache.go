@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gengar/internal/alloc"
 	"gengar/internal/hmem"
@@ -20,12 +21,26 @@ import (
 	"gengar/internal/rpc"
 )
 
-// CopyHeaderBytes is the per-copy header: an 8-byte generation stamp
-// written at promotion time. A client whose remap view is stale may
-// direct a read at a buffer slot that has since been demoted and reused;
-// comparing the stamp against the generation in its view detects the
-// reuse, and the client falls back to the authoritative NVM copy.
-const CopyHeaderBytes = 8
+// Copy header layout. Every promoted copy starts with a 16-byte header:
+//
+//	[0,8)  generation stamp, big-endian — written at promotion time. A
+//	       client whose remap view is stale may direct a read at a buffer
+//	       slot that has since been demoted and reused; comparing the
+//	       stamp against the generation in its view detects the reuse,
+//	       and the client falls back to the authoritative NVM copy.
+//	[8,16) seqlock word, native order — server-local. Writers flip it odd
+//	       before mutating the copy and even (+2) after; the lock-free
+//	       server-mediated read path copies the data without a mutex and
+//	       retries when the word is odd or changed. One-sided clients
+//	       never interpret it (their gen check subsumes it: the remote
+//	       READ snapshots gen+data in one verb).
+const (
+	CopyHeaderBytes = 16
+	// CopyGenOff is the header offset of the generation stamp.
+	CopyGenOff = 0
+	// CopySeqOff is the header offset of the seqlock word.
+	CopySeqOff = 8
+)
 
 // Location records where the DRAM copy of a promoted object lives: an
 // RDMA-addressable window on some node, plus the object size. Off points
@@ -61,7 +76,7 @@ func DecodeLocation(r *rpc.Reader) Location {
 // registration of the arena as an RDMA region is the server's job.
 type BufferPool struct {
 	dev   *hmem.Device
-	buddy *alloc.Buddy
+	buddy *alloc.ShardedPool
 }
 
 // NewBufferPool returns a pool over the whole of dev, whose size must be
@@ -70,7 +85,7 @@ func NewBufferPool(dev *hmem.Device) (*BufferPool, error) {
 	if dev.Kind() != hmem.KindDRAM {
 		return nil, fmt.Errorf("cache: buffer pool requires DRAM device, got %v", dev.Kind())
 	}
-	b, err := alloc.New(dev.Size())
+	b, err := alloc.NewSharded(dev.Size())
 	if err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
@@ -105,42 +120,54 @@ func (p *BufferPool) UsedBytes() int64 { return p.buddy.AllocatedBytes() }
 // Capacity returns the arena size.
 func (p *BufferPool) Capacity() int64 { return p.buddy.ArenaSize() }
 
+// Allocator returns the sharded allocator behind the arena, for
+// per-shard occupancy telemetry.
+func (p *BufferPool) Allocator() *alloc.ShardedPool { return p.buddy }
+
 // RemapTable is the home server's authoritative object->DRAM-copy map.
 // Every mutation bumps the epoch; clients compare epochs to decide when
-// to refresh. It is safe for concurrent use.
+// to refresh. It is safe for concurrent use: readers follow an
+// atomically-swapped immutable snapshot (promotions are rare, lookups
+// are per-op, so copy-on-write beats a read lock on the hit path), and
+// mutations clone under a writer mutex before publishing.
 type RemapTable struct {
-	mu    sync.RWMutex
+	mu sync.Mutex // serializes writers
+	p  atomic.Pointer[remapState]
+}
+
+// remapState is one immutable table version. The map is never mutated
+// after publication.
+type remapState struct {
 	epoch uint64
 	m     map[region.GAddr]Location
 }
 
 // NewRemapTable returns an empty table at epoch zero.
 func NewRemapTable() *RemapTable {
-	return &RemapTable{m: make(map[region.GAddr]Location)}
+	t := &RemapTable{}
+	t.p.Store(&remapState{m: make(map[region.GAddr]Location)})
+	return t
 }
 
 // Epoch returns the current table version.
 func (t *RemapTable) Epoch() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.epoch
+	return t.p.Load().epoch
 }
 
 // Lookup returns the DRAM location of the object based at addr, if
-// promoted.
+// promoted. It takes no locks.
+//
+//gengar:hotpath
 func (t *RemapTable) Lookup(addr region.GAddr) (Location, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	loc, ok := t.m[addr]
+	loc, ok := t.p.Load().m[addr]
 	return loc, ok
 }
 
 // Promoted returns the set of currently promoted object bases.
 func (t *RemapTable) Promoted() map[region.GAddr]bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(map[region.GAddr]bool, len(t.m))
-	for a := range t.m {
+	s := t.p.Load()
+	out := make(map[region.GAddr]bool, len(s.m))
+	for a := range s.m {
 		out[a] = true
 	}
 	return out
@@ -152,36 +179,40 @@ func (t *RemapTable) Promoted() map[region.GAddr]bool {
 func (t *RemapTable) Apply(add map[region.GAddr]Location, remove []region.GAddr) []Location {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	old := t.p.Load()
+	next := &remapState{epoch: old.epoch, m: make(map[region.GAddr]Location, len(old.m)+len(add))}
+	for a, l := range old.m {
+		next.m[a] = l
+	}
 	var released []Location
 	for _, a := range remove {
-		if loc, ok := t.m[a]; ok {
+		if loc, ok := next.m[a]; ok {
 			released = append(released, loc)
-			delete(t.m, a)
+			delete(next.m, a)
 		}
 	}
 	for a, loc := range add {
-		t.m[a] = loc
+		next.m[a] = loc
 	}
 	if len(add) > 0 || len(released) > 0 {
-		t.epoch++
+		next.epoch++
+		t.p.Store(next)
 	}
 	return released
 }
 
 // Snapshot returns the epoch and all entries, for shipping to clients.
+// The returned map is a defensive copy.
 func (t *RemapTable) Snapshot() (uint64, map[region.GAddr]Location) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(map[region.GAddr]Location, len(t.m))
-	for a, l := range t.m {
+	s := t.p.Load()
+	out := make(map[region.GAddr]Location, len(s.m))
+	for a, l := range s.m {
 		out[a] = l
 	}
-	return t.epoch, out
+	return s.epoch, out
 }
 
 // Len returns the number of promoted objects.
 func (t *RemapTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.m)
+	return len(t.p.Load().m)
 }

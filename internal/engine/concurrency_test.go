@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gengar/internal/cache"
+	"gengar/internal/hotness"
+	"gengar/internal/region"
+	"gengar/internal/simnet"
+)
+
+// promoteObject digests heavy traffic on addr and waits for the plan to
+// execute, failing the test if the object does not end up promoted.
+func promoteObject(t *testing.T, eng *Engine, addr region.GAddr) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for at := int64(1); time.Now().Before(deadline); at++ {
+		eng.Digest(simnet.Time(at)*simnet.Time(10*time.Millisecond), []hotness.Entry{{Addr: addr, Reads: 1000}})
+		planBarrier(t, eng)
+		if _, ok := eng.Remap().Lookup(addr); ok {
+			return
+		}
+	}
+	t.Fatal("object never promoted")
+}
+
+// TestEngineConcurrentOps is the engine-level concurrency stress:
+// parallel Malloc/Free churn, NVM writes, mediated reads and digest
+// traffic (promotions/demotions) against one engine, meant for the
+// race detector. Assertions are minimal — the value of the test is
+// that every access is exercised while lookup structures swap and the
+// seqlock read path races writers and the promotion planner.
+func TestEngineConcurrentOps(t *testing.T) {
+	eng := newTestEngine(t)
+	eng.SetPlacer(NewLocalPlacer(eng))
+
+	hot, err := eng.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WriteNVM(0, hot, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	promoteObject(t, eng, hot)
+
+	iters := 2000
+	if testing.Short() {
+		iters = 400
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+
+	// Malloc/Free churn: swaps the object index snapshot constantly.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters && !stop.Load(); i++ {
+				a, err := eng.Malloc(1024)
+				if err != nil {
+					fail <- "malloc: " + err.Error()
+					return
+				}
+				if _, _, ok := eng.ObjectSpan(a, 16); !ok {
+					fail <- "fresh object not found"
+					return
+				}
+				if err := eng.Free(a); err != nil {
+					fail <- "free: " + err.Error()
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers: direct NVM writes with write-through copy refresh.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(pat byte) {
+			defer wg.Done()
+			data := make([]byte, 512)
+			for i := range data {
+				data[i] = pat
+			}
+			for i := 0; i < iters && !stop.Load(); i++ {
+				if _, err := eng.WriteNVM(0, hot, data); err != nil {
+					fail <- "write: " + err.Error()
+					return
+				}
+			}
+		}(byte(0x11 * (w + 1)))
+	}
+
+	// Readers: the seqlock hit path under writer and planner pressure.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := 0; i < iters && !stop.Load(); i++ {
+				if _, _, err := eng.ReadAt(0, hot, buf); err != nil {
+					fail <- "read: " + err.Error()
+					return
+				}
+			}
+		}()
+	}
+
+	// Digest traffic: keeps the planner (and remap swaps) busy.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4 && !stop.Load(); i++ {
+			eng.Digest(simnet.Time(i)*simnet.Time(time.Millisecond),
+				[]hotness.Entry{{Addr: hot, Reads: 10}})
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		stop.Store(true)
+		t.Fatal(msg)
+	default:
+	}
+	if st := eng.Stats(); st.Hits == 0 {
+		t.Fatalf("stress run never hit the cache: %+v", st)
+	}
+}
+
+// TestSeqlockReadNeverTears is the dedicated torn-read race test: one
+// writer alternates uniform byte patterns over a promoted object while
+// readers serve cache hits from the lock-free path. Any hit that
+// returns a mix of patterns is a torn read — the failure mode the
+// seqlock re-check exists to prevent.
+func TestSeqlockReadNeverTears(t *testing.T) {
+	eng := newTestEngine(t)
+	eng.SetPlacer(NewLocalPlacer(eng))
+
+	const objSize = 2048
+	hot, err := eng.Malloc(objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := func(p byte) []byte {
+		b := make([]byte, objSize)
+		for i := range b {
+			b[i] = p
+		}
+		return b
+	}
+	if _, err := eng.WriteNVM(0, hot, pattern(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	promoteObject(t, eng, hot)
+
+	iters := 4000
+	if testing.Short() {
+		iters = 800
+	}
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pats := [2][]byte{pattern(0xAA), pattern(0xBB)}
+		for i := 0; i < iters; i++ {
+			if _, err := eng.WriteNVM(0, hot, pats[i&1]); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		stop.Store(true)
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(span int) {
+			defer wg.Done()
+			buf := make([]byte, span)
+			for !stop.Load() {
+				_, hit, err := eng.ReadAt(0, region.MustGAddr(1, hot.Offset()+64), buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !hit {
+					continue
+				}
+				hits.Add(1)
+				first := buf[0]
+				if first != 0xAA && first != 0xBB {
+					torn.Add(1)
+					return
+				}
+				for _, b := range buf {
+					if b != first {
+						torn.Add(1)
+						return
+					}
+				}
+			}
+		}(128 + 256*r)
+	}
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn reads observed", torn.Load())
+	}
+	if hits.Load() == 0 {
+		t.Fatal("writer raced every read: no cache hits observed")
+	}
+	st := eng.Stats()
+	t.Logf("hits=%d seqlock retries=%d fallbacks=%d", hits.Load(), st.SeqRetries, st.SeqFallbacks)
+}
+
+// TestSeqlockRetriesBounded pins the fallback contract: retries are
+// counted, and a read either succeeds via the optimistic path or falls
+// back after at most seqlockAttempts tries — it never spins unbounded.
+func TestSeqlockRetriesBounded(t *testing.T) {
+	eng := newTestEngine(t)
+	eng.SetPlacer(NewLocalPlacer(eng))
+	hot, err := eng.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WriteNVM(0, hot, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	promoteObject(t, eng, hot)
+
+	// Wedge the copy's seq word odd, as a stalled writer would.
+	loc, ok := eng.Remap().Lookup(hot)
+	if !ok {
+		t.Fatal("not promoted")
+	}
+	seq, err := eng.CacheDev().LoadWordRaw(loc.Off + cache.CopySeqOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CacheDev().StoreWordRaw(loc.Off+cache.CopySeqOff, seq|1); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 64)
+	_, hit, err := eng.ReadAt(0, hot, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("locked fallback should still serve the hit")
+	}
+	st := eng.Stats()
+	if st.SeqFallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.SeqFallbacks)
+	}
+	if st.SeqRetries != seqlockAttempts {
+		t.Fatalf("retries = %d, want %d", st.SeqRetries, seqlockAttempts)
+	}
+}

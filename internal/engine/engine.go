@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"gengar/internal/alloc"
@@ -79,7 +80,7 @@ type Engine struct {
 	ringDev  *hmem.Device
 	lockDev  *hmem.Device
 
-	pool    *alloc.Buddy
+	pool    *alloc.ShardedPool
 	objIdx  *objIndex
 	remap   *cache.RemapTable
 	bufp    *cache.BufferPool
@@ -103,13 +104,15 @@ type Engine struct {
 	nextRing       int64
 	freeRings      []int64
 
-	promotions metrics.Counter
-	demotions  metrics.Counter
-	digests    metrics.Counter
-	mallocs    metrics.Counter
-	frees      metrics.Counter
-	hits       metrics.Counter // mediated reads served from a DRAM copy
-	misses     metrics.Counter // mediated reads served from home NVM
+	promotions   metrics.Counter
+	demotions    metrics.Counter
+	digests      metrics.Counter
+	mallocs      metrics.Counter
+	frees        metrics.Counter
+	hits         metrics.Counter // mediated reads served from a DRAM copy
+	misses       metrics.Counter // mediated reads served from home NVM
+	seqRetries   metrics.Counter // seqlock read attempts retried (writer raced)
+	seqFallbacks metrics.Counter // seqlock reads that gave up and took the locked path
 }
 
 // New builds an engine: devices, allocator, lock and lease tables, and
@@ -162,11 +165,11 @@ func New(ec Config) (*Engine, error) {
 		},
 	}
 
-	if e.pool, err = alloc.New(cfg.NVMBytes); err != nil {
+	if e.pool, err = alloc.NewSharded(cfg.NVMBytes); err != nil {
 		return nil, err
 	}
 	// Burn offset 0 so no object is ever at the nil global address.
-	if _, err := e.pool.Alloc(alloc.MinBlock); err != nil {
+	if err := e.pool.Reserve(0, alloc.MinBlock); err != nil {
 		return nil, err
 	}
 	if e.bufp, err = cache.NewBufferPool(cacheDev); err != nil {
@@ -224,8 +227,8 @@ func (e *Engine) RingDev() *hmem.Device { return e.ringDev }
 // LockDev returns the engine's lock-table device.
 func (e *Engine) LockDev() *hmem.Device { return e.lockDev }
 
-// Pool returns the engine's buddy allocator.
-func (e *Engine) Pool() *alloc.Buddy { return e.pool }
+// Pool returns the engine's NVM pool allocator.
+func (e *Engine) Pool() *alloc.ShardedPool { return e.pool }
 
 // BufferPool returns the engine's DRAM buffer arena allocator.
 func (e *Engine) BufferPool() *cache.BufferPool { return e.bufp }
@@ -319,19 +322,23 @@ func (e *Engine) ObjectSpan(addr region.GAddr, size int64) (base region.GAddr, o
 // engine considers a promotion/demotion plan at instant at. It returns
 // the remap epoch so clients know when to refetch their view.
 func (e *Engine) Digest(at simnet.Time, entries []hotness.Entry) uint64 {
+	// One lock acquisition per digest, not per entry: sessions stage
+	// observations locally and land them in batches, so the sketch lock
+	// is off the per-op path entirely and cheap even at digest time.
+	e.mu.Lock()
 	for _, ent := range entries {
 		// Resolve the raw verb target to its containing object; the
 		// digest reports verb semantics, the engine owns the layout.
+		// findContaining is lock-free, so resolving under e.mu is safe.
 		base, _, ok := e.objIdx.findContaining(ent.Addr, 1)
 		if !ok {
 			continue // freed or foreign address
 		}
 		weight := ent.Weight()
-		e.mu.Lock()
 		e.sketch.Add(base, weight)
 		e.newWeight += weight
-		e.mu.Unlock()
 	}
+	e.mu.Unlock()
 	e.digests.Inc()
 	if e.cfg.Features.Cache {
 		e.MaybePlan(at)
@@ -443,9 +450,26 @@ func (e *Engine) ReadAt(at simnet.Time, addr region.GAddr, buf []byte) (end simn
 	return end, false, err
 }
 
+// seqlockAttempts bounds the optimistic read retries before readCopy
+// falls back to the locked path: a raced writer costs one retry, so
+// more than a handful in a row means pathological write pressure on
+// one object and the locked path's fairness is worth its mutex.
+const seqlockAttempts = 4
+
 // readCopy attempts to serve buf from a local promoted copy, validating
 // the generation header against the remap entry (a mismatched header
 // means the buffer slot was reused for a different object).
+//
+// The hit path is lock-free: object index and remap lookups follow
+// copy-on-write snapshots, and the copy bytes are read with a seqlock —
+// load the copy's seq word (even means quiescent), compare the
+// generation word, copy the data with atomic word loads, then re-check
+// both words. A racing writer flips seq odd before mutating and +2
+// after, so any torn copy is detected and retried; after
+// seqlockAttempts failures the read falls back to the mutex-guarded
+// device path, which writers still exclude.
+//
+//gengar:hotpath
 func (e *Engine) readCopy(at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, bool) {
 	base, _, ok := e.objIdx.findContaining(addr, int64(len(buf)))
 	if !ok {
@@ -459,8 +483,47 @@ func (e *Engine) readCopy(at simnet.Time, addr region.GAddr, buf []byte) (simnet
 	if delta < 0 || delta+int64(len(buf)) > loc.Size {
 		return at, false
 	}
-	var hdr [cache.CopyHeaderBytes]byte
-	end, err := e.cacheDev.Read(at, loc.Off, hdr[:])
+	genWord := hmem.BEWord(loc.Gen)
+	for try := 0; try < seqlockAttempts; try++ {
+		seq1, err := e.cacheDev.LoadWordRaw(loc.Off + cache.CopySeqOff)
+		if err != nil {
+			return at, false
+		}
+		if seq1&1 != 0 { // writer in progress
+			e.seqRetries.Inc()
+			continue
+		}
+		gen, err := e.cacheDev.LoadWordRaw(loc.Off + cache.CopyGenOff)
+		if err != nil || gen != genWord {
+			return at, false // slot demoted and reused
+		}
+		if err := e.cacheDev.ReadWordsRaw(loc.Off+cache.CopyHeaderBytes+delta, buf); err != nil {
+			return at, false
+		}
+		seq2, err := e.cacheDev.LoadWordRaw(loc.Off + cache.CopySeqOff)
+		if err != nil {
+			return at, false
+		}
+		gen2, err := e.cacheDev.LoadWordRaw(loc.Off + cache.CopyGenOff)
+		if err != nil {
+			return at, false
+		}
+		if seq2 == seq1 && gen2 == genWord {
+			return at, true
+		}
+		e.seqRetries.Inc()
+	}
+	e.seqFallbacks.Inc()
+	return e.readCopyLocked(at, loc, delta, buf)
+}
+
+// readCopyLocked is the pre-seqlock hit path: mutex-guarded device
+// reads with simulated timing. Sustained writer pressure lands here
+// (bounded by seqlockAttempts); writers hold the device write lock
+// while mutating, so the locked read can never observe a torn copy.
+func (e *Engine) readCopyLocked(at simnet.Time, loc cache.Location, delta int64, buf []byte) (simnet.Time, bool) {
+	var hdr [8]byte
+	end, err := e.cacheDev.Read(at, loc.Off+cache.CopyGenOff, hdr[:])
 	if err != nil || binary.BigEndian.Uint64(hdr[:]) != loc.Gen {
 		return at, false
 	}
@@ -504,26 +567,33 @@ type Stats struct {
 	Frees      int64
 	Hits       int64 // mediated reads served from a DRAM copy
 	Misses     int64 // mediated reads served from home NVM
-	Proxy      proxy.EngineStats
-	RemapEpoch uint64
+	// SeqRetries counts seqlock read attempts retried because a writer
+	// raced the copy; SeqFallbacks counts reads that exhausted their
+	// retries and took the locked path.
+	SeqRetries   int64
+	SeqFallbacks int64
+	Proxy        proxy.EngineStats
+	RemapEpoch   uint64
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Objects:    e.objIdx.count(),
-		PoolUsed:   e.pool.AllocatedBytes(),
-		BufferUsed: e.bufp.UsedBytes(),
-		Promoted:   e.remap.Len(),
-		Promotions: e.promotions.Load(),
-		Demotions:  e.demotions.Load(),
-		Digests:    e.digests.Load(),
-		Mallocs:    e.mallocs.Load(),
-		Frees:      e.frees.Load(),
-		Hits:       e.hits.Load(),
-		Misses:     e.misses.Load(),
-		Proxy:      e.flusher.Stats(),
-		RemapEpoch: e.remap.Epoch(),
+		Objects:      e.objIdx.count(),
+		PoolUsed:     e.pool.AllocatedBytes(),
+		BufferUsed:   e.bufp.UsedBytes(),
+		Promoted:     e.remap.Len(),
+		Promotions:   e.promotions.Load(),
+		Demotions:    e.demotions.Load(),
+		Digests:      e.digests.Load(),
+		Mallocs:      e.mallocs.Load(),
+		Frees:        e.frees.Load(),
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		SeqRetries:   e.seqRetries.Load(),
+		SeqFallbacks: e.seqFallbacks.Load(),
+		Proxy:        e.flusher.Stats(),
+		RemapEpoch:   e.remap.Epoch(),
 	}
 }
 
@@ -539,6 +609,8 @@ func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.
 	reg.RegisterCounter("gengar_server_frees_total", "gfree requests served", &e.frees, labels...)
 	reg.RegisterCounter("gengar_server_cache_hits_total", "mediated reads served from a DRAM copy", &e.hits, labels...)
 	reg.RegisterCounter("gengar_server_cache_misses_total", "mediated reads served from home NVM", &e.misses, labels...)
+	reg.RegisterCounter("gengar_read_seqlock_retries_total", "lock-free cache reads retried because a writer raced the copy", &e.seqRetries, labels...)
+	reg.RegisterCounter("gengar_read_seqlock_fallbacks_total", "lock-free cache reads that fell back to the locked path", &e.seqFallbacks, labels...)
 	reg.GaugeFunc("gengar_server_objects", "live objects homed here", func() int64 {
 		return int64(e.objIdx.count())
 	}, labels...)
@@ -557,5 +629,27 @@ func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.
 	reg.GaugeFunc("gengar_server_remap_epoch", "remap table epoch", func() int64 {
 		return int64(e.remap.Epoch())
 	}, labels...)
+	// Per-shard allocator occupancy: one gauge per (pool, shard), so a
+	// skewed shard shows up as imbalance rather than vanishing into the
+	// pool-wide total. Shard labels are bound once at registration.
+	registerShardGauges(reg, "nvm", e.pool, labels)
+	registerShardGauges(reg, "dram", e.bufp.Allocator(), labels)
 	e.flusher.RegisterTelemetry(reg, labels...)
+}
+
+// registerShardGauges exposes one occupancy gauge and one slab-count
+// gauge per allocator shard.
+func registerShardGauges(reg *telemetry.Registry, pool string, p *alloc.ShardedPool, labels []telemetry.Label) {
+	for i := 0; i < p.Shards(); i++ {
+		shard := i
+		sl := make([]telemetry.Label, 0, len(labels)+2)
+		sl = append(sl, labels...)
+		sl = append(sl, telemetry.L("pool", pool), telemetry.L("shard", strconv.Itoa(shard)))
+		reg.GaugeFunc("gengar_alloc_shard_used_bytes", "live slab-slot bytes in this allocator shard", func() int64 {
+			return p.ShardStats()[shard].UserBytes
+		}, sl...)
+		reg.GaugeFunc("gengar_alloc_shard_slabs", "slab parents held by this allocator shard", func() int64 {
+			return int64(p.ShardStats()[shard].Slabs)
+		}, sl...)
+	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gengar/internal/region"
 )
@@ -12,63 +13,96 @@ import (
 // resolve raw verb target addresses (as reported in hotness digests, or
 // seen by the proxy flusher) to the containing object, and to size
 // promotion candidates.
+//
+// Lookups run on every mediated read, so readers follow an atomically-
+// swapped immutable snapshot and take no locks; insert/remove (malloc/
+// free — rare next to reads) clone under a writer mutex before
+// publishing.
 type objIndex struct {
-	mu    sync.RWMutex
+	mu sync.Mutex // serializes writers
+	p  atomic.Pointer[objState]
+}
+
+// objState is one immutable index version; neither field is mutated
+// after publication.
+type objState struct {
 	sizes map[region.GAddr]int64
 	bases []region.GAddr // sorted
 }
 
 func newObjIndex() *objIndex {
-	return &objIndex{sizes: make(map[region.GAddr]int64)}
+	x := &objIndex{}
+	x.p.Store(&objState{sizes: make(map[region.GAddr]int64)})
+	return x
+}
+
+// clone returns a mutable copy of the current state; the caller holds
+// x.mu and publishes the copy when done.
+func (s *objState) clone(extra int) *objState {
+	next := &objState{
+		sizes: make(map[region.GAddr]int64, len(s.sizes)+extra),
+		bases: make([]region.GAddr, len(s.bases), len(s.bases)+extra),
+	}
+	for a, sz := range s.sizes {
+		next.sizes[a] = sz
+	}
+	copy(next.bases, s.bases)
+	return next
 }
 
 // insert registers a new object. Bases are unique (allocator-provided).
 func (x *objIndex) insert(base region.GAddr, size int64) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if _, dup := x.sizes[base]; dup {
+	old := x.p.Load()
+	if _, dup := old.sizes[base]; dup {
 		return
 	}
-	x.sizes[base] = size
-	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] >= base })
-	x.bases = append(x.bases, 0)
-	copy(x.bases[i+1:], x.bases[i:])
-	x.bases[i] = base
+	next := old.clone(1)
+	next.sizes[base] = size
+	i := sort.Search(len(next.bases), func(i int) bool { return next.bases[i] >= base })
+	next.bases = append(next.bases, 0)
+	copy(next.bases[i+1:], next.bases[i:])
+	next.bases[i] = base
+	x.p.Store(next)
 }
 
 // remove drops an object; it reports whether the object existed.
 func (x *objIndex) remove(base region.GAddr) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if _, ok := x.sizes[base]; !ok {
+	old := x.p.Load()
+	if _, ok := old.sizes[base]; !ok {
 		return false
 	}
-	delete(x.sizes, base)
-	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] >= base })
-	x.bases = append(x.bases[:i], x.bases[i+1:]...)
+	next := old.clone(0)
+	delete(next.sizes, base)
+	i := sort.Search(len(next.bases), func(i int) bool { return next.bases[i] >= base })
+	next.bases = append(next.bases[:i], next.bases[i+1:]...)
+	x.p.Store(next)
 	return true
 }
 
 // sizeOf returns the object's rounded size, or 0 if unknown.
 func (x *objIndex) sizeOf(base region.GAddr) int64 {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.sizes[base]
+	return x.p.Load().sizes[base]
 }
 
-// findContaining resolves a byte range to its containing object.
+// findContaining resolves a byte range to its containing object. It
+// takes no locks.
+//
+//gengar:hotpath
 func (x *objIndex) findContaining(addr region.GAddr, size int64) (base region.GAddr, objSize int64, ok bool) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	if len(x.bases) == 0 {
+	s := x.p.Load()
+	if len(s.bases) == 0 {
 		return region.NilGAddr, 0, false
 	}
-	i := sort.Search(len(x.bases), func(i int) bool { return x.bases[i] > addr }) - 1
+	i := sort.Search(len(s.bases), func(i int) bool { return s.bases[i] > addr }) - 1
 	if i < 0 {
 		return region.NilGAddr, 0, false
 	}
-	b := x.bases[i]
-	sz := x.sizes[b]
+	b := s.bases[i]
+	sz := s.sizes[b]
 	if !(region.Span{Addr: b, Size: sz}).Contains(addr, size) {
 		return region.NilGAddr, 0, false
 	}
@@ -77,7 +111,5 @@ func (x *objIndex) findContaining(addr region.GAddr, size int64) (base region.GA
 
 // count returns the number of live objects.
 func (x *objIndex) count() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.sizes)
+	return len(x.p.Load().sizes)
 }

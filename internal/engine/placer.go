@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"gengar/internal/cache"
@@ -53,14 +54,69 @@ func (p *LocalPlacer) PlaceCopy(size int64) (cache.Location, error) {
 	}, nil
 }
 
-// InstallCopy writes header + data into the local arena.
-func (p *LocalPlacer) InstallCopy(at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error) {
-	return p.e.cacheDev.Write(at, loc.Off, payload)
+// acquireSeq flips the copy's seq word odd, spinning out any concurrent
+// writer (write-throughs from different sessions can target the same
+// copy). It returns the acquired (odd) value.
+func (p *LocalPlacer) acquireSeq(loc cache.Location) (uint64, error) {
+	off := loc.Off + cache.CopySeqOff
+	for {
+		s, err := p.e.cacheDev.LoadWordRaw(off)
+		if err != nil {
+			return 0, err
+		}
+		if s&1 == 0 {
+			ok, err := p.e.cacheDev.CompareAndSwapWordRaw(off, s, s+1)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return s + 1, nil
+			}
+		}
+		runtime.Gosched()
+	}
 }
 
-// WriteCopy updates the copy's data area in the local arena.
+// releaseSeq completes a writer critical section: the word moves from
+// odd to the next even value, so any overlapped lock-free read fails
+// its re-check and retries.
+func (p *LocalPlacer) releaseSeq(loc cache.Location, odd uint64) error {
+	return p.e.cacheDev.StoreWordRaw(loc.Off+cache.CopySeqOff, odd+1)
+}
+
+// InstallCopy writes header + data into the local arena under the
+// copy's seqlock. The slot may be a reused buffer a stale-located
+// reader is still optimistically reading: the odd seq (or, after
+// release, the changed generation word) forces that reader to retry
+// and miss. The seq word itself is owned by the protocol — the
+// payload's seq field is skipped, not copied.
+func (p *LocalPlacer) InstallCopy(at simnet.Time, loc cache.Location, payload []byte) (simnet.Time, error) {
+	odd, err := p.acquireSeq(loc)
+	if err != nil {
+		return at, err
+	}
+	// Gen word first, then data; both are atomic word stores under the
+	// device write lock, so the mutex-guarded read path stays torn-free.
+	if err := p.e.cacheDev.WriteWordsRaw(loc.Off+cache.CopyGenOff, payload[:8]); err != nil {
+		return at, err
+	}
+	if err := p.e.cacheDev.WriteWordsRaw(loc.Off+cache.CopyHeaderBytes, payload[cache.CopyHeaderBytes:]); err != nil {
+		return at, err
+	}
+	return at, p.releaseSeq(loc, odd)
+}
+
+// WriteCopy updates the copy's data area in the local arena under the
+// copy's seqlock, so lock-free readers detect the overlap and retry.
 func (p *LocalPlacer) WriteCopy(at simnet.Time, loc cache.Location, delta int64, data []byte) (simnet.Time, error) {
-	return p.e.cacheDev.Write(at, loc.Off+cache.CopyHeaderBytes+delta, data)
+	odd, err := p.acquireSeq(loc)
+	if err != nil {
+		return at, err
+	}
+	if err := p.e.cacheDev.WriteWordsRaw(loc.Off+cache.CopyHeaderBytes+delta, data); err != nil {
+		return at, err
+	}
+	return at, p.releaseSeq(loc, odd)
 }
 
 // Release frees the copy's arena space.

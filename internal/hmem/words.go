@@ -1,0 +1,162 @@
+package hmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Word-granular device access for the seqlock read protocol.
+//
+// The server-mediated cache-hit path must copy promoted-copy bytes
+// without taking Device.mu, while racing writers refresh the same copy.
+// A classic seqlock with plain memory accesses is still a data race to
+// the Go race detector (and to the memory model), so both sides go
+// through 8-byte atomic words:
+//
+//   - readers use LoadWordRaw (seq/gen words) and ReadWordsRaw (data),
+//     which never touch the device mutex;
+//   - writers flip the seq word with CompareAndSwapWordRaw/StoreWordRaw
+//     and write data through WriteWordsRaw, which performs atomic word
+//     stores *while holding the device write lock* — so the pre-seqlock
+//     locked read path (Read/ReadRaw) also remains torn-free against
+//     these writers.
+//
+// Word pointers into the buffer are always 8-byte aligned: callers pass
+// 8-aligned offsets for the word APIs, and the bulk APIs align down to
+// the containing words internally (heap []byte allocations are at least
+// 8-byte aligned in Go).
+
+// errUnaligned reports a word access at a non-8-byte-aligned offset.
+func (d *Device) errUnaligned(op string, off int64) error {
+	return fmt.Errorf("hmem: unaligned %s offset %d on %s", op, off, d.name)
+}
+
+// word returns the atomic view of the 8-byte word at the (checked,
+// aligned) offset.
+func (d *Device) word(off int64) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&d.buf[off]))
+}
+
+// LoadWordRaw atomically loads the 8-byte word at off in native byte
+// order, without locking or charging simulated time. off must be 8-byte
+// aligned.
+func (d *Device) LoadWordRaw(off int64) (uint64, error) {
+	if off%8 != 0 {
+		return 0, d.errUnaligned("load", off)
+	}
+	if err := d.check(off, 8); err != nil {
+		return 0, err
+	}
+	return d.word(off).Load(), nil
+}
+
+// StoreWordRaw atomically stores the 8-byte word at off in native byte
+// order, without locking or charging simulated time. off must be 8-byte
+// aligned.
+func (d *Device) StoreWordRaw(off int64, v uint64) error {
+	if off%8 != 0 {
+		return d.errUnaligned("store", off)
+	}
+	if err := d.check(off, 8); err != nil {
+		return err
+	}
+	d.word(off).Store(v)
+	return nil
+}
+
+// CompareAndSwapWordRaw atomically CASes the native-order word at off,
+// without locking or charging simulated time. off must be 8-byte
+// aligned. (CompareAndSwap64 is the big-endian, simulated-time verb the
+// one-sided lock protocol uses; this is the server-local word.)
+func (d *Device) CompareAndSwapWordRaw(off int64, old, new uint64) (bool, error) {
+	if off%8 != 0 {
+		return false, d.errUnaligned("cas", off)
+	}
+	if err := d.check(off, 8); err != nil {
+		return false, err
+	}
+	return d.word(off).CompareAndSwap(old, new), nil
+}
+
+// ReadWordsRaw copies len(dst) bytes at off into dst using 8-byte atomic
+// loads of the containing aligned words, without taking the device mutex
+// and without charging simulated time. The covering word range must lie
+// inside the device.
+func (d *Device) ReadWordsRaw(off int64, dst []byte) error {
+	n := int64(len(dst))
+	if n == 0 {
+		return nil
+	}
+	first := off &^ 7
+	last := (off + n + 7) &^ 7
+	if err := d.check(first, int(last-first)); err != nil {
+		return err
+	}
+	var w [8]byte
+	for wo := first; wo < last; wo += 8 {
+		v := d.word(wo).Load()
+		lo, hi := wo, wo+8
+		if lo >= off && hi <= off+n {
+			binary.NativeEndian.PutUint64(dst[lo-off:], v)
+			continue
+		}
+		binary.NativeEndian.PutUint64(w[:], v)
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		copy(dst[lo-off:hi-off], w[lo-wo:hi-wo])
+	}
+	return nil
+}
+
+// WriteWordsRaw copies src into the device at off using 8-byte atomic
+// stores of the containing aligned words, holding the device write lock
+// for the duration and charging no simulated time. Partial edge words
+// are read-modify-written; the caller must hold whatever higher-level
+// writer exclusion the region requires (the copy seq word, for promoted
+// copies) so edge RMWs cannot lose concurrent updates.
+func (d *Device) WriteWordsRaw(off int64, src []byte) error {
+	n := int64(len(src))
+	if n == 0 {
+		return nil
+	}
+	first := off &^ 7
+	last := (off + n + 7) &^ 7
+	if err := d.check(first, int(last-first)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var w [8]byte
+	for wo := first; wo < last; wo += 8 {
+		lo, hi := wo, wo+8
+		if lo >= off && hi <= off+n {
+			d.word(wo).Store(binary.NativeEndian.Uint64(src[lo-off:]))
+			continue
+		}
+		binary.NativeEndian.PutUint64(w[:], d.word(wo).Load())
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		copy(w[lo-wo:hi-wo], src[lo-off:hi-off])
+		d.word(wo).Store(binary.NativeEndian.Uint64(w[:]))
+	}
+	return nil
+}
+
+// BEWord returns the native-order word whose in-memory bytes are the
+// big-endian encoding of v — what LoadWordRaw reports for a word that
+// was written with encoding/binary.BigEndian (generation headers).
+func BEWord(v uint64) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return binary.NativeEndian.Uint64(b[:])
+}

@@ -1,0 +1,117 @@
+package hmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func newWordsDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice("words-test", 4096, DRAMProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWordOpsRoundTrip(t *testing.T) {
+	d := newWordsDevice(t)
+	if err := d.StoreWordRaw(64, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.LoadWordRaw(64)
+	if err != nil || v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("LoadWordRaw = %x, %v", v, err)
+	}
+	ok, err := d.CompareAndSwapWordRaw(64, 0xDEADBEEFCAFEF00D, 7)
+	if err != nil || !ok {
+		t.Fatalf("CAS: %v %v", ok, err)
+	}
+	if ok, _ := d.CompareAndSwapWordRaw(64, 1, 2); ok {
+		t.Fatal("CAS with wrong expectation succeeded")
+	}
+	if v, _ := d.LoadWordRaw(64); v != 7 {
+		t.Fatalf("after CAS: %d", v)
+	}
+}
+
+func TestWordOpsRejectUnalignedAndOutOfRange(t *testing.T) {
+	d := newWordsDevice(t)
+	if _, err := d.LoadWordRaw(3); err == nil {
+		t.Fatal("unaligned load accepted")
+	}
+	if err := d.StoreWordRaw(4092, 1); err == nil {
+		t.Fatal("partially out-of-range store accepted")
+	}
+	if _, err := d.CompareAndSwapWordRaw(12, 0, 1); err == nil {
+		t.Fatal("unaligned CAS accepted")
+	}
+	if err := d.ReadWordsRaw(4090, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-range word read accepted")
+	}
+}
+
+// TestWordsBulkMatchesPlain drives WriteWordsRaw/ReadWordsRaw over every
+// small offset/length combination against plain raw access, covering
+// both partial edge words and full interior words.
+func TestWordsBulkMatchesPlain(t *testing.T) {
+	d := newWordsDevice(t)
+	pattern := make([]byte, 64)
+	for i := range pattern {
+		pattern[i] = byte(i + 1)
+	}
+	for off := int64(0); off < 16; off++ {
+		for n := 0; n <= 40; n++ {
+			// Reset a window, write via words, read back plainly.
+			if err := d.WriteRaw(0, make([]byte, 128)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WriteWordsRaw(off, pattern[:n]); err != nil {
+				t.Fatalf("write off=%d n=%d: %v", off, n, err)
+			}
+			got := make([]byte, n)
+			if err := d.ReadRaw(off, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, pattern[:n]) {
+				t.Fatalf("write off=%d n=%d: got %x", off, n, got)
+			}
+			// Bytes around the window stay zero.
+			ring := make([]byte, 128)
+			if err := d.ReadRaw(0, ring); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range ring {
+				inside := int64(i) >= off && int64(i) < off+int64(n)
+				if !inside && b != 0 {
+					t.Fatalf("write off=%d n=%d disturbed byte %d", off, n, i)
+				}
+			}
+			// And the atomic read view agrees.
+			got2 := make([]byte, n)
+			if err := d.ReadWordsRaw(off, got2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got2, pattern[:n]) {
+				t.Fatalf("ReadWordsRaw off=%d n=%d: got %x", off, n, got2)
+			}
+		}
+	}
+}
+
+func TestBEWordMatchesBigEndianEncoding(t *testing.T) {
+	d := newWordsDevice(t)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], 0x0102030405060708)
+	if err := d.WriteRaw(0, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.LoadWordRaw(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != BEWord(0x0102030405060708) {
+		t.Fatalf("BEWord mismatch: word %x, BEWord %x", w, BEWord(0x0102030405060708))
+	}
+}

@@ -93,3 +93,34 @@ func (r *Recorder) Drain() []Entry {
 	})
 	return out
 }
+
+// Obs is one staged raw access: the per-op record a serving thread
+// appends to its session-local buffer instead of updating a recorder
+// map (and its lock) on every operation. Buffers are folded into digest
+// entries at digest boundaries via AggregateObs.
+type Obs struct {
+	Addr  region.GAddr
+	Write bool
+}
+
+// AggregateObs folds a staged observation buffer into per-object digest
+// entries, preserving first-seen order. It runs once per digest, off
+// the per-op path.
+func AggregateObs(obs []Obs) []Entry {
+	idx := make(map[region.GAddr]int, len(obs))
+	out := make([]Entry, 0, len(obs))
+	for _, o := range obs {
+		i, ok := idx[o.Addr]
+		if !ok {
+			i = len(out)
+			out = append(out, Entry{Addr: o.Addr})
+			idx[o.Addr] = i
+		}
+		if o.Write {
+			out[i].Writes++
+		} else {
+			out[i].Reads++
+		}
+	}
+	return out
+}

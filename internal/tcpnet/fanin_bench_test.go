@@ -1,0 +1,187 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+)
+
+// The E19 fan-in suite: one daemon, a growing number of client
+// connections (one Pool per connection), every read served from the
+// DRAM cache. This is the scaling experiment the sharded hot-path work
+// targets — before it, every cache hit serialized on the device mutex,
+// so fan-in flattened at one connection's throughput. Results are
+// recorded in EXPERIMENTS.md (E19) and results/e19.csv; `make
+// bench-scale` runs the short smoke.
+//
+// Environment hooks for the harness:
+//
+//	GENGAR_E19_CSV=<path>        append one row per subtest
+//	GENGAR_E19_TELEMETRY=<path>  dump the daemon telemetry snapshot
+//	                             (seqlock retry counters, shard gauges)
+
+var e19Conns = []int{1, 2, 4, 8, 16, 32, 64}
+
+// startFanInServer runs one daemon with a server-side digest cadence
+// fast enough to promote the working set during warm-up.
+func startFanInServer(b *testing.B) (*PoolServer, string) {
+	b.Helper()
+	srv, err := NewPoolServer(ServerConfig{ID: 1, PoolBytes: 64 << 20, DigestEvery: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	b.Cleanup(func() {
+		maybeDumpE19Telemetry(b, srv)
+		srv.Close()
+	})
+	return srv, lis.Addr().String()
+}
+
+// warmPromoted mallocs n objects and hammers them until every read is a
+// cache hit, so the measured section runs entirely on the lock-free hit
+// path.
+func warmPromoted(b *testing.B, p *Pool, n, size int) []region.GAddr {
+	b.Helper()
+	addrs := benchObjects(b, p, n, size)
+	buf := make([]byte, size)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, a := range addrs {
+		for {
+			hit, err := p.ReadCheck(a, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hit {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("working set never fully promoted")
+			}
+		}
+	}
+	return addrs
+}
+
+// BenchmarkTCPFanIn measures aggregate read throughput as independent
+// client connections pile onto one daemon. Each connection is its own
+// Pool (own socket, own demux goroutine) issuing synchronous 256 B
+// reads of promoted objects.
+func BenchmarkTCPFanIn(b *testing.B) {
+	const size = 256
+	conns := e19Conns
+	if testing.Short() {
+		conns = []int{1, 4, 16}
+	}
+	for _, c := range conns {
+		b.Run(fmt.Sprintf("conns=%d", c), func(b *testing.B) {
+			srv, addr := startFanInServer(b)
+			warm, err := Dial([]string{addr}, 2*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer warm.Close()
+			addrs := warmPromoted(b, warm, 16, size)
+
+			pools := make([]*Pool, c)
+			for i := range pools {
+				p, err := Dial([]string{addr}, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				pools[i] = p
+			}
+
+			hits0 := srv.eng.Stats().Hits
+			var next atomic.Uint64
+			var wg sync.WaitGroup
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			per := b.N / c
+			extra := b.N % c
+			for i, p := range pools {
+				n := per
+				if i < extra {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(p *Pool, n int) {
+					defer wg.Done()
+					buf := make([]byte, size)
+					for j := 0; j < n; j++ {
+						a := addrs[next.Add(1)%uint64(len(addrs))]
+						if err := p.Read(a, buf); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(p, n)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			st := srv.eng.Stats()
+			served := st.Hits - hits0
+			b.ReportMetric(float64(served)/float64(b.N), "hit-frac")
+			maybeAppendE19Row(b, c, b.N, elapsed, float64(served)/float64(b.N))
+		})
+	}
+}
+
+// maybeAppendE19Row appends one CSV row per subtest when the E19
+// harness asks for it (GENGAR_E19_CSV=<path>).
+func maybeAppendE19Row(b *testing.B, conns, ops int, elapsed time.Duration, hitFrac float64) {
+	path := os.Getenv("GENGAR_E19_CSV")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Logf("e19 csv: %v", err)
+		return
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		fmt.Fprintln(f, "conns,ops,ns_per_op,ops_per_sec,hit_frac")
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+	fmt.Fprintf(f, "%d,%d,%.1f,%.0f,%.3f\n",
+		conns, ops, nsPerOp, float64(ops)/elapsed.Seconds(), hitFrac)
+}
+
+// maybeDumpE19Telemetry writes the daemon's telemetry snapshot
+// (GENGAR_E19_TELEMETRY=<path>) so the committed
+// results/e19.telemetry.json carries the seqlock and shard gauges of
+// the measured run.
+func maybeDumpE19Telemetry(b *testing.B, srv *PoolServer) {
+	path := os.Getenv("GENGAR_E19_TELEMETRY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		b.Logf("e19 telemetry: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.Telemetry().Snapshot().WriteJSON(f); err != nil {
+		b.Logf("e19 telemetry: %v", err)
+	}
+}

@@ -328,13 +328,16 @@ type session struct {
 	ringBase int64
 	hasRing  bool
 
-	recMu       sync.Mutex
-	rec         *hotness.Recorder
-	sinceDigest int
+	// staged is the session-local hotness buffer: per-op appends only,
+	// folded into one engine digest (one sketch-lock acquisition) every
+	// DigestEvery accesses. Guarded by stagedMu; per-connection sessions
+	// make it effectively uncontended.
+	stagedMu sync.Mutex
+	staged   []hotness.Obs
 }
 
 func (s *PoolServer) openSession() *session {
-	sess := &session{id: s.sessions.Add(1), srv: s, rec: hotness.NewRecorder()}
+	sess := &session{id: s.sessions.Add(1), srv: s, staged: make([]hotness.Obs, 0, s.cfg.DigestEvery)}
 	if !s.eng.Features().Proxy {
 		return sess
 	}
@@ -375,22 +378,19 @@ func (sess *session) observe(addr region.GAddr, write bool) {
 	if !sess.srv.eng.Features().Cache {
 		return
 	}
-	sess.recMu.Lock()
-	if write {
-		sess.rec.RecordWrite(addr)
-	} else {
-		sess.rec.RecordRead(addr)
-	}
-	sess.sinceDigest++
-	if sess.sinceDigest < sess.srv.cfg.DigestEvery {
-		sess.recMu.Unlock()
+	sess.stagedMu.Lock()
+	sess.staged = append(sess.staged, hotness.Obs{Addr: addr, Write: write})
+	if len(sess.staged) < sess.srv.cfg.DigestEvery {
+		sess.stagedMu.Unlock()
 		return
 	}
-	entries := sess.rec.Drain()
-	sess.sinceDigest = 0
-	sess.recMu.Unlock()
+	batch := sess.staged
+	sess.staged = make([]hotness.Obs, 0, sess.srv.cfg.DigestEvery)
+	sess.stagedMu.Unlock()
+	// Aggregation and the digest run outside the staging lock, so a
+	// concurrent op only ever waits on the append above.
 	eng := sess.srv.eng
-	eng.Digest(eng.Now(), entries)
+	eng.Digest(eng.Now(), hotness.AggregateObs(batch))
 }
 
 // serveConn runs one connection: a buffered read loop feeding a

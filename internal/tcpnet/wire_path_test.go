@@ -177,12 +177,18 @@ func TestFramePoolDropsOversized(t *testing.T) {
 		t.Fatalf("oversized buffer (cap %d) donated to the %d class", cap(*f), largest)
 	}
 
-	// A buffer of exactly the largest class still recycles.
-	exact := make([]byte, largest)
-	p.put(&exact)
+	// A buffer of exactly the largest class still recycles. Under the
+	// race detector sync.Pool drops a quarter of puts on purpose, so
+	// retry until a put sticks rather than asserting on a single cycle.
 	before := p.hits.Load()
-	p.put(p.get(largest))
-	if p.hits.Load() == before {
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		exact := make([]byte, largest)
+		p.put(&exact)
+		p.put(p.get(largest))
+		recycled = p.hits.Load() > before
+	}
+	if !recycled {
 		t.Fatal("largest-class buffer was not recycled")
 	}
 }
