@@ -68,7 +68,8 @@ type ShardedPool struct {
 	slabOrder uint
 	maxClass  uint // largest slab-served slot order
 
-	mu        sync.Mutex                      // serializes slab index writers
+	mu sync.Mutex // serializes slab index writers
+	//gengar:guardedby mu
 	slabIndex atomic.Pointer[map[int64]*slab] // slab base -> slab
 	parentB   atomic.Int64                    // bytes held by slab parents
 }

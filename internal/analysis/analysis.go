@@ -20,6 +20,17 @@
 //     amortized storage.
 //   - errcheck-core: errors returned by core/proxy/rdma (and the other
 //     pool APIs) must not be silently discarded.
+//   - atomic-mixed-access: a word accessed through sync/atomic or the
+//     hmem word APIs anywhere must be accessed that way everywhere.
+//   - cow-snapshot: //gengar:guardedby-annotated atomic.Pointer fields
+//     are Store'd only under their declared writer mutex, and pointers
+//     obtained via Load are never written through.
+//   - seqlock-protocol: writers CAS the copy seq word odd before data
+//     stores and store even after; readers re-load and compare the seq
+//     word before trusting a copy.
+//   - lock-order: the interprocedural mutex-acquisition graph contains
+//     no cycles and no inversions of the blessed hierarchy
+//     (lockhierarchy.go, //gengar:lockorder).
 //
 // A finding is suppressed with an explicit, reasoned annotation:
 //
@@ -62,6 +73,7 @@ type Analyzer struct {
 // Pass is the per-package context handed to each analyzer.
 type Pass struct {
 	Pkg      *Package
+	Facts    *Facts // batch-wide guarded-field facts (nil outside Run)
 	suppress *suppressions
 }
 
@@ -95,6 +107,20 @@ func Analyzers() []*Analyzer {
 		telemetryHygiene,
 		hotpathAlloc,
 		errcheckCore,
+		atomicMixedAccess,
+		cowSnapshot,
+		seqlockProtocol,
+		lockOrder,
+	}
+}
+
+// FastAnalyzers returns the cheap subset run by `make lint-fast`:
+// single-pass AST scans with no fact layer or interprocedural closure
+// behind them.
+func FastAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		hotpathAlloc,
+		errcheckCore,
 	}
 }
 
@@ -111,17 +137,26 @@ func AnalyzerNames() []string {
 
 // Run applies the analyzers to the packages, filters findings through
 // the suppression directives, and appends a finding for every broken
-// directive (missing reason, unknown analyzer name). Results are sorted
-// by position.
+// directive (missing reason, unknown analyzer name) and every stale one
+// (a well-formed directive that suppressed nothing). Directive names
+// are validated against the FULL registry, not the subset being run, so
+// a -only invocation does not misreport a valid suppression as unknown;
+// symmetrically, staleness is only audited for analyzers that actually
+// ran. Results are sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool)
-	for _, a := range analyzers {
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	facts := computeFacts(pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
-		pass := &Pass{Pkg: pkg, suppress: sup}
+		pass := &Pass{Pkg: pkg, Facts: facts, suppress: sup}
 		for _, a := range analyzers {
 			for _, f := range a.Run(pass) {
 				if sup.covers(a.Name, f.Pos) {
@@ -131,6 +166,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			}
 		}
 		out = append(out, sup.brokenDirectives(pkg, known)...)
+		out = append(out, sup.staleDirectives(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {

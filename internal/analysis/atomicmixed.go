@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMixedAccess closes the classic go-vet gap around mixed
+// atomic/plain access — the bug class that reintroduces torn reads the
+// moment a lock-free protocol leaks one plain load:
+//
+//  1. Any field or package-level variable whose address is passed to a
+//     sync/atomic function ANYWHERE in the batch (the shared fact
+//     layer) must be accessed through sync/atomic EVERYWHERE: a plain
+//     read, write, or address-take of such a word is a finding. The
+//     one exception is pre-publication access through a local the
+//     function itself just allocated (a constructor filling a struct
+//     no other goroutine can see yet).
+//
+//  2. The hmem seqlock header words — device offsets derived from
+//     cache.CopySeqOff/CopyGenOff — must go through the 8-byte word
+//     APIs (LoadWordRaw/StoreWordRaw/CompareAndSwapWordRaw/
+//     ReadWordsRaw/WriteWordsRaw). Routing such an offset into the
+//     plain device ops (Read/Write/ReadRaw/WriteRaw) bypasses the
+//     atomic words racing writers flip, and is a finding even when a
+//     device lock happens to make it safe today — suppress with a
+//     reasoned //gengar:lint-ignore where the pairing is deliberate.
+//
+// Fields of atomic.Int64/atomic.Pointer[...]-style types need no
+// checking here: the type system already forbids plain access to them.
+const atomicMixedName = "atomic-mixed-access"
+
+var atomicMixedAccess = &Analyzer{
+	Name: atomicMixedName,
+	Doc:  "word accessed via sync/atomic or hmem word ops is also accessed non-atomically",
+	Run:  runAtomicMixedAccess,
+}
+
+func runAtomicMixedAccess(p *Pass) []Finding {
+	if p.Facts == nil {
+		return nil
+	}
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		out = append(out, atomicPlainUses(p, fn)...)
+	}
+	out = append(out, seqWordPlainDeviceOps(p)...)
+	return out
+}
+
+// atomicPlainUses flags plain accesses to atomic-fact words inside one
+// function.
+func atomicPlainUses(p *Pass, fn *ast.FuncDecl) []Finding {
+	info := p.Pkg.Info
+	fresh := freshLocals(p, fn)
+	var out []Finding
+
+	// atomicArgs marks the &x.f operand of each sync/atomic call so the
+	// use inside it is not misread as plain.
+	atomicArgs := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c, ok := resolveCallee(info, call)
+		if !ok || c.pkgPath != "sync/atomic" || c.recv != "" || !atomicFns[c.name] || len(call.Args) == 0 {
+			return true
+		}
+		if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+			atomicArgs[addr.X] = true
+		}
+		return true
+	})
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			// Composite-literal keys name fields without accessing them;
+			// the value side still gets walked.
+			ast.Inspect(n.Value, visit)
+			return false
+		case *ast.SelectorExpr:
+			if atomicArgs[n] {
+				return false
+			}
+			key, ok := objectKey(info, n, nil)
+			if !ok {
+				return true
+			}
+			if atomicAt, isAtomic := p.Facts.atomicFields[key]; isAtomic {
+				if root := rootObj(info, n.X); root == nil || !fresh[root] {
+					out = append(out, p.finding(atomicMixedName, n.Sel.Pos(),
+						"plain access to %s, which is accessed atomically at %s:%d: use sync/atomic everywhere",
+						displayKey(key), atomicAt.Filename, atomicAt.Line))
+				}
+				return false
+			}
+		case *ast.Ident:
+			if atomicArgs[n] {
+				return false
+			}
+			key, ok := objectKey(info, nil, n)
+			if !ok {
+				return true
+			}
+			if atomicAt, isAtomic := p.Facts.atomicFields[key]; isAtomic {
+				out = append(out, p.finding(atomicMixedName, n.Pos(),
+					"plain access to %s, which is accessed atomically at %s:%d: use sync/atomic everywhere",
+					displayKey(key), atomicAt.Filename, atomicAt.Line))
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+	return out
+}
+
+// plainDeviceOps maps the non-atomic hmem.Device data ops to the index
+// of their offset argument.
+var plainDeviceOps = map[string]int{
+	"Read": 1, "Write": 1, "ReadRaw": 0, "WriteRaw": 0,
+}
+
+// seqWordPlainDeviceOps flags plain device ops whose offset derives
+// from the seqlock header constants.
+func seqWordPlainDeviceOps(p *Pass) []Finding {
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		seqVars := seqOffsetVars(p, fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c, ok := resolveCallee(p.Pkg.Info, call)
+			if !ok {
+				return true
+			}
+			argIdx, plain := plainDeviceOps[c.name]
+			if !plain || !isNamedType(calleeRecvType(p, c), "gengar/internal/hmem", "Device") {
+				return true
+			}
+			if argIdx >= len(call.Args) {
+				return true
+			}
+			if which := seqHeaderConstIn(p, call.Args[argIdx], seqVars); which != "" {
+				out = append(out, p.finding(atomicMixedName, call.Pos(),
+					"seqlock header word (%s) accessed through non-atomic Device.%s: use the word APIs (LoadWordRaw/ReadWordsRaw/...)",
+					which, c.name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// calleeRecvType returns the static type of a method call's receiver
+// expression.
+func calleeRecvType(p *Pass, c callee) types.Type {
+	if c.recvX == nil {
+		return nil
+	}
+	return typeOf(p, c.recvX)
+}
+
+// seqOffsetVars returns the local variables of fn whose assignments
+// mention a seqlock header constant, so `off := loc.Off + CopySeqOff;
+// dev.ReadRaw(off, ...)` is still caught.
+func seqOffsetVars(p *Pass, fn *ast.FuncDecl) map[any]string {
+	out := make(map[any]string)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			which := seqHeaderConstIn(p, rhs, nil)
+			if which == "" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(p, id); obj != nil {
+					out[obj] = which
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// seqHeaderConstIn reports which seqlock header constant (CopySeqOff or
+// CopyGenOff) the expression mentions, directly or through a tracked
+// offset variable; "" if none.
+func seqHeaderConstIn(p *Pass, e ast.Expr, seqVars map[any]string) (which string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || which != "" {
+			return which == ""
+		}
+		if id.Name == "CopySeqOff" || id.Name == "CopyGenOff" {
+			if obj := objOf(p, id); obj != nil {
+				which = id.Name
+				return false
+			}
+		}
+		if seqVars != nil {
+			if obj := objOf(p, id); obj != nil {
+				if w, tracked := seqVars[obj]; tracked {
+					which = w
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return which
+}
+
+// freshLocals returns the local objects of fn bound to values the
+// function itself allocated (composite literals, &composite, new(T)):
+// plain access through them is pre-publication initialization, not a
+// data race.
+func freshLocals(p *Pass, fn *ast.FuncDecl) map[any]bool {
+	out := make(map[any]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isFreshAlloc(p, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.Pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFreshAlloc reports whether e evaluates to storage allocated by this
+// expression: T{...}, &T{...}, new(T).
+func isFreshAlloc(p *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, comp := ast.Unparen(x.X).(*ast.CompositeLit)
+			return comp
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, builtin := p.Pkg.Info.Uses[id].(*types.Builtin)
+			return builtin
+		}
+	}
+	return false
+}

@@ -104,6 +104,10 @@ func TestGoldenCorpus(t *testing.T) {
 		{"telemetryhygiene", []string{"telemetry-hygiene"}},
 		{"hotpath", []string{"hotpath-alloc"}},
 		{"errcheck", []string{"errcheck-core"}},
+		{"atomicmixed", []string{"atomic-mixed-access"}},
+		{"cowsnapshot", []string{"cow-snapshot"}},
+		{"seqlock", []string{"seqlock-protocol"}},
+		{"lockorder", []string{"lock-order"}},
 		{"ignore", nil},
 	}
 	loader := sharedLoader(t)

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockOrder builds the interprocedural mutex-acquisition graph across
+// the module — which lock classes are acquired while which others are
+// held, directly or through any chain of module-internal calls — and
+// reports two hazards:
+//
+//   - a cycle: a set of lock classes that can each be waited on while
+//     another member is held (the deadlock precondition), including the
+//     one-class case of two instances of the same class held at once
+//     with no defined instance order;
+//   - an order inversion: an edge that contradicts the blessed
+//     hierarchy, declared once in lockhierarchy.go (and extendable per
+//     package with //gengar:lockorder directives — see the corpus).
+//
+// A lock class is a mutex field identified by its declaring struct
+// ("engine.Engine.mu", "alloc.shard.mu"); package-level mutexes use
+// "pkg.var". Hold tracking is a linear source-order scan per function:
+// branch merges are not modeled, so a lock released on any path is
+// treated as released — the approximation drops edges rather than
+// fabricating them, and deferred unlocks correctly keep the lock held
+// to the end of the body. Call edges resolve through static callees
+// only; calls through interfaces or function values are not followed.
+//
+// Findings anchor at the inner acquisition (or at the call that leads
+// to it); suppress with //gengar:lint-ignore lock-order <reason> when
+// an observed edge is a false pairing (e.g. the callee only locks on a
+// path the caller's lock provably prevents).
+const lockOrderName = "lock-order"
+
+var lockOrder = &Analyzer{
+	Name: lockOrderName,
+	Doc:  "mutex acquisition-order cycle or inversion of the blessed lock hierarchy",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) []Finding {
+	facts := p.Facts
+	if facts == nil {
+		return nil
+	}
+	inPkg := pkgFileSet(p.Pkg)
+	inversion, cyclic := classifyLockEdges(facts)
+	var out []Finding
+	for i, e := range facts.lockEdges {
+		if !inPkg[e.pos.Filename] {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = " (via call to " + e.via + ")"
+		}
+		if inversion[i] {
+			out = append(out, findingAt(lockOrderName, e.pos,
+				"lock %s acquired while %s is held%s inverts the declared lock order (%s before %s)",
+				e.to, e.from, via, e.to, e.from))
+			continue
+		}
+		if cyc := cyclic[i]; cyc != "" {
+			out = append(out, findingAt(lockOrderName, e.pos,
+				"lock %s acquired while %s is held%s closes an acquisition cycle [%s]",
+				e.to, e.from, via, cyc))
+		}
+	}
+	return out
+}
+
+// classifyLockEdges marks each edge index as an inversion of the
+// declared hierarchy and/or a participant in an acquisition cycle.
+// Inverted edges are excluded from the cycle graph: the inversion
+// finding already names the exact contradiction, and the matching
+// blessed edge would otherwise report the same pair twice.
+func classifyLockEdges(f *Facts) (inversion map[int]bool, cyclic map[int]string) {
+	inversion = make(map[int]bool)
+	cyclic = make(map[int]string)
+	adj := make(map[string]map[string]bool)
+	for i, e := range f.lockEdges {
+		if f.orderedBefore(e.to, e.from) {
+			inversion[i] = true
+			continue
+		}
+		if e.from == e.to {
+			cyclic[i] = e.from + " -> " + e.to
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	scc := stronglyConnected(adj)
+	for i, e := range f.lockEdges {
+		if inversion[i] || e.from == e.to {
+			continue
+		}
+		if comp, ok := scc[e.from]; ok && comp == scc[e.to] && len(membersOf(scc, comp)) > 1 {
+			cyclic[i] = strings.Join(membersOf(scc, comp), " -> ")
+		}
+	}
+	return inversion, cyclic
+}
+
+// stronglyConnected returns a node->component assignment (Tarjan) where
+// only nodes in nontrivial components (or with self-edges, handled by
+// the caller) matter.
+func stronglyConnected(adj map[string]map[string]bool) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	for a, tos := range adj {
+		if !seen[a] {
+			seen[a] = true
+			nodes = append(nodes, a)
+		}
+		for b := range tos {
+			if !seen[b] {
+				seen[b] = true
+				nodes = append(nodes, b)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, nComp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+func membersOf(scc map[string]int, comp int) []string {
+	var out []string
+	for n, c := range scc {
+		if c == comp {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- per-function summarization (called from facts.go) ----
+
+// summarizeFn scans one function declaration linearly and returns its
+// summary plus independent summaries for every function literal inside
+// it (literals run in their own goroutine/context: their acquisitions
+// must not leak into the enclosing hold-set, but their own edges still
+// count).
+func summarizeFn(pkg *Package, fn *ast.FuncDecl) (*fnSummary, []*fnSummary) {
+	s := &fnSummary{key: fnKeyOf(pkg, fn), acquires: make(map[string]bool)}
+	var lits []*fnSummary
+	scanLockBody(pkg, s, fn.Body, &lits)
+	return s, lits
+}
+
+// fnKeyOf returns the summary key of a declared function:
+// "pkgPath.Recv.Name" for methods, "pkgPath.Name" for functions.
+func fnKeyOf(pkg *Package, fn *ast.FuncDecl) string {
+	key := pkg.Path + "."
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if named := namedOf(pkgTypeOf(pkg, fn.Recv.List[0].Type)); named != nil {
+			key += named.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name.Name
+}
+
+// lockClassAndInstance resolves a mutex operand to its class key and an
+// instance discriminator (the rendered expression, so a.mu and b.mu of
+// the same struct are distinct instances while two branches locking
+// x.mu are one).
+func lockClassAndInstance(pkg *Package, operand ast.Expr) (class, instance string, ok bool) {
+	key, keyed := exprKey(pkg.Info, operand)
+	if !keyed {
+		// Local mutex variables get a function-agnostic per-name class;
+		// they rarely escape, and a stable name keeps output readable.
+		switch x := ast.Unparen(operand).(type) {
+		case *ast.Ident:
+			key = pkg.Path + "." + x.Name
+		default:
+			key = pkg.Path + "." + exprText(operand)
+		}
+	}
+	return displayKey(key), exprText(operand), true
+}
+
+// scanLockBody walks a body in source order maintaining the held-set.
+// Function literals are collected into lits with fresh state.
+func scanLockBody(pkg *Package, s *fnSummary, body *ast.BlockStmt, lits *[]*fnSummary) {
+	type heldEnt struct {
+		class string
+	}
+	held := make(map[string]heldEnt) // instance -> class
+	heldClasses := func() []string {
+		m := make(map[string]bool, len(held))
+		for _, h := range held {
+			m[h.class] = true
+		}
+		out := make([]string, 0, len(m))
+		for c := range m {
+			out = append(out, c)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &fnSummary{
+				key:      s.key + ".func@" + itoaPos(pkg, n.Pos()),
+				acquires: make(map[string]bool),
+			}
+			scanLockBody(pkg, lit, n.Body, lits)
+			*lits = append(*lits, lit)
+			return false
+		case *ast.CallExpr:
+			c, ok := resolveCallee(pkg.Info, n)
+			if !ok {
+				return true
+			}
+			if c.pkgPath == "sync" && c.recvX != nil && isMutexType(pkgTypeOf(pkg, c.recvX)) {
+				class, instance, _ := lockClassAndInstance(pkg, c.recvX)
+				switch c.name {
+				case "Lock", "RLock":
+					s.acquires[class] = true
+					if _, already := held[instance]; !already {
+						for inst, h := range held {
+							if inst == instance {
+								continue
+							}
+							s.edges = append(s.edges, lockEdge{
+								from: h.class, to: class,
+								pos: pkg.Fset.Position(n.Pos()),
+							})
+						}
+						held[instance] = heldEnt{class: class}
+					}
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						delete(held, instance)
+					}
+				}
+				return true
+			}
+			// Module-internal call: record with the held snapshot. The
+			// callee key mirrors fnKeyOf; unknown keys are dropped when
+			// the closure finds no summary.
+			if c.obj != nil && c.obj.Pkg() != nil {
+				key := c.obj.Pkg().Path() + "."
+				if c.recv != "" {
+					key += c.recv + "."
+				}
+				key += c.name
+				s.calls = append(s.calls, fnCall{
+					callee: key,
+					pos:    pkg.Fset.Position(n.Pos()),
+					held:   heldClasses(),
+				})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func itoaPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return p.Filename + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// pkgFileSet returns the set of file names belonging to the package.
+func pkgFileSet(pkg *Package) map[string]bool {
+	out := make(map[string]bool, len(pkg.Files))
+	for _, f := range pkg.Files {
+		out[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	return out
+}
+
+// findingAt builds a Finding from an already-resolved position (facts
+// carry Positions, not Pos).
+func findingAt(analyzer string, pos token.Position, format string, args ...any) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// seqlockProtocol checks the copy-header seqlock discipline in every
+// function that touches the seq word (an hmem word-op whose offset
+// mentions CopySeqOff, or a call to a same-package helper that does).
+// The protocol (see DESIGN.md and internal/hmem/words.go):
+//
+//   - writers flip the seq word odd with CompareAndSwapWordRaw, store
+//     data words (including the generation header) only inside that
+//     window, and release by storing the next even value;
+//   - readers load seq (even = quiescent), copy data with ReadWordsRaw,
+//     then RE-load seq and compare against the first load before
+//     trusting the copy; using the copied bytes before the comparison
+//     defeats the torn-read detection.
+//
+// Reported hazards: a data store before the CAS or after the release, a
+// writer that never releases, a copy read with no prior seq load, a
+// reader missing the re-load or the comparison, and copied data used
+// inside the unvalidated window.
+//
+// Tracking is the same linear source-order approximation as the other
+// protocol analyzers: events are ordered by position, loops are scanned
+// once, branches are not modeled. Functions whose only seq-word ops are
+// the acquire (CAS) or release (store) primitives themselves — no data
+// words — are exempt from the pairing rules, so helpers like
+// acquireSeq/releaseSeq and tests that deliberately wedge the seq word
+// stay clean.
+const seqlockName = "seqlock-protocol"
+
+var seqlockProtocol = &Analyzer{
+	Name: seqlockName,
+	Doc:  "seqlock writer window or reader re-check protocol violation around CopySeqOff",
+	Run:  runSeqlock,
+}
+
+// seqEventKind classifies one protocol-relevant operation.
+type seqEventKind int
+
+const (
+	evSeqLoad   seqEventKind = iota // LoadWordRaw(seq) -> var
+	evAcquire                       // CAS on seq word, or call to an acquirer
+	evRelease                       // store to seq word, or call to a releaser
+	evDataRead                      // ReadWordsRaw at a non-header offset
+	evDataWrite                     // WriteWordsRaw/StoreWordRaw at a data offset
+	evCompare                       // == / != between two seq-load vars
+)
+
+type seqEvent struct {
+	kind seqEventKind
+	pos  token.Pos
+	obj  types.Object   // evSeqLoad: result var; evDataRead: dst buffer root
+	objs []types.Object // evCompare: the seq vars compared
+	end  token.Pos      // evDataRead: end of the call (dst-use scan start)
+}
+
+func runSeqlock(p *Pass) []Finding {
+	acquirers, releasers := collectSeqPrims(p)
+	var out []Finding
+	for _, fn := range funcDecls(p.Pkg) {
+		out = append(out, checkSeqlockFn(p, fn, acquirers, releasers)...)
+	}
+	return out
+}
+
+// collectSeqPrims finds the package's seqlock primitives: functions that
+// CAS the seq word (acquirers) and functions that store it (releasers).
+// Calls to them count as acquire/release events in their callers.
+func collectSeqPrims(p *Pass) (acquirers, releasers map[string]bool) {
+	acquirers = make(map[string]bool)
+	releasers = make(map[string]bool)
+	for _, fn := range funcDecls(p.Pkg) {
+		seqVars := seqOffsetVars(p, fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, isSeq := seqWordCall(p, call, seqVars)
+			if !isSeq {
+				return true
+			}
+			switch name {
+			case "CompareAndSwapWordRaw":
+				acquirers[localFnKey(p, fn)] = true
+			case "StoreWordRaw":
+				releasers[localFnKey(p, fn)] = true
+			}
+			return true
+		})
+	}
+	return acquirers, releasers
+}
+
+// localFnKey identifies a function within its package: "Recv.Name" or
+// "Name".
+func localFnKey(p *Pass, fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if named := namedOf(typeOf(p, fn.Recv.List[0].Type)); named != nil {
+			return named.Obj().Name() + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+// seqWordCall reports whether call is an hmem word op whose offset
+// argument mentions CopySeqOff (directly or via a tracked offset var),
+// returning the op name.
+func seqWordCall(p *Pass, call *ast.CallExpr, seqVars map[any]string) (string, bool) {
+	c, ok := resolveCallee(p.Pkg.Info, call)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	switch c.name {
+	case "LoadWordRaw", "StoreWordRaw", "CompareAndSwapWordRaw", "ReadWordsRaw", "WriteWordsRaw":
+	default:
+		return "", false
+	}
+	if seqHeaderConstIn(p, call.Args[0], seqVars) != "CopySeqOff" {
+		return "", false
+	}
+	return c.name, true
+}
+
+// checkSeqlockFn collects the function's protocol events in source order
+// and applies the writer and reader rules.
+func checkSeqlockFn(p *Pass, fn *ast.FuncDecl, acquirers, releasers map[string]bool) []Finding {
+	events := collectSeqEvents(p, fn, acquirers, releasers)
+	touchesSeq := false
+	for _, e := range events {
+		switch e.kind {
+		case evSeqLoad, evAcquire, evRelease:
+			touchesSeq = true
+		}
+	}
+	if !touchesSeq {
+		return nil // data ops with no seqlock involvement are out of scope
+	}
+
+	var out []Finding
+
+	// Writer rules: every data store must sit inside an
+	// acquire..release window.
+	var lastAcquire, lastRelease, lastDataWrite token.Pos
+	releaseAfterLastWrite := false
+	afterReleaseReported := false
+	for _, e := range events {
+		switch e.kind {
+		case evAcquire:
+			lastAcquire = e.pos
+		case evRelease:
+			lastRelease = e.pos
+			if lastDataWrite.IsValid() {
+				releaseAfterLastWrite = true
+			}
+		case evDataWrite:
+			lastDataWrite = e.pos
+			releaseAfterLastWrite = false
+			if !lastAcquire.IsValid() {
+				out = append(out, p.finding(seqlockName, e.pos,
+					"seqlock-protected data store before the seq word is acquired (CAS to odd) in %s",
+					fn.Name.Name))
+			} else if lastRelease.IsValid() && lastRelease > lastAcquire {
+				afterReleaseReported = true
+				out = append(out, p.finding(seqlockName, e.pos,
+					"data store after the seqlock is released in %s: readers can no longer detect the overlap",
+					fn.Name.Name))
+			}
+		}
+	}
+	// The after-release finding above already names the unpaired window;
+	// don't stack a missing-release report on the same stores.
+	if lastDataWrite.IsValid() && lastAcquire.IsValid() && !releaseAfterLastWrite && !afterReleaseReported {
+		out = append(out, p.finding(seqlockName, lastDataWrite,
+			"seqlock writer %s never releases (store seq back to even) after its data stores",
+			fn.Name.Name))
+	}
+
+	// Reader rules apply to pure readers: data copies with no acquire.
+	if lastAcquire.IsValid() {
+		return out
+	}
+	var lastDataRead *seqEvent
+	preLoads := make(map[types.Object]bool) // seq vars loaded before the last data read
+	for i := range events {
+		if events[i].kind == evDataRead {
+			lastDataRead = &events[i]
+		}
+	}
+	if lastDataRead == nil {
+		return out
+	}
+	anyLoadBefore := false
+	for _, e := range events {
+		if e.kind == evSeqLoad && e.pos < lastDataRead.pos {
+			anyLoadBefore = true
+			if e.obj != nil {
+				preLoads[e.obj] = true
+			}
+		}
+	}
+	if !anyLoadBefore {
+		out = append(out, p.finding(seqlockName, lastDataRead.pos,
+			"seqlock copy read in %s without loading the seq word first", fn.Name.Name))
+		return out
+	}
+	var reload *seqEvent
+	var validated *seqEvent
+	for i := range events {
+		e := &events[i]
+		if e.pos <= lastDataRead.pos {
+			continue
+		}
+		if e.kind == evSeqLoad {
+			reload = e
+		}
+		if e.kind == evCompare && reload != nil {
+			pre, post := false, false
+			for _, o := range e.objs {
+				if preLoads[o] {
+					pre = true
+				} else {
+					post = true
+				}
+			}
+			if pre && post {
+				validated = e
+				break
+			}
+		}
+	}
+	switch {
+	case reload == nil:
+		out = append(out, p.finding(seqlockName, lastDataRead.pos,
+			"seqlock reader %s never re-loads the seq word after copying: torn reads go undetected",
+			fn.Name.Name))
+	case validated == nil:
+		out = append(out, p.finding(seqlockName, reload.pos,
+			"seqlock reader %s re-loads the seq word but never compares it against the pre-copy value",
+			fn.Name.Name))
+	default:
+		// Validated: the copied bytes must not be used inside the
+		// unvalidated window.
+		if lastDataRead.obj != nil {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || id.Pos() <= lastDataRead.end || id.Pos() >= validated.pos {
+					return true
+				}
+				if objOf(p, id) == lastDataRead.obj {
+					out = append(out, p.finding(seqlockName, id.Pos(),
+						"copied seqlock data (%s) used before the seq re-check validates it in %s",
+						id.Name, fn.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectSeqEvents walks the body in source order and materializes the
+// protocol event stream.
+func collectSeqEvents(p *Pass, fn *ast.FuncDecl, acquirers, releasers map[string]bool) []seqEvent {
+	info := p.Pkg.Info
+	seqVars := seqOffsetVars(p, fn)
+
+	// Pre-pass: LHS var of each `v, err := dev.LoadWordRaw(seqOff)`.
+	loadDst := make(map[*ast.CallExpr]types.Object)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if obj := objOf(p, id); obj != nil {
+				loadDst[call] = obj
+			}
+		}
+		return true
+	})
+	seqLoadVars := make(map[types.Object]bool)
+
+	var events []seqEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c, ok := resolveCallee(info, n)
+			if !ok {
+				return true
+			}
+			// Same-package primitive calls.
+			if c.obj != nil && c.obj.Pkg() != nil && c.obj.Pkg().Path() == p.Pkg.Path {
+				key := c.name
+				if c.recv != "" {
+					key = c.recv + "." + c.name
+				}
+				if acquirers[key] {
+					events = append(events, seqEvent{kind: evAcquire, pos: n.Pos()})
+				}
+				if releasers[key] {
+					events = append(events, seqEvent{kind: evRelease, pos: n.Pos()})
+				}
+				return true
+			}
+			switch c.name {
+			case "LoadWordRaw":
+				if len(n.Args) == 0 {
+					return true
+				}
+				switch seqHeaderConstIn(p, n.Args[0], seqVars) {
+				case "CopySeqOff":
+					ev := seqEvent{kind: evSeqLoad, pos: n.Pos(), obj: loadDst[n]}
+					if ev.obj != nil {
+						seqLoadVars[ev.obj] = true
+					}
+					events = append(events, ev)
+				case "CopyGenOff":
+					// Generation header loads are validation traffic.
+				}
+			case "StoreWordRaw", "CompareAndSwapWordRaw":
+				if len(n.Args) == 0 {
+					return true
+				}
+				if seqHeaderConstIn(p, n.Args[0], seqVars) == "CopySeqOff" {
+					kind := evRelease
+					if c.name == "CompareAndSwapWordRaw" {
+						kind = evAcquire
+					}
+					events = append(events, seqEvent{kind: kind, pos: n.Pos()})
+				} else if c.name == "StoreWordRaw" {
+					events = append(events, seqEvent{kind: evDataWrite, pos: n.Pos()})
+				}
+			case "WriteWordsRaw":
+				if len(n.Args) > 0 && seqHeaderConstIn(p, n.Args[0], seqVars) != "CopySeqOff" {
+					events = append(events, seqEvent{kind: evDataWrite, pos: n.Pos()})
+				}
+			case "ReadWordsRaw":
+				if len(n.Args) < 2 || seqHeaderConstIn(p, n.Args[0], seqVars) != "" {
+					return true // seq/gen header reads are not data copies
+				}
+				events = append(events, seqEvent{
+					kind: evDataRead, pos: n.Pos(), end: n.End(),
+					obj: rootObj(info, n.Args[1]),
+				})
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			var objs []types.Object
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+					if obj := objOf(p, id); obj != nil && seqLoadVars[obj] {
+						objs = append(objs, obj)
+					}
+				}
+			}
+			if len(objs) == 2 {
+				events = append(events, seqEvent{kind: evCompare, pos: n.Pos(), objs: objs})
+			}
+		}
+		return true
+	})
+	return events
+}

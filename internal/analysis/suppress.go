@@ -21,11 +21,19 @@ type directive struct {
 	reason   string // "" when missing
 }
 
+// suppLine is one well-formed directive's line, with a used bit set
+// when it actually covers a finding (or a secondary anchor an analyzer
+// consulted): an unused directive is stale and itself reported.
+type suppLine struct {
+	line int
+	used bool
+}
+
 // suppressions indexes a package's ignore directives by file and line.
 type suppressions struct {
 	// byKey maps "<analyzer>\x00<file>" to the sorted lines holding a
 	// well-formed directive for that analyzer.
-	byKey  map[string][]int
+	byKey  map[string][]*suppLine
 	broken []directive
 }
 
@@ -33,7 +41,7 @@ type suppressions struct {
 // package. A directive must name an analyzer and give a reason; ones
 // that do not are recorded as broken and reported as findings.
 func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byKey: make(map[string][]int)}
+	s := &suppressions{byKey: make(map[string][]*suppLine)}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -57,26 +65,28 @@ func collectSuppressions(pkg *Package) *suppressions {
 					continue
 				}
 				key := d.analyzer + "\x00" + d.pos.Filename
-				s.byKey[key] = append(s.byKey[key], d.pos.Line)
+				s.byKey[key] = append(s.byKey[key], &suppLine{line: d.pos.Line})
 			}
 		}
 	}
 	for _, lines := range s.byKey {
-		sort.Ints(lines)
+		sort.Slice(lines, func(i, j int) bool { return lines[i].line < lines[j].line })
 	}
 	return s
 }
 
 // covers reports whether a well-formed directive for the analyzer sits
-// on the finding's line or on the line directly above it.
+// on the finding's line or on the line directly above it, marking every
+// matching directive as used.
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
-	lines := s.byKey[analyzer+"\x00"+pos.Filename]
-	for _, l := range lines {
-		if l == pos.Line || l == pos.Line-1 {
-			return true
+	hit := false
+	for _, l := range s.byKey[analyzer+"\x00"+pos.Filename] {
+		if l.line == pos.Line || l.line == pos.Line-1 {
+			l.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // brokenDirectives reports findings for directives missing a reason or
@@ -88,7 +98,7 @@ func (s *suppressions) brokenDirectives(pkg *Package, known map[string]bool) []F
 		msg := "lint-ignore directive needs an analyzer name and a reason: //gengar:lint-ignore <analyzer> <reason>"
 		out = append(out, Finding{
 			Analyzer: ignoreAnalyzerName,
-			Pos:      d.pos,
+			Pos:      token.Position{Filename: d.pos.Filename, Line: d.pos.Line, Column: d.pos.Column},
 			File:     d.pos.Filename,
 			Line:     d.pos.Line,
 			Col:      d.pos.Column,
@@ -104,11 +114,40 @@ func (s *suppressions) brokenDirectives(pkg *Package, known map[string]bool) []F
 		for _, line := range lines {
 			out = append(out, Finding{
 				Analyzer: ignoreAnalyzerName,
-				Pos:      token.Position{Filename: file, Line: line, Column: 1},
+				Pos:      token.Position{Filename: file, Line: line.line, Column: 1},
 				File:     file,
-				Line:     line,
+				Line:     line.line,
 				Col:      1,
 				Message:  "lint-ignore names unknown analyzer " + strconv.Quote(name),
+			})
+		}
+	}
+	return out
+}
+
+// staleDirectives reports well-formed directives that suppressed
+// nothing. Only analyzers that actually ran this invocation are
+// audited, so `-only` subsets never misflag a directive whose analyzer
+// was simply not in the suite.
+func (s *suppressions) staleDirectives(ran map[string]bool) []Finding {
+	var out []Finding
+	for key, lines := range s.byKey {
+		name := key[:strings.IndexByte(key, '\x00')]
+		file := key[strings.IndexByte(key, '\x00')+1:]
+		if !ran[name] {
+			continue
+		}
+		for _, line := range lines {
+			if line.used {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: ignoreAnalyzerName,
+				Pos:      token.Position{Filename: file, Line: line.line, Column: 1},
+				File:     file,
+				Line:     line.line,
+				Col:      1,
+				Message:  "lint-ignore for " + name + " suppresses nothing: remove the stale directive",
 			})
 		}
 	}

@@ -1,0 +1,90 @@
+// Package atomicmixed is the golden corpus for the atomic-mixed-access
+// analyzer.
+package atomicmixed
+
+import (
+	"sync/atomic"
+
+	"gengar/internal/cache"
+	"gengar/internal/hmem"
+	"gengar/internal/simnet"
+)
+
+// hits is accessed atomically in bump: every plain access elsewhere is
+// a finding.
+var hits int64
+
+type counter struct {
+	n     int64
+	clean int64 // never touched atomically: plain access is fine
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+// plainReads mixes in non-atomic loads of both words.
+func plainReads(c *counter) int64 {
+	a := c.n  // want "plain access to atomicmixed.counter.n"
+	b := hits // want "plain access to atomicmixed.hits"
+	ok := c.clean
+	return a + b + ok
+}
+
+// plainWrites mixes in non-atomic stores.
+func plainWrites(c *counter) {
+	c.n = 0 // want "plain access to atomicmixed.counter.n"
+	hits++  // want "plain access to atomicmixed.hits"
+	c.clean++
+}
+
+// freshInit fills a counter the function just allocated: nothing else
+// can observe it yet, so plain stores are pre-publication init.
+func freshInit() *counter {
+	c := &counter{n: 7} // composite-literal keys name fields, not accesses
+	c.n = 9
+	return c
+}
+
+// suppressed demonstrates a reviewed mixed access.
+func suppressed(c *counter) int64 {
+	//gengar:lint-ignore atomic-mixed-access corpus demo of a reviewed snapshot read
+	return c.n
+}
+
+type mover struct {
+	dev *hmem.Device
+}
+
+// seqWordOps drives the copy-header words through the atomic word APIs:
+// clean.
+func (m *mover) seqWordOps(off int64, buf []byte) error {
+	if _, err := m.dev.LoadWordRaw(off + cache.CopySeqOff); err != nil {
+		return err
+	}
+	return m.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf)
+}
+
+// seqWordPlain routes seqlock header offsets into the plain device ops.
+func (m *mover) seqWordPlain(at simnet.Time, off int64, buf []byte) {
+	m.dev.Read(at, off+cache.CopySeqOff, buf)  // want "seqlock header word \(CopySeqOff\) accessed through non-atomic Device.Read"
+	m.dev.Write(at, off+cache.CopyGenOff, buf) // want "seqlock header word \(CopyGenOff\) accessed through non-atomic Device.Write"
+}
+
+// seqWordPlainViaVar reaches the same hazard through an offset variable.
+func (m *mover) seqWordPlainViaVar(off int64, buf []byte) error {
+	seqOff := off + cache.CopySeqOff
+	return m.dev.ReadRaw(seqOff, buf) // want "seqlock header word \(CopySeqOff\) accessed through non-atomic Device.ReadRaw"
+}
+
+// dataPlain reads a data offset through the plain ops: out of scope.
+func (m *mover) dataPlain(off int64, buf []byte) error {
+	return m.dev.ReadRaw(off+cache.CopyHeaderBytes, buf)
+}
+
+// suppressedDeviceOp is the reviewed locked-fallback pattern.
+func (m *mover) suppressedDeviceOp(at simnet.Time, off int64, buf []byte) {
+	//gengar:lint-ignore atomic-mixed-access corpus demo: writers hold the device write lock here
+	m.dev.Read(at, off+cache.CopyGenOff, buf)
+}

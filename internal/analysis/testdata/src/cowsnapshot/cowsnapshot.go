@@ -1,0 +1,117 @@
+// Package cowsnapshot is the golden corpus for the cow-snapshot
+// analyzer.
+package cowsnapshot
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct {
+	m    map[string]int
+	list []int
+	hot  int
+}
+
+// table follows the repo's COW shape: readers Load a snapshot, writers
+// clone under mu and publish with Store.
+type table struct {
+	mu sync.Mutex
+	//gengar:guardedby mu
+	p atomic.Pointer[state]
+}
+
+// newTable fills a receiver nothing else can see yet: the unlocked
+// Store is pre-publication init.
+func newTable() *table {
+	t := &table{}
+	t.p.Store(&state{m: make(map[string]int)})
+	return t
+}
+
+// goodWriter clones under the writer lock and publishes the clone.
+func (t *table) goodWriter(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.p.Load()
+	next := &state{m: make(map[string]int, len(cur.m)+1)}
+	for key, val := range cur.m {
+		next.m[key] = val
+	}
+	next.m[k] = v
+	t.p.Store(next)
+}
+
+// unlockedStore publishes without the declared writer lock.
+func (t *table) unlockedStore(next *state) {
+	t.p.Store(next) // want "Store on COW field table.p without holding its declared writer lock t.mu"
+}
+
+// storeAfterUnlock releases the lock before publishing.
+func (t *table) storeAfterUnlock(next *state) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.p.Store(next) // want "Store on COW field table.p without holding its declared writer lock t.mu"
+}
+
+// swapUnlocked: Swap is a publication too.
+func (t *table) swapUnlocked(next *state) *state {
+	return t.p.Swap(next) // want "Swap on COW field table.p without holding its declared writer lock t.mu"
+}
+
+// mutateSnapshot writes through a Load'd pointer: readers are walking
+// it concurrently, so even the writer lock does not make this legal.
+func (t *table) mutateSnapshot(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.p.Load()
+	cur.m[k] = v // want "write through a COW snapshot \(cur aliases a Load'd snapshot\)"
+}
+
+// mutateChained writes through the Load call directly.
+func (t *table) mutateChained(k string, v int) {
+	t.p.Load().m[k] = v // want "write through Load\(\) of COW field table.p"
+}
+
+// deleteThroughSnapshot mutates the shared map via the builtin.
+func (t *table) deleteThroughSnapshot(k string) {
+	cur := t.p.Load()
+	delete(cur.m, k) // want "write through a COW snapshot \(cur aliases a Load'd snapshot\)"
+}
+
+// fieldStoreThroughSnapshot flags scalar field writes as well.
+func (t *table) fieldStoreThroughSnapshot(v int) {
+	cur := t.p.Load()
+	cur.hot = v // want "write through a COW snapshot \(cur aliases a Load'd snapshot\)"
+}
+
+// taintFlowsThroughAliases follows the snapshot through rebinding and
+// range values.
+func (t *table) taintFlowsThroughAliases(k string, v int) {
+	alias := t.p.Load()
+	inner := alias.m
+	inner[k] = v // want "write through a COW snapshot \(inner aliases a Load'd snapshot\)"
+	for _, sl := range [][]int{alias.list} {
+		_ = sl
+	}
+}
+
+// readersAreClean: Loads and reads through the snapshot never flag.
+func (t *table) readersAreClean(k string) (int, bool) {
+	cur := t.p.Load()
+	v, ok := cur.m[k]
+	return v + cur.hot, ok
+}
+
+// suppressed demonstrates a reviewed in-place mutation.
+func (t *table) suppressed(k string, v int) {
+	cur := t.p.Load()
+	//gengar:lint-ignore cow-snapshot corpus demo of a reviewed single-writer mutation
+	cur.m[k] = v
+}
+
+// badAnnotation declares a guard that is not a sibling field.
+type badAnnotation struct {
+	//gengar:guardedby lock // want "gengar:guardedby must name a sibling mutex field of badAnnotation"
+	p atomic.Pointer[state]
+}

@@ -1,0 +1,103 @@
+// Package lockorder is the golden corpus for the lock-order analyzer.
+// The package declares its own hierarchy with a //gengar:lockorder
+// directive (class names collapse to "pkgbase.Type.field"):
+//
+//gengar:lockorder lockorder.outer.mu < lockorder.inner.mu
+package lockorder
+
+import "sync"
+
+type outer struct {
+	mu sync.Mutex
+	in *inner
+}
+
+type inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// goodNesting follows the declared order: outer before inner.
+func (o *outer) goodNesting() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.Lock()
+	o.in.n++
+	o.in.mu.Unlock()
+}
+
+// inverted acquires the classes back to front.
+func (i *inner) inverted(o *outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock() // want "lock lockorder.outer.mu acquired while lockorder.inner.mu is held inverts the declared lock order"
+	o.mu.Unlock()
+}
+
+// invertedViaCall reaches the same inversion through a callee: the
+// interprocedural closure attributes it to the call site.
+func (i *inner) invertedViaCall(o *outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	lockOuter(o) // want "lock lockorder.outer.mu acquired while lockorder.inner.mu is held \(via call to lockorder.lockOuter\) inverts the declared lock order"
+}
+
+func lockOuter(o *outer) {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+type left struct{ mu sync.Mutex }
+
+type right struct{ mu sync.Mutex }
+
+// cycleAB and cycleBA close an undeclared two-class cycle: each
+// direction is a finding, since neither order is blessed.
+func cycleAB(l *left, r *right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.mu.Lock() // want "lock lockorder.right.mu acquired while lockorder.left.mu is held closes an acquisition cycle"
+	r.mu.Unlock()
+}
+
+func cycleBA(l *left, r *right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock() // want "lock lockorder.left.mu acquired while lockorder.right.mu is held closes an acquisition cycle"
+	l.mu.Unlock()
+}
+
+// twoInstances holds two locks of the same class with no defined
+// instance order: the one-class cycle.
+func twoInstances(a, b *inner) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock lockorder.inner.mu acquired while lockorder.inner.mu is held closes an acquisition cycle"
+	b.n++
+	b.mu.Unlock()
+}
+
+// branchesAreNotNesting: the linear scan tracks release, so two
+// sequential critical sections of different classes in one body do not
+// fabricate an edge.
+func branchesAreNotNesting(o *outer, i *inner) {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// suppressed is the address-ordered double lock of one class — the
+// reviewed exception, as in rdma.QP.Connect.
+func suppressed(a, b *inner) {
+	if b.n < a.n {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//gengar:lint-ignore lock-order corpus demo: instances locked in address order
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

@@ -1,0 +1,174 @@
+// Package seqlock is the golden corpus for the seqlock-protocol
+// analyzer.
+package seqlock
+
+import (
+	"gengar/internal/cache"
+	"gengar/internal/hmem"
+)
+
+type copyArena struct {
+	dev *hmem.Device
+}
+
+// acquire is the writer-entry primitive: CAS the seq word odd. Exempt
+// from the pairing rules (no data words), and calls to it count as the
+// acquire event in callers.
+func (a *copyArena) acquire(off int64) (uint64, error) {
+	for {
+		s, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+		if err != nil {
+			return 0, err
+		}
+		if s&1 != 0 {
+			continue
+		}
+		ok, err := a.dev.CompareAndSwapWordRaw(off+cache.CopySeqOff, s, s+1)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return s + 1, nil
+		}
+	}
+}
+
+// release is the writer-exit primitive: seq moves odd -> next even.
+func (a *copyArena) release(off int64, odd uint64) error {
+	return a.dev.StoreWordRaw(off+cache.CopySeqOff, odd+1)
+}
+
+// goodWriter is the blessed shape: acquire, data stores, release.
+func (a *copyArena) goodWriter(off int64, data []byte) error {
+	odd, err := a.acquire(off)
+	if err != nil {
+		return err
+	}
+	if err := a.dev.WriteWordsRaw(off+cache.CopyHeaderBytes, data); err != nil {
+		return err
+	}
+	return a.release(off, odd)
+}
+
+// writeBeforeAcquire stores data words while the seq word is still
+// even: a concurrent reader sees no overlap and trusts a torn copy.
+func (a *copyArena) writeBeforeAcquire(off int64, data []byte) error {
+	if err := a.dev.WriteWordsRaw(off+cache.CopyHeaderBytes, data); err != nil { // want "data store before the seq word is acquired"
+		return err
+	}
+	odd, err := a.acquire(off)
+	if err != nil {
+		return err
+	}
+	return a.release(off, odd)
+}
+
+// writeAfterRelease keeps mutating after seq went back to even.
+func (a *copyArena) writeAfterRelease(off int64, data []byte) error {
+	odd, err := a.acquire(off)
+	if err != nil {
+		return err
+	}
+	if err := a.release(off, odd); err != nil {
+		return err
+	}
+	return a.dev.WriteWordsRaw(off+cache.CopyHeaderBytes, data) // want "data store after the seqlock is released"
+}
+
+// neverReleases wedges the seq word odd forever.
+func (a *copyArena) neverReleases(off int64, data []byte) error {
+	if _, err := a.acquire(off); err != nil {
+		return err
+	}
+	return a.dev.WriteWordsRaw(off+cache.CopyHeaderBytes, data) // want "seqlock writer neverReleases never releases"
+}
+
+// goodReader is the blessed shape: seq load, copy, re-load, compare.
+func (a *copyArena) goodReader(off int64, buf []byte) (bool, error) {
+	seq1, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil || seq1&1 != 0 {
+		return false, err
+	}
+	if err := a.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf); err != nil {
+		return false, err
+	}
+	seq2, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil {
+		return false, err
+	}
+	return seq2 == seq1, nil
+}
+
+// noPreLoad copies without checking for a writer in progress.
+func (a *copyArena) noPreLoad(off int64, buf []byte) error {
+	if err := a.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf); err != nil { // want "without loading the seq word first"
+		return err
+	}
+	seq2, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	_ = seq2
+	return err
+}
+
+// noReload never looks at the seq word again after copying.
+func (a *copyArena) noReload(off int64, buf []byte) error {
+	seq1, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil || seq1&1 != 0 {
+		return err
+	}
+	return a.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf) // want "never re-loads the seq word after copying"
+}
+
+// noCompare re-loads but never validates against the first value.
+func (a *copyArena) noCompare(off int64, buf []byte) error {
+	seq1, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil || seq1&1 != 0 {
+		return err
+	}
+	if err := a.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf); err != nil {
+		return err
+	}
+	_, err = a.dev.LoadWordRaw(off + cache.CopySeqOff) // want "re-loads the seq word but never compares it"
+	return err
+}
+
+// usedBeforeValidated consumes the copied bytes inside the unvalidated
+// window: a torn copy escapes before the re-check can reject it.
+func (a *copyArena) usedBeforeValidated(off int64, buf []byte, sink func([]byte)) (bool, error) {
+	seq1, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil || seq1&1 != 0 {
+		return false, err
+	}
+	if err := a.dev.ReadWordsRaw(off+cache.CopyHeaderBytes, buf); err != nil {
+		return false, err
+	}
+	sink(buf) // want "copied seqlock data \(buf\) used before the seq re-check"
+	seq2, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil {
+		return false, err
+	}
+	return seq2 == seq1, nil
+}
+
+// wedgeForTest pokes the seq word directly with no data traffic, like
+// the engine's stalled-writer test: exempt.
+func (a *copyArena) wedgeForTest(off int64) error {
+	s, err := a.dev.LoadWordRaw(off + cache.CopySeqOff)
+	if err != nil {
+		return err
+	}
+	return a.dev.StoreWordRaw(off+cache.CopySeqOff, s|1)
+}
+
+// suppressed demonstrates a reviewed single-writer arena where the
+// window rules are deliberately relaxed.
+func (a *copyArena) suppressed(off int64, data []byte) error {
+	//gengar:lint-ignore seqlock-protocol corpus demo: single-writer arena, no concurrent readers yet
+	if err := a.dev.WriteWordsRaw(off+cache.CopyHeaderBytes, data); err != nil {
+		return err
+	}
+	odd, err := a.acquire(off)
+	if err != nil {
+		return err
+	}
+	return a.release(off, odd)
+}

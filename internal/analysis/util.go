@@ -78,6 +78,14 @@ func namedOf(t types.Type) *types.Named {
 	return named
 }
 
+// pkgTypeOf returns the static type of e in pkg, or nil when untyped.
+func pkgTypeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
 // isNamedType reports whether t (possibly behind a pointer) is the named
 // type pkgPath.name.
 func isNamedType(t types.Type, pkgPath, name string) bool {

@@ -132,7 +132,8 @@ func (p *BufferPool) Allocator() *alloc.ShardedPool { return p.buddy }
 // mutations clone under a writer mutex before publishing.
 type RemapTable struct {
 	mu sync.Mutex // serializes writers
-	p  atomic.Pointer[remapState]
+	//gengar:guardedby mu
+	p atomic.Pointer[remapState]
 }
 
 // remapState is one immutable table version. The map is never mutated

@@ -20,7 +20,8 @@ import (
 // publishing.
 type objIndex struct {
 	mu sync.Mutex // serializes writers
-	p  atomic.Pointer[objState]
+	//gengar:guardedby mu
+	p atomic.Pointer[objState]
 }
 
 // objState is one immutable index version; neither field is mutated

@@ -71,6 +71,7 @@ func (qp *QP) Connect(peer *QP) error {
 	}
 	first.mu.Lock()
 	defer first.mu.Unlock()
+	//gengar:lint-ignore lock-order both ends lock in address order, so concurrent reverse Connects cannot deadlock
 	second.mu.Lock()
 	defer second.mu.Unlock()
 	if qp.closed || peer.closed {
