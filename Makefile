@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race race-short bench bench-full bench-wire bench-scale fuzz-wire e2e trace-e2e quick tidy clean
+.PHONY: all build vet lint lint-fast test race race-short bench bench-full bench-wire bench-scale bench-cluster fuzz-wire e2e e2e-cluster trace-e2e quick tidy clean
 
 all: vet lint build test
 
@@ -55,6 +55,12 @@ bench-scale:
 	$(GO) test ./internal/engine -run=^$$ -bench=BenchmarkReadHitParallel -benchtime=1000x -cpu=1,4
 	$(GO) test ./internal/alloc -run=^$$ -bench='BenchmarkBuddyParallel|BenchmarkShardedPoolParallel' -benchtime=1000x -cpu=1,4
 
+# Distributed-cache scaling smoke (experiment E20): the DRAM-served
+# read fraction as daemons join a loopback peer mesh; the full sweep
+# (1..4 daemons) writes results/e20.csv via GENGAR_E20_CSV.
+bench-cluster:
+	$(GO) test ./internal/tcpnet -run=^$$ -bench=BenchmarkTCPDistributedCache -short -benchtime=500x
+
 # Short coverage-guided pass over the frame reader's fuzz target; the
 # checked-in corpus under internal/tcpnet/testdata/fuzz always runs as
 # part of `make test`.
@@ -66,6 +72,13 @@ fuzz-wire:
 # over loopback TCP.
 e2e:
 	$(GO) test ./e2e/ -count=1 -v
+
+# Distributed DRAM cache end to end: three real gengard daemons in a
+# -peers mesh over loopback, the home arena sized so hot copies spill
+# into peers' DRAM, then one peer SIGKILLed — every read must still
+# succeed with zero client-visible errors.
+e2e-cluster:
+	$(GO) test ./e2e/ -run '^TestClusterSpillAndPeerDeath$$' -count=1 -v
 
 # Tracing end-to-end: stitched client+server spans over a real gengard
 # via /debug/trace, plus the in-process wire-extension negotiation and

@@ -156,6 +156,25 @@ func stats(pool *tcpnet.Pool) error {
 			s.ServerID, s.Objects, s.PoolUsed, s.PoolBytes, s.Ops,
 			s.CacheHits, s.CacheMisses, s.Staged, s.Flushed, s.Promoted, s.Digests)
 	}
+	// The distributed-cache columns only say something when a daemon
+	// runs in a -peers mesh; keep the lone-daemon output unchanged.
+	cluster := false
+	for _, s := range sts {
+		if s.PeersLive > 0 || s.PeerHits > 0 || s.HostedCopies > 0 || s.SpilledBytes > 0 {
+			cluster = true
+			break
+		}
+	}
+	if !cluster {
+		return nil
+	}
+	fmt.Printf("\n%-8s %-10s %-10s %-12s %-14s %-14s %s\n",
+		"server", "peer_hits", "peer_errs", "spilled_B", "hosted_copies", "hosted_B", "peers_live")
+	for _, s := range sts {
+		fmt.Printf("%-8d %-10d %-10d %-12d %-14d %-14d %d\n",
+			s.ServerID, s.PeerHits, s.PeerErrors, s.SpilledBytes,
+			s.HostedCopies, s.HostedBytes, s.PeersLive)
+	}
 	return nil
 }
 

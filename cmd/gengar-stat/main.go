@@ -69,6 +69,7 @@ func run() error {
 		}
 		render(os.Stdout, snap, prev, now.Sub(prevAt), *filter)
 		renderShards(os.Stdout, snap)
+		renderPeers(os.Stdout, snap)
 		renderStages(os.Stdout, snap)
 		if *traceN > 0 {
 			recs, err := fetchTrace(base, *traceN)
@@ -230,6 +231,106 @@ func renderShards(w io.Writer, snap telemetry.Snapshot) {
 		}
 	}
 	fmt.Fprintf(w, "seqlock: %d hits, %d retries, %d locked fallbacks\n", hits, retries, fallbacks)
+}
+
+// renderPeers prints the distributed-cache pane: per-peer link state,
+// spilled-copy occupancy and round-trip quantiles
+// (gengar_tcp_peer_* series), the local/peer split of DRAM-served
+// reads, and what this daemon hosts for its remote homes. Shown only
+// when the daemon runs with -peers.
+func renderPeers(w io.Writer, snap telemetry.Snapshot) {
+	type peer struct {
+		up, spilled int64
+		rtt         *telemetry.HistogramSample
+	}
+	peers := make(map[string]*peer)
+	get := func(id string) *peer {
+		p := peers[id]
+		if p == nil {
+			p = &peer{}
+			peers[id] = p
+		}
+		return p
+	}
+	var live int64
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "gengar_tcp_peer_up":
+			get(g.Labels["peer"]).up = g.Value
+		case "gengar_tcp_peer_spilled_bytes":
+			get(g.Labels["peer"]).spilled = g.Value
+		case "gengar_tcp_peers_live":
+			live = g.Value
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	for i := range snap.Histograms {
+		h := &snap.Histograms[i]
+		if h.Name == "gengar_tcp_peer_rtt_seconds" {
+			get(h.Labels["peer"]).rtt = h
+		}
+	}
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w)
+	fmt.Fprintln(tw, "PEER\tUP\tSPILLED\tRTT-OPS\tRTT-P50\tRTT-P99\tRTT-MAX")
+	for _, id := range ids {
+		p := peers[id]
+		up := "down"
+		if p.up != 0 {
+			up = "up"
+		}
+		if p.rtt == nil || p.rtt.Count == 0 {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t0\t-\t-\t-\n", id, up, p.spilled)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			id, up, p.spilled, p.rtt.Count,
+			time.Duration(p.rtt.P50Nanos), time.Duration(p.rtt.P99Nanos),
+			time.Duration(p.rtt.MaxNanos))
+	}
+	tw.Flush()
+
+	var localHits, peerHits, peerErrs, hostedReads int64
+	var hostedCopies, hostedBytes int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "gengar_server_cache_hits_total":
+			localHits += c.Value
+		case "gengar_server_peer_hits_total":
+			peerHits += c.Value
+		case "gengar_server_peer_copy_errors_total":
+			peerErrs += c.Value
+		case "gengar_server_hosted_reads_total":
+			hostedReads += c.Value
+		}
+	}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "gengar_server_hosted_copies":
+			hostedCopies += g.Value
+		case "gengar_server_hosted_bytes":
+			hostedBytes += g.Value
+		}
+	}
+	frac := func(part, whole int64) string {
+		if whole == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+	}
+	dram := localHits + peerHits
+	fmt.Fprintf(w, "dram hits: %d local + %d peer (%s peer-served), %d peer errors, %d links live\n",
+		localHits, peerHits, frac(peerHits, dram), peerErrs, live)
+	fmt.Fprintf(w, "hosting for remote homes: %d copies, %d bytes, %d reads served\n",
+		hostedCopies, hostedBytes, hostedReads)
 }
 
 // renderStages prints the latency-anatomy pane: the per-(op, stage)

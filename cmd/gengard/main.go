@@ -20,6 +20,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ func run() error {
 		ringBytes   = flag.Int64("ring-bytes", 8<<20, "staging-ring arena backing proxied writes (power of two)")
 		digestEvery = flag.Int("digest-every", 64, "data accesses folded into one server-side hotness digest")
 		noCache     = flag.Bool("no-cache", false, "disable hotness tracking and DRAM cache promotion")
+		peers       = flag.String("peers", "", "comma-separated addresses of peer gengard daemons; joins the distributed DRAM cache (spill hot copies into peers' arenas under pressure)")
 		noProxy     = flag.Bool("no-proxy", false, "disable staged writes (writes go straight to the pool)")
 		lease       = flag.Duration("lease", 5*time.Second, "default lock lease")
 		lockWait    = flag.Duration("lock-wait", 2*time.Second, "lock acquire timeout")
@@ -65,6 +67,7 @@ func run() error {
 		DigestEvery:    *digestEvery,
 		NoCache:        *noCache,
 		NoProxy:        *noProxy,
+		Peers:          splitPeers(*peers),
 		DefaultLease:   *lease,
 		AcquireTimeout: *lockWait,
 		Nagle:          *nagle,
@@ -139,6 +142,18 @@ func run() error {
 	return nil
 }
 
+// splitPeers parses the -peers flag: comma-separated dial addresses,
+// empty entries dropped so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // logFinalStats summarizes the daemon's lifetime activity from its
 // telemetry snapshot as it exits.
 func logFinalStats(srv *tcpnet.PoolServer, uptime time.Duration) {
@@ -153,7 +168,11 @@ func logFinalStats(srv *tcpnet.PoolServer, uptime time.Duration) {
 		s.Sum("gengar_tcp_pool_used_bytes"),
 		srv.Recorder().Total())
 	es := srv.Engine().Stats()
-	log.Printf("gengard: engine stats: cache_hits=%d cache_misses=%d staged=%d flushed=%d promotions=%d demotions=%d promoted=%d digests=%d remap_epoch=%d",
-		es.Hits, es.Misses, es.Proxy.Staged, es.Proxy.Flushed,
+	log.Printf("gengard: engine stats: cache_hits=%d peer_hits=%d cache_misses=%d staged=%d flushed=%d promotions=%d demotions=%d promoted=%d digests=%d remap_epoch=%d",
+		es.Hits, es.PeerHits, es.Misses, es.Proxy.Staged, es.Proxy.Flushed,
 		es.Promotions, es.Demotions, es.Promoted, es.Digests, es.RemapEpoch)
+	if es.PeerErrors+es.HostedReads > 0 || es.HostedCopies > 0 {
+		log.Printf("gengard: peer cache stats: hosted_copies=%d hosted_bytes=%d hosted_reads=%d peer_errors=%d",
+			es.HostedCopies, es.HostedBytes, es.HostedReads, es.PeerErrors)
+	}
 }

@@ -1,0 +1,150 @@
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+	"gengar/internal/tcpnet"
+)
+
+// kill terminates the daemon hard (SIGKILL, no snapshot, no graceful
+// teardown) — the crashed-peer case, as opposed to stop's SIGTERM.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	d.cmd = nil
+}
+
+// TestClusterSpillAndPeerDeath drives the distributed DRAM cache over
+// real gengard processes: three daemons on loopback in a full -peers
+// mesh, the home daemon's arena sized far below its hot set so
+// promotion must spill copies into the peers' arenas, then one peer
+// SIGKILLed mid-workload. The pin: hot reads are served out of peer
+// DRAM while the cluster is whole, and after the crash every read still
+// succeeds with correct bytes — dead-peer copies demote to NVM reads
+// with zero client-visible errors.
+func TestClusterSpillAndPeerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and execs real binaries")
+	}
+	dir := t.TempDir()
+	gengard, cli := buildBinaries(t, dir)
+
+	addrs := []string{freePort(t), freePort(t), freePort(t)}
+	mesh := func(self int) string {
+		var peers string
+		for i, a := range addrs {
+			if i == self {
+				continue
+			}
+			if peers != "" {
+				peers += ","
+			}
+			peers += a
+		}
+		return peers
+	}
+	// The home daemon's arena holds only a handful of copies; its peers
+	// bring 1 MiB each, so the planner's aggregate budget covers the
+	// whole working set and the overflow spills.
+	home := startDaemon(t, gengard, addrs[0],
+		"-cache-bytes", "65536", "-digest-every", "4", "-peers", mesh(0))
+	_ = home
+	peerA := startDaemon(t, gengard, addrs[1],
+		"-id", "2", "-cache-bytes", fmt.Sprint(1<<20), "-peers", mesh(1))
+	_ = peerA
+	peerB := startDaemon(t, gengard, addrs[2],
+		"-id", "3", "-cache-bytes", fmt.Sprint(1<<20), "-peers", mesh(2))
+
+	p, err := tcpnet.Dial([]string{addrs[0]}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const (
+		objects = 48
+		objSize = 4096
+	)
+	objAddrs := make([]region.GAddr, objects)
+	objData := make([][]byte, objects)
+	for i := range objAddrs {
+		a, err := p.Malloc(objSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objAddrs[i] = a
+		objData[i] = bytes.Repeat([]byte{byte(i + 1)}, objSize)
+		if err := p.Write(a, objData[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer the working set until the distributed cache is visibly in
+	// play: copies spilled onto peers AND reads served through them.
+	buf := make([]byte, objSize)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		for i, a := range objAddrs {
+			if _, err := p.ReadCheck(a, buf); err != nil {
+				t.Fatalf("warm read of object %d: %v", i, err)
+			}
+			if !bytes.Equal(buf, objData[i]) {
+				t.Fatalf("object %d corrupt during warm-up", i)
+			}
+		}
+		st, err := p.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st[0].SpilledBytes > 0 && st[0].PeerHits > 0 {
+			t.Logf("distributed cache active: spilled=%d B, peer_hits=%d, local_hits=%d, peers_live=%d",
+				st[0].SpilledBytes, st[0].PeerHits, st[0].CacheHits, st[0].PeersLive)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hot set never spilled to peers: %+v\n%s", st[0], home.log)
+		}
+	}
+
+	// The cluster columns of `gengar-cli stats` surface the activity a
+	// plain daemon never shows: spilled bytes and live peer links.
+	if out := runCLI(t, cli, addrs[0], "stats"); !strings.Contains(out, "peers_live") {
+		t.Fatalf("gengar-cli stats shows no cluster columns:\n%s", out)
+	}
+
+	// Crash one peer hard. Copies it hosted are unreachable; the home
+	// must demote them and keep serving every read from NVM.
+	peerB.kill()
+
+	for pass := 0; pass < 3; pass++ {
+		for i, a := range objAddrs {
+			if _, err := p.ReadCheck(a, buf); err != nil {
+				t.Fatalf("pass %d: read of object %d failed after peer death: %v", pass, i, err)
+			}
+			if !bytes.Equal(buf, objData[i]) {
+				t.Fatalf("pass %d: object %d corrupt after peer death", pass, i)
+			}
+		}
+	}
+	st, err := p.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("after peer death: peer_errors=%d demotions=%d peers_live=%d local_hits=%d peer_hits=%d",
+		st[0].PeerErrors, st[0].Demotions, st[0].PeersLive, st[0].CacheHits, st[0].PeerHits)
+
+	// The surviving peer keeps hosting: writes and reads still work and
+	// the pool still answers stats — the cluster degraded, not died.
+	if err := p.Write(objAddrs[0], objData[0]); err != nil {
+		t.Fatalf("write after peer death: %v", err)
+	}
+}

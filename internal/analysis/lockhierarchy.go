@@ -23,9 +23,12 @@ var defaultLockOrder = []string{
 	// remap-view, and transport work).
 	"core.Client.mu",
 	// TCP transport: the redial guard admits one redialer which then
-	// takes the conn table, per-connection, and frame-queue locks.
+	// takes the conn table, per-connection, and frame-queue locks. The
+	// peer-link dial guard (TryLock-admitted) wraps a handshake on the
+	// peer connection, so it sits above serverConn.
 	"tcpnet.Pool.redialMu",
 	"tcpnet.Pool.mu",
+	"tcpnet.peerLink.mu",
 	"tcpnet.serverConn.mu",
 	"tcpnet.frameQueue.mu",
 	// Server-side registry pairs QPs and pokes per-server state.
@@ -42,6 +45,9 @@ var defaultLockOrder = []string{
 	"lock.LeaseTable.mu",
 	"cache.RemapTable.mu",
 	"engine.objIndex.mu",
+	// Hosted-copy table: short bookkeeping sections only; arena and
+	// copy I/O run outside its critical sections.
+	"engine.hostedTable.mu",
 	"cache.ClientView.mu",
 	"hotness.Recorder.mu",
 	// Wire layers under everything above.

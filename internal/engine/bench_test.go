@@ -41,8 +41,8 @@ func newBenchEngine(b *testing.B) (*Engine, region.GAddr) {
 	<-done
 
 	buf := make([]byte, 128)
-	if _, hit, err := eng.ReadAt(0, a, buf); err != nil || !hit {
-		b.Fatalf("warm-up read: hit=%v err=%v", hit, err)
+	if _, src, err := eng.ReadAt(0, a, buf); err != nil || !src.Hit() {
+		b.Fatalf("warm-up read: src=%v err=%v", src, err)
 	}
 	return eng, a
 }
@@ -60,8 +60,8 @@ func BenchmarkReadHitParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		buf := make([]byte, 128)
 		for pb.Next() {
-			if _, hit, err := eng.ReadAt(0, addr, buf); err != nil || !hit {
-				b.Errorf("read hit=%v err=%v", hit, err)
+			if _, src, err := eng.ReadAt(0, addr, buf); err != nil || !src.Hit() {
+				b.Errorf("read src=%v err=%v", src, err)
 				return
 			}
 		}

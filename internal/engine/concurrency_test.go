@@ -186,12 +186,12 @@ func TestSeqlockReadNeverTears(t *testing.T) {
 			defer wg.Done()
 			buf := make([]byte, span)
 			for !stop.Load() {
-				_, hit, err := eng.ReadAt(0, region.MustGAddr(1, hot.Offset()+64), buf)
+				_, src, err := eng.ReadAt(0, region.MustGAddr(1, hot.Offset()+64), buf)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if !hit {
+				if !src.Hit() {
 					continue
 				}
 				hits.Add(1)
@@ -250,11 +250,11 @@ func TestSeqlockRetriesBounded(t *testing.T) {
 	}
 
 	buf := make([]byte, 64)
-	_, hit, err := eng.ReadAt(0, hot, buf)
+	_, src, err := eng.ReadAt(0, hot, buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit {
+	if !src.Hit() {
 		t.Fatal("locked fallback should still serve the hit")
 	}
 	st := eng.Stats()

@@ -94,6 +94,12 @@ type Engine struct {
 	// engine serves data but never promotes.
 	placer Placer
 
+	// localIO is the copy data plane over this engine's own arena,
+	// shared by the local placer and the hosted-copy (peer spill) table.
+	localIO localCopyIO
+	// hosted tracks copies that remote homes spilled into this arena.
+	hosted hostedTable
+
 	mu             sync.Mutex // guards sketch, plan state, ring leases
 	sketch         *hotness.SpaceSaving
 	lastPlan       simnet.Time
@@ -109,10 +115,16 @@ type Engine struct {
 	digests      metrics.Counter
 	mallocs      metrics.Counter
 	frees        metrics.Counter
-	hits         metrics.Counter // mediated reads served from a DRAM copy
+	hits         metrics.Counter // mediated reads served from the local DRAM arena
+	peerHits     metrics.Counter // mediated reads proxied from a peer's DRAM arena
 	misses       metrics.Counter // mediated reads served from home NVM
+	peerErrs     metrics.Counter // peer copy I/O failures that demoted the entry
+	hostedReads  metrics.Counter // hosted-copy reads served for remote homes
+	releaseErrs  metrics.Counter // copy releases that failed (double release)
 	seqRetries   metrics.Counter // seqlock read attempts retried (writer raced)
 	seqFallbacks metrics.Counter // seqlock reads that gave up and took the locked path
+
+	releaseErrOnce sync.Once // gates the one release-failure log line
 }
 
 // New builds an engine: devices, allocator, lock and lease tables, and
@@ -164,6 +176,8 @@ func New(ec Config) (*Engine, error) {
 			MaxChurn:    cfg.Hotness.MaxChurn,
 		},
 	}
+
+	e.localIO = localCopyIO{e: e}
 
 	if e.pool, err = alloc.NewSharded(cfg.NVMBytes); err != nil {
 		return nil, err
@@ -408,7 +422,17 @@ func (e *Engine) RefreshCopy(at simnet.Time, addr region.GAddr, size int64) (sim
 		return at, err
 	}
 	delta := addr.Offset() - base.Offset()
-	return e.writeCopy(tRead, loc, delta, data)
+	end, err := e.writeCopy(tRead, loc, delta, data)
+	if err != nil {
+		// The write itself landed in NVM; only the copy refresh failed
+		// (typically an unreachable peer holding the copy). Demote the
+		// entry — reads fall back to authoritative NVM — and swallow the
+		// error so a dead peer never surfaces as a client write failure.
+		e.peerErrs.Inc()
+		e.demoteCopy(base)
+		return tRead, nil
+	}
+	return end, nil
 }
 
 // ApplyToCache is the proxy flusher's write-through hook: after a staged
@@ -429,25 +453,48 @@ func (e *Engine) ApplyToCache(at simnet.Time, addr region.GAddr, data []byte) si
 	}
 	end, err := e.writeCopy(at, loc, delta, data)
 	if err != nil {
+		// The flushed record is durable in NVM; a copy that cannot be
+		// refreshed (unreachable peer) must not keep serving stale reads.
+		e.peerErrs.Inc()
+		e.demoteCopy(base)
 		return at
 	}
 	return end
 }
 
+// ReadSource identifies where a mediated read was served from.
+type ReadSource uint8
+
+// Read sources, in escalation order: the local arena's lock-free hit
+// path, a peer's arena over the daemon link, then home NVM.
+const (
+	ReadMiss     ReadSource = iota // home NVM
+	ReadHitLocal                   // DRAM copy in the local arena
+	ReadHitPeer                    // DRAM copy on a peer, proxied over the peer link
+)
+
+// Hit reports whether the read was served from a DRAM copy anywhere.
+func (s ReadSource) Hit() bool { return s != ReadMiss }
+
 // ReadAt is the server-mediated read path (the TCP mount's gread): it
 // serves the range from the local DRAM copy when the containing object
-// is promoted here and the copy's generation is live, and from home NVM
-// otherwise. It reports whether the read was a cache hit.
-func (e *Engine) ReadAt(at simnet.Time, addr region.GAddr, buf []byte) (end simnet.Time, hit bool, err error) {
+// is promoted into this arena, proxies through the placer when the copy
+// was spilled to a peer, and falls back to home NVM otherwise. It
+// reports which of the three served the read.
+func (e *Engine) ReadAt(at simnet.Time, addr region.GAddr, buf []byte) (end simnet.Time, src ReadSource, err error) {
 	if e.cfg.Features.Cache {
 		if end, ok := e.readCopy(at, addr, buf); ok {
 			e.hits.Inc()
-			return end, true, nil
+			return end, ReadHitLocal, nil
+		}
+		if end, ok := e.readPeerCopy(at, addr, buf); ok {
+			e.peerHits.Inc()
+			return end, ReadHitPeer, nil
 		}
 	}
 	e.misses.Inc()
 	end, err = e.nvm.Read(at, addr.Offset(), buf)
-	return end, false, err
+	return end, ReadMiss, err
 }
 
 // seqlockAttempts bounds the optimistic read retries before readCopy
@@ -483,6 +530,18 @@ func (e *Engine) readCopy(at simnet.Time, addr region.GAddr, buf []byte) (simnet
 	if delta < 0 || delta+int64(len(buf)) > loc.Size {
 		return at, false
 	}
+	return e.seqlockReadCopy(at, loc, delta, buf)
+}
+
+// seqlockReadCopy runs the lock-free generation-checked read protocol
+// against a local arena location — the shared core of the mediated hit
+// path, the placer's local ReadCopy, and hosted-copy reads. A false
+// return means the generation no longer matches (slot demoted or
+// reused) or the device failed; retries exhausted fall back to the
+// locked path, which still validates the generation.
+//
+//gengar:hotpath
+func (e *Engine) seqlockReadCopy(at simnet.Time, loc cache.Location, delta int64, buf []byte) (simnet.Time, bool) {
 	genWord := hmem.BEWord(loc.Gen)
 	for try := 0; try < seqlockAttempts; try++ {
 		seq1, err := e.cacheDev.LoadWordRaw(loc.Off + cache.CopySeqOff)
@@ -535,6 +594,48 @@ func (e *Engine) readCopyLocked(at simnet.Time, loc cache.Location, delta int64,
 	return end, true
 }
 
+// readPeerCopy serves buf through the placer when the containing
+// object's copy was spilled to a peer's arena. The generation check
+// happens at the holder; any failure — a dead peer, a stale generation,
+// a copy the holder already recycled — demotes the entry so subsequent
+// reads go straight to home NVM, and reports a miss rather than an
+// error: home NVM is always authoritative.
+func (e *Engine) readPeerCopy(at simnet.Time, addr region.GAddr, buf []byte) (simnet.Time, bool) {
+	if e.placer == nil {
+		return at, false
+	}
+	base, _, ok := e.objIdx.findContaining(addr, int64(len(buf)))
+	if !ok {
+		return at, false
+	}
+	loc, promoted := e.remap.Lookup(base)
+	if !promoted || loc.Node == e.name {
+		return at, false // local copies were already tried lock-free
+	}
+	delta := addr.Offset() - base.Offset()
+	if delta < 0 || delta+int64(len(buf)) > loc.Size {
+		return at, false
+	}
+	end, err := e.placer.ReadCopy(at, loc, delta, buf)
+	if err != nil {
+		e.peerErrs.Inc()
+		e.demoteCopy(base)
+		return at, false
+	}
+	return end, true
+}
+
+// demoteCopy drops the promoted entry for base and releases whatever
+// location the remap table still held — the graceful-degradation path
+// for unreachable or stale peer copies. Apply serializes concurrent
+// demoters, so exactly one caller receives (and releases) the location.
+func (e *Engine) demoteCopy(base region.GAddr) {
+	for _, loc := range e.remap.Apply(nil, []region.GAddr{base}) {
+		e.releaseCopy(loc)
+		e.demotions.Inc()
+	}
+}
+
 // WriteNVM is the server-mediated direct write path: data lands in home
 // NVM, then any promoted copy is refreshed so cache reads observe it.
 func (e *Engine) WriteNVM(at simnet.Time, addr region.GAddr, data []byte) (simnet.Time, error) {
@@ -566,8 +667,20 @@ type Stats struct {
 	Digests    int64
 	Mallocs    int64
 	Frees      int64
-	Hits       int64 // mediated reads served from a DRAM copy
+	Hits       int64 // mediated reads served from the local DRAM arena
+	PeerHits   int64 // mediated reads proxied from a peer's DRAM arena
 	Misses     int64 // mediated reads served from home NVM
+	// PeerErrors counts peer copy I/O failures that demoted an entry
+	// back to NVM service (dead peer, stale generation at the holder).
+	PeerErrors int64
+	// HostedCopies/HostedBytes are the copies remote homes spilled into
+	// this arena and their footprint; HostedReads counts reads this
+	// holder served for them. ReleaseErrors counts copy releases that
+	// failed (double release upstream).
+	HostedCopies  int
+	HostedBytes   int64
+	HostedReads   int64
+	ReleaseErrors int64
 	// SeqRetries counts seqlock read attempts retried because a writer
 	// raced the copy; SeqFallbacks counts reads that exhausted their
 	// retries and took the locked path.
@@ -579,22 +692,29 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
+	hostedCopies, hostedBytes := e.HostedStats()
 	return Stats{
-		Objects:      e.objIdx.count(),
-		PoolUsed:     e.pool.AllocatedBytes(),
-		BufferUsed:   e.bufp.UsedBytes(),
-		Promoted:     e.remap.Len(),
-		Promotions:   e.promotions.Load(),
-		Demotions:    e.demotions.Load(),
-		Digests:      e.digests.Load(),
-		Mallocs:      e.mallocs.Load(),
-		Frees:        e.frees.Load(),
-		Hits:         e.hits.Load(),
-		Misses:       e.misses.Load(),
-		SeqRetries:   e.seqRetries.Load(),
-		SeqFallbacks: e.seqFallbacks.Load(),
-		Proxy:        e.flusher.Stats(),
-		RemapEpoch:   e.remap.Epoch(),
+		Objects:       e.objIdx.count(),
+		PoolUsed:      e.pool.AllocatedBytes(),
+		BufferUsed:    e.bufp.UsedBytes(),
+		Promoted:      e.remap.Len(),
+		Promotions:    e.promotions.Load(),
+		Demotions:     e.demotions.Load(),
+		Digests:       e.digests.Load(),
+		Mallocs:       e.mallocs.Load(),
+		Frees:         e.frees.Load(),
+		Hits:          e.hits.Load(),
+		PeerHits:      e.peerHits.Load(),
+		Misses:        e.misses.Load(),
+		PeerErrors:    e.peerErrs.Load(),
+		HostedCopies:  hostedCopies,
+		HostedBytes:   hostedBytes,
+		HostedReads:   e.hostedReads.Load(),
+		ReleaseErrors: e.releaseErrs.Load(),
+		SeqRetries:    e.seqRetries.Load(),
+		SeqFallbacks:  e.seqFallbacks.Load(),
+		Proxy:         e.flusher.Stats(),
+		RemapEpoch:    e.remap.Epoch(),
 	}
 }
 
@@ -608,8 +728,12 @@ func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.
 	reg.RegisterCounter("gengar_server_digests_total", "hotness digests received", &e.digests, labels...)
 	reg.RegisterCounter("gengar_server_mallocs_total", "gmalloc requests served", &e.mallocs, labels...)
 	reg.RegisterCounter("gengar_server_frees_total", "gfree requests served", &e.frees, labels...)
-	reg.RegisterCounter("gengar_server_cache_hits_total", "mediated reads served from a DRAM copy", &e.hits, labels...)
+	reg.RegisterCounter("gengar_server_cache_hits_total", "mediated reads served from the local DRAM arena", &e.hits, labels...)
+	reg.RegisterCounter("gengar_server_peer_hits_total", "mediated reads proxied from a peer's DRAM arena", &e.peerHits, labels...)
 	reg.RegisterCounter("gengar_server_cache_misses_total", "mediated reads served from home NVM", &e.misses, labels...)
+	reg.RegisterCounter("gengar_server_peer_copy_errors_total", "peer copy I/O failures that demoted an entry back to NVM", &e.peerErrs, labels...)
+	reg.RegisterCounter("gengar_server_hosted_reads_total", "hosted-copy reads served for remote homes", &e.hostedReads, labels...)
+	reg.RegisterCounter("gengar_cache_release_errors_total", "copy releases that failed (double release upstream)", &e.releaseErrs, labels...)
 	reg.RegisterCounter("gengar_read_seqlock_retries_total", "lock-free cache reads retried because a writer raced the copy", &e.seqRetries, labels...)
 	reg.RegisterCounter("gengar_read_seqlock_fallbacks_total", "lock-free cache reads that fell back to the locked path", &e.seqFallbacks, labels...)
 	reg.GaugeFunc("gengar_server_objects", "live objects homed here", func() int64 {
@@ -626,6 +750,14 @@ func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.
 	}, labels...)
 	reg.GaugeFunc("gengar_server_promoted_objects", "objects with a live DRAM copy", func() int64 {
 		return int64(e.remap.Len())
+	}, labels...)
+	reg.GaugeFunc("gengar_server_hosted_copies", "copies remote homes spilled into this arena", func() int64 {
+		n, _ := e.HostedStats()
+		return int64(n)
+	}, labels...)
+	reg.GaugeFunc("gengar_server_hosted_bytes", "arena bytes holding remote homes' copies", func() int64 {
+		_, b := e.HostedStats()
+		return b
 	}, labels...)
 	reg.GaugeFunc("gengar_server_remap_epoch", "remap table epoch", func() int64 {
 		return int64(e.remap.Epoch())

@@ -101,11 +101,11 @@ func TestEngineReadWriteNVM(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := make([]byte, len(data))
-	_, hit, err := eng.ReadAt(0, a, buf)
+	_, src, err := eng.ReadAt(0, a, buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit {
+	if src.Hit() {
 		t.Fatal("unpromoted read reported a cache hit")
 	}
 	if !bytes.Equal(buf, data) {
@@ -142,12 +142,12 @@ func TestEnginePromotionServesCacheReads(t *testing.T) {
 	}
 
 	buf := make([]byte, 128)
-	_, hit, err := eng.ReadAt(0, region.MustGAddr(1, a.Offset()+64), buf)
+	_, src, err := eng.ReadAt(0, region.MustGAddr(1, a.Offset()+64), buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit {
-		t.Fatal("promoted read missed the cache")
+	if src != ReadHitLocal {
+		t.Fatalf("promoted read missed the cache: src=%v", src)
 	}
 	if !bytes.Equal(buf, data[64:64+128]) {
 		t.Fatal("cache read returned wrong bytes")
@@ -161,8 +161,8 @@ func TestEnginePromotionServesCacheReads(t *testing.T) {
 	if _, err := eng.WriteNVM(0, region.MustGAddr(1, a.Offset()+64), patch); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, err = eng.ReadAt(0, region.MustGAddr(1, a.Offset()+64), buf); err != nil || !hit {
-		t.Fatalf("read after write-through: hit=%v err=%v", hit, err)
+	if _, src, err = eng.ReadAt(0, region.MustGAddr(1, a.Offset()+64), buf); err != nil || !src.Hit() {
+		t.Fatalf("read after write-through: src=%v err=%v", src, err)
 	}
 	if !bytes.Equal(buf, patch) {
 		t.Fatal("write-through did not refresh the copy")

@@ -1,0 +1,25 @@
+package engine_test
+
+import (
+	"testing"
+
+	"gengar/internal/config"
+	"gengar/internal/engine"
+	"gengar/internal/engine/placertest"
+)
+
+// TestLocalPlacerConformance runs the shared Placer conformance suite
+// against the local-arena placer — the same contract the TCP mount's
+// peer-spilling placer is held to by its own conformance run.
+func TestLocalPlacerConformance(t *testing.T) {
+	placertest.Run(t, func(t *testing.T) engine.Placer {
+		cfg := config.Default()
+		cfg.Servers = 1
+		eng, err := engine.New(engine.Config{ID: 1, Name: "eng-conf", Cluster: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Close)
+		return engine.NewLocalPlacer(eng)
+	})
+}

@@ -1,0 +1,181 @@
+// Package placertest is the shared conformance suite for engine.Placer
+// implementations. The placement seam has two production mounts — the
+// local arena placer and the TCP mount's peer-spilling placer — and the
+// engine's read/refresh/demote paths assume the same contract from
+// both: fresh nonzero generation stamps, the install/write/read/release
+// copy lifecycle, generation-checked staleness after release, and
+// untorn reads under concurrent write-through. Each mount's tests run
+// this one suite against its placer, so a contract drift in either
+// shows up as the same named subtest failing.
+package placertest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"gengar/internal/cache"
+	"gengar/internal/engine"
+)
+
+// CopySize is the data size every conformance copy uses. It is chosen
+// large enough that a harness can force its placer's remote arm by
+// giving the home arena less than one copy's footprint of space.
+const CopySize = 4096
+
+// Run exercises the Placer contract. mk must return a fresh, ready
+// placer; harness teardown belongs in t.Cleanup.
+func Run(t *testing.T, mk func(t *testing.T) engine.Placer) {
+	t.Run("StampFreshness", func(t *testing.T) {
+		p := mk(t)
+		a := place(t, p)
+		b := place(t, p)
+		defer p.Release(a)
+		defer p.Release(b)
+		if a.Gen == b.Gen {
+			t.Fatalf("consecutive placements share generation %d", a.Gen)
+		}
+	})
+
+	t.Run("Lifecycle", func(t *testing.T) {
+		p := mk(t)
+		loc := place(t, p)
+		install(t, p, loc, 0x11)
+
+		buf := make([]byte, CopySize)
+		if _, err := p.ReadCopy(0, loc, 0, buf); err != nil {
+			t.Fatalf("read after install: %v", err)
+		}
+		if !bytes.Equal(buf, bytes.Repeat([]byte{0x11}, CopySize)) {
+			t.Fatal("install bytes did not round-trip")
+		}
+
+		patch := bytes.Repeat([]byte{0x22}, 256)
+		if _, err := p.WriteCopy(0, loc, 128, patch); err != nil {
+			t.Fatalf("write-through: %v", err)
+		}
+		got := make([]byte, 512)
+		if _, err := p.ReadCopy(0, loc, 0, got); err != nil {
+			t.Fatalf("read after write-through: %v", err)
+		}
+		want := bytes.Repeat([]byte{0x11}, 512)
+		copy(want[128:], patch)
+		if !bytes.Equal(got, want) {
+			t.Fatal("write-through bytes did not land")
+		}
+
+		p.Release(loc)
+		if _, err := p.ReadCopy(0, loc, 0, buf); !errors.Is(err, engine.ErrStaleCopy) {
+			t.Fatalf("read after release: err=%v, want ErrStaleCopy", err)
+		}
+	})
+
+	t.Run("StaleGeneration", func(t *testing.T) {
+		p := mk(t)
+		loc := place(t, p)
+		defer p.Release(loc)
+		install(t, p, loc, 0x33)
+
+		forged := loc
+		forged.Gen++ // a location naming a generation the holder never minted
+		buf := make([]byte, CopySize)
+		if _, err := p.ReadCopy(0, forged, 0, buf); !errors.Is(err, engine.ErrStaleCopy) {
+			t.Fatalf("forged-generation read: err=%v, want ErrStaleCopy", err)
+		}
+	})
+
+	t.Run("TornReads", func(t *testing.T) {
+		p := mk(t)
+		loc := place(t, p)
+		defer p.Release(loc)
+		install(t, p, loc, 0xAA)
+
+		const writes = 200
+		var wg sync.WaitGroup
+		wg.Add(1)
+		writerDone := make(chan struct{})
+		go func() {
+			defer wg.Done()
+			defer close(writerDone)
+			img := make([]byte, CopySize)
+			for i := 0; i < writes; i++ {
+				fill := byte(0xAA)
+				if i%2 == 1 {
+					fill = 0xBB
+				}
+				for j := range img {
+					img[j] = fill
+				}
+				if _, err := p.WriteCopy(0, loc, 0, img); err != nil {
+					t.Errorf("concurrent write: %v", err)
+					return
+				}
+			}
+		}()
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, CopySize)
+				for {
+					select {
+					case <-writerDone:
+						return
+					default:
+					}
+					if _, err := p.ReadCopy(0, loc, 0, buf); err != nil {
+						t.Errorf("concurrent read: %v", err)
+						return
+					}
+					first := buf[0]
+					if first != 0xAA && first != 0xBB {
+						t.Errorf("read unknown fill %#x", first)
+						return
+					}
+					for _, b := range buf {
+						if b != first {
+							t.Error("torn read: mixed fills in one copy image")
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// place reserves one conformance copy and checks the stamp invariants
+// every placement must satisfy: a nonzero generation (zero is the
+// released-slot sentinel) and the advertised size.
+func place(t *testing.T, p engine.Placer) cache.Location {
+	t.Helper()
+	loc, err := p.PlaceCopy(CopySize)
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if loc.Gen == 0 {
+		t.Fatal("placement stamped the reserved zero generation")
+	}
+	if loc.Size != CopySize {
+		t.Fatalf("placement size = %d, want %d", loc.Size, CopySize)
+	}
+	return loc
+}
+
+// install lands a full copy image under loc's generation, in the wire
+// layout InstallCopy expects: the 16-byte copy header (generation word
+// big-endian, seqlock word owned by the holder) followed by the data.
+func install(t *testing.T, p engine.Placer, loc cache.Location, fill byte) {
+	t.Helper()
+	payload := make([]byte, cache.CopyHeaderBytes+CopySize)
+	binary.BigEndian.PutUint64(payload[cache.CopyGenOff:], loc.Gen)
+	for i := cache.CopyHeaderBytes; i < len(payload); i++ {
+		payload[i] = fill
+	}
+	if _, err := p.InstallCopy(0, loc, payload); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+}

@@ -58,8 +58,21 @@ func (e *Engine) CopyFootprint(base region.GAddr) int64 {
 // executePlan runs one promotion/demotion round at instant at. It must
 // only run on the flusher goroutine.
 func (e *Engine) executePlan(at simnet.Time) {
+	// Capacity-aware planning: the placer reports the aggregate DRAM the
+	// plan may budget copies against — the local arena alone for a local
+	// placer, local plus live peers' advertised arenas for a peer placer.
+	// Queried before taking e.mu (the placer may consult link state with
+	// its own locking), and re-read each plan so the budget tracks peers
+	// joining and dying: a shrunk budget demotes the overflow, which
+	// releases the dead peer's copies.
+	budget := e.policy.BudgetBytes
+	if b := e.placer.CopyBudget(); b > 0 {
+		budget = b
+	}
 	e.mu.Lock()
-	promote, demote := e.policy.Plan(e.sketch, e.CopyFootprint, e.remap.Promoted())
+	pol := e.policy
+	pol.BudgetBytes = budget
+	promote, demote := pol.Plan(e.sketch, e.CopyFootprint, e.remap.Promoted())
 	// Age the sketch on a wall of engine time, not per plan: several
 	// plans may execute back-to-back when digests arrive in bursts, and
 	// halving on each would decay a perfectly hot working set to nothing.

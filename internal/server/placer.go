@@ -39,6 +39,16 @@ func (p *registryPlacer) WriteCopy(at simnet.Time, loc cache.Location, delta int
 	return p.r.writeCopy(p.home, at, loc, delta, data)
 }
 
+func (p *registryPlacer) ReadCopy(at simnet.Time, loc cache.Location, delta int64, buf []byte) (simnet.Time, error) {
+	return p.r.readCopy(p.home, at, loc, delta, buf)
+}
+
+// CopyBudget reports zero — the simulated mount keeps its historical
+// behavior of budgeting plans against the home server's configured
+// arena (clients read remote copies one-sided, so placement is already
+// cluster-wide without inflating any single home's plan).
+func (p *registryPlacer) CopyBudget() int64 { return 0 }
+
 func (p *registryPlacer) Release(loc cache.Location) {
 	p.r.release(loc)
 }

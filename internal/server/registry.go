@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,8 @@ import (
 	"sync/atomic"
 
 	"gengar/internal/cache"
+	"gengar/internal/engine"
+	"gengar/internal/hmem"
 	"gengar/internal/rdma"
 	"gengar/internal/simnet"
 )
@@ -171,6 +174,50 @@ func (r *Registry) writeCopy(from *Server, at simnet.Time, loc cache.Location, d
 		Region: rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey},
 		Offset: off,
 	})
+}
+
+// readCopy fills buf from a copy's data area at the given delta,
+// validating the location's generation against the header at the
+// holder — a local DRAM read when the copy is on `from`, server-to-
+// server RDMA READs otherwise. A mismatched generation (the slot was
+// demoted and reused) comes back as engine.ErrStaleCopy so the home
+// falls back to its authoritative NVM bytes.
+func (r *Registry) readCopy(from *Server, at simnet.Time, loc cache.Location, delta int64, buf []byte) (simnet.Time, error) {
+	r.mu.RLock()
+	target := r.byNode[loc.Node]
+	r.mu.RUnlock()
+	if target == nil {
+		return at, fmt.Errorf("server: unknown copy host %q", loc.Node)
+	}
+	var hdr [8]byte
+	dataOff := loc.Off + cache.CopyHeaderBytes + delta
+	if target == from {
+		// The generation header shares its word with the engine's seqlock
+		// protocol, so it is checked through the atomic word API.
+		gw, err := from.cacheDev.LoadWordRaw(loc.Off + cache.CopyGenOff)
+		if err != nil {
+			return at, err
+		}
+		if gw != hmem.BEWord(loc.Gen) {
+			return at, engine.ErrStaleCopy
+		}
+		return from.cacheDev.Read(at, dataOff, buf)
+	}
+	from.mu.Lock()
+	qp := from.peers[target.id]
+	from.mu.Unlock()
+	if qp == nil {
+		return at, fmt.Errorf("server: no mesh QP %s->%s", from.node.ID(), target.node.ID())
+	}
+	rh := rdma.RegionHandle{Node: loc.Node, RKey: loc.RKey}
+	end, err := qp.Read(at, hdr[:], rdma.RemoteAddr{Region: rh, Offset: loc.Off + cache.CopyGenOff})
+	if err != nil {
+		return at, err
+	}
+	if binary.BigEndian.Uint64(hdr[:]) != loc.Gen {
+		return at, engine.ErrStaleCopy
+	}
+	return qp.Read(end, buf, rdma.RemoteAddr{Region: rh, Offset: dataOff})
 }
 
 // installCopy writes a complete copy — generation header plus object

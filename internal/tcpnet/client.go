@@ -42,6 +42,15 @@ type ServerStats struct {
 	Promoted    int64 // objects with a live DRAM copy now
 	Digests     int64
 	RemapEpoch  uint64
+
+	// Distributed DRAM cache counters: the peer half of the hit split,
+	// copies this daemon hosts for its peers, and copies it spilled out.
+	PeerHits     int64 // reads served through a peer's arena
+	PeerErrors   int64 // peer copy-I/O failures (demoted, never surfaced)
+	HostedCopies int64 // peer copies resident in this daemon's arena
+	HostedBytes  int64 // arena bytes those hosted copies occupy
+	SpilledBytes int64 // bytes this daemon has spilled onto its peers
+	PeersLive    int64 // peer links currently connected
 }
 
 // PoolConfig shapes a client pool beyond its server addresses.
@@ -113,10 +122,11 @@ type Pool struct {
 
 // serverConn is one pipelined connection to a daemon.
 type serverConn struct {
-	addr      string // dial address, kept for reconnection
-	serverID  uint16
-	poolBytes int64
-	features  uint8
+	addr       string // dial address, kept for reconnection
+	serverID   uint16
+	poolBytes  int64
+	features   uint8
+	cacheBytes int64 // peer-hosting arena capacity; 0 unless featurePeerCache
 
 	c      net.Conn
 	q      *frameQueue // send side: coalesces pipelined frames per writev
@@ -168,6 +178,9 @@ func dialServer(addr string, cfg *PoolConfig, frames *framePool) (*serverConn, e
 	sc.serverID = r.U16()
 	sc.poolBytes = r.I64()
 	sc.features = r.U8()
+	if sc.features&featurePeerCache != 0 {
+		sc.cacheBytes = r.I64()
+	}
 	err = r.Err()
 	sc.release(resp)
 	if err != nil {
@@ -560,7 +573,8 @@ func (p *Pool) Read(addr region.GAddr, buf []byte) error {
 }
 
 // ReadCheck fills buf from global memory at addr and reports whether
-// the daemon served it from its DRAM cache (a promoted hot object).
+// the daemon served it from the DRAM cache (a promoted hot object) —
+// its own arena or, for a copy it spilled, a peer daemon's.
 //
 //gengar:hotpath
 func (p *Pool) ReadCheck(addr region.GAddr, buf []byte) (hit bool, err error) {
@@ -591,7 +605,9 @@ func decodeReadInto(sc *serverConn, resp response, buf []byte) (hit bool, err er
 	var r payloadReader
 	r.Reset(resp.payload)
 	data := r.Blob()
-	hit = r.U8() == 1
+	// The source byte is engine.ReadSource: 0 NVM miss, nonzero a DRAM
+	// cache hit (1 the daemon's own arena, 2 proxied through a peer's).
+	hit = r.U8() != 0
 	if err := r.Err(); err != nil {
 		sc.release(resp)
 		return false, err
@@ -893,6 +909,12 @@ func (p *Pool) Stats() ([]ServerStats, error) {
 			RemapEpoch:  r.U64(),
 			PoolBytes:   sc.poolBytes,
 		}
+		st.PeerHits = r.I64()
+		st.PeerErrors = r.I64()
+		st.HostedCopies = r.I64()
+		st.HostedBytes = r.I64()
+		st.SpilledBytes = r.I64()
+		st.PeersLive = r.I64()
 		err = r.Err()
 		sc.release(resp)
 		if err != nil {

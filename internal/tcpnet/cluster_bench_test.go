@@ -1,0 +1,277 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gengar/internal/region"
+)
+
+// The E20 distributed-cache suite: one home daemon whose DRAM arena is
+// far smaller than the hot working set, joined by a growing number of
+// peer daemons in a -peers mesh. The home spills hot copies into its
+// peers' arenas, so the aggregate DRAM cache — and with it the fraction
+// of reads served from DRAM anywhere in the cluster — grows with daemon
+// count. Results are recorded in EXPERIMENTS.md (E20) and
+// results/e20.csv; `make bench` runs the short smoke.
+//
+// Environment hooks for the harness:
+//
+//	GENGAR_E20_CSV=<path>        append one row per subtest
+//	GENGAR_E20_TELEMETRY=<path>  dump the home daemon's telemetry
+//	                             snapshot (hit split, peer occupancy)
+
+var e20Daemons = []int{1, 2, 3, 4}
+
+// startCluster launches n daemons in a full peer mesh: the home (ID 1)
+// with a deliberately tiny copy arena, peers with 128 KiB each. It
+// returns the home server and every dial address, home first.
+func startCluster(b *testing.B, n int) (*PoolServer, []string) {
+	b.Helper()
+	liss := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range liss {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	var home *PoolServer
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		cfg := ServerConfig{
+			ID:          uint16(i + 1),
+			PoolBytes:   16 << 20,
+			CacheBytes:  128 << 10,
+			DigestEvery: 4,
+			Peers:       peers,
+		}
+		if i == 0 {
+			cfg.CacheBytes = 16 << 10 // the home arena the hot set overflows
+		}
+		srv, err := NewPoolServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			home = srv
+		}
+		lis := liss[i]
+		go func() { _ = srv.Serve(lis) }()
+		if i == 0 {
+			b.Cleanup(func() {
+				maybeDumpE20Telemetry(b, srv)
+				srv.Close()
+			})
+		} else {
+			b.Cleanup(srv.Close)
+		}
+	}
+	return home, addrs
+}
+
+// e20Readers is the client-side read concurrency for both warm-up and
+// measurement. The hotness sketch decays on the planner's clock, so a
+// single synchronous client spread over the whole set cannot keep any
+// one object above the planner's MinWeight — several in-flight readers
+// are what make the set register as hot, exactly as a fan-in of real
+// clients would.
+const e20Readers = 4
+
+// clusterPass sends one concurrent sweep over the working set: each of
+// the e20Readers goroutines reads every object once, offset so they
+// fan out across the set rather than convoying on one object.
+func clusterPass(b *testing.B, p *Pool, addrs []region.GAddr, size int) {
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for r := 0; r < e20Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < len(addrs); i++ {
+				if _, err := p.ReadCheck(addrs[(r+i)%len(addrs)], buf); err != nil {
+					b.Error(err)
+					failed.Store(true)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if failed.Load() {
+		b.FailNow()
+	}
+}
+
+// warmCluster first waits for every peer link to come up (the links
+// dial on a background watch tick, so the planner's aggregate budget
+// grows ~1s after start), then hammers the working set until promotion
+// settles: passes repeat until the home's promoted-copy count stops
+// moving (three stable passes) or the deadline lapses. Unlike E19's
+// warm-up it does NOT require every object promoted — with few daemons
+// the aggregate arena cannot hold the set, and that shortfall is the
+// measurement.
+func warmCluster(b *testing.B, p *Pool, addrs []region.GAddr, size, peers int) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := p.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int(st[0].PeersLive) >= peers {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("peer links never came up: live=%d want %d", st[0].PeersLive, peers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	lastPromoted, stable := -1, 0
+	for stable < 3 {
+		clusterPass(b, p, addrs, size)
+		st, err := p.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		promoted := int(st[0].Promoted)
+		if promoted == lastPromoted {
+			stable++
+		} else {
+			lastPromoted, stable = promoted, 0
+		}
+		if time.Now().After(deadline) {
+			b.Logf("warm-up deadline: promoted=%d still moving", promoted)
+			return
+		}
+	}
+}
+
+// BenchmarkTCPDistributedCache measures the DRAM-served fraction of a
+// fixed hot working set as daemons join the cluster. The working set is
+// sized so one daemon's arena holds only a sliver of it; each joining
+// peer contributes arena, so the served-from-DRAM fraction (local +
+// peer hits) climbs with daemon count — the paper's aggregated-memory
+// effect on the cache layer.
+func BenchmarkTCPDistributedCache(b *testing.B) {
+	// 48 objects x 4 KiB (8 KiB copy footprint each) = a 384 KiB hot
+	// set. The home arena holds 2 copies; each peer adds 16 more, so
+	// aggregate capacity crosses the whole set at 4 daemons.
+	const size = 4096
+	const objects = 48
+	daemons := e20Daemons
+	if testing.Short() {
+		daemons = []int{1, 2}
+	}
+	for _, d := range daemons {
+		b.Run(fmt.Sprintf("daemons=%d", d), func(b *testing.B) {
+			srv, addrs := startCluster(b, d)
+			p, err := Dial([]string{addrs[0]}, 2*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+
+			objAddrs := benchObjects(b, p, objects, size)
+			warmCluster(b, p, objAddrs, size, d-1)
+
+			st0 := srv.eng.Stats()
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			for r := 0; r < e20Readers; r++ {
+				wg.Add(1)
+				go func(r, n int) {
+					defer wg.Done()
+					buf := make([]byte, size)
+					for i := 0; i < n; i++ {
+						if err := p.Read(objAddrs[(r+i)%len(objAddrs)], buf); err != nil {
+							b.Error(err)
+							failed.Store(true)
+							return
+						}
+					}
+				}(r, b.N/e20Readers+1)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if failed.Load() {
+				b.FailNow()
+			}
+			ops := e20Readers * (b.N/e20Readers + 1)
+
+			st := srv.eng.Stats()
+			local := st.Hits - st0.Hits
+			peer := st.PeerHits - st0.PeerHits
+			hitFrac := float64(local+peer) / float64(ops)
+			peerFrac := float64(peer) / float64(ops)
+			b.ReportMetric(hitFrac, "hit-frac")
+			b.ReportMetric(peerFrac, "peer-hit-frac")
+			var spilled int64
+			if srv.peers != nil {
+				spilled = srv.peers.spilledBytes()
+			}
+			maybeAppendE20Row(b, d, objects, ops, elapsed, hitFrac, peerFrac, spilled)
+		})
+	}
+}
+
+// maybeAppendE20Row appends one CSV row per subtest when the E20
+// harness asks for it (GENGAR_E20_CSV=<path>). The benchmark
+// framework's short probe iterations are skipped — a handful of reads
+// says nothing about the steady-state hit fraction.
+func maybeAppendE20Row(b *testing.B, daemons, objects, ops int, elapsed time.Duration, hitFrac, peerFrac float64, spilled int64) {
+	path := os.Getenv("GENGAR_E20_CSV")
+	if path == "" || ops < 1000 {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Logf("e20 csv: %v", err)
+		return
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		fmt.Fprintln(f, "daemons,objects,ops,ns_per_op,ops_per_sec,hit_frac,peer_hit_frac,spilled_bytes")
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+	fmt.Fprintf(f, "%d,%d,%d,%.1f,%.0f,%.3f,%.3f,%d\n",
+		daemons, objects, ops, nsPerOp, float64(ops)/elapsed.Seconds(), hitFrac, peerFrac, spilled)
+}
+
+// maybeDumpE20Telemetry writes the home daemon's telemetry snapshot
+// (GENGAR_E20_TELEMETRY=<path>) so the committed
+// results/e20.telemetry.json carries the local/peer hit split and
+// per-peer occupancy gauges of the measured run.
+func maybeDumpE20Telemetry(b *testing.B, srv *PoolServer) {
+	path := os.Getenv("GENGAR_E20_TELEMETRY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		b.Logf("e20 telemetry: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.Telemetry().Snapshot().WriteJSON(f); err != nil {
+		b.Logf("e20 telemetry: %v", err)
+	}
+}

@@ -140,8 +140,8 @@ func TestFeatureSwitchesOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc2.close()
-	if sc2.features != featureCache|featureProxy|featureTrace {
-		t.Fatalf("features = %b, want cache|proxy|trace", sc2.features)
+	if sc2.features != featureCache|featureProxy|featureTrace|featurePeerCache {
+		t.Fatalf("features = %b, want cache|proxy|trace|peerCache", sc2.features)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,12 @@ type ServerConfig struct {
 	DigestEvery int
 	// NoCache disables hotness tracking and DRAM cache promotion.
 	NoCache bool
+	// Peers are the dial addresses of the other gengard daemons in the
+	// cluster. When set (and the cache is on), this daemon joins the
+	// distributed DRAM cache: under local arena pressure it spills hot
+	// copies into peers' arenas and proxies their hits back over the
+	// peer links, and it hosts peers' copies in its own arena in turn.
+	Peers []string
 	// NoProxy disables staged writes (every write goes straight to the
 	// pool).
 	NoProxy bool
@@ -140,6 +147,10 @@ type PoolServer struct {
 	flight *telemetry.FlightRecorder
 	tracer *span.Tracer
 
+	// peers are this daemon's links into the distributed DRAM cache;
+	// nil when no -peers were configured (or the cache is off).
+	peers *peerSet
+
 	mu       sync.Mutex
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
@@ -150,7 +161,7 @@ type PoolServer struct {
 
 // maxOpTag bounds the per-op instrument caches; op bytes at or above it
 // are unknown and rejected before any instrument is touched.
-const maxOpTag = int(OpVersion) + 1
+const maxOpTag = int(OpPeerRelease) + 1
 
 // NewPoolServer validates cfg and builds an idle daemon; call Serve.
 func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
@@ -166,9 +177,6 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
 	}
-	// Single daemon, no mesh: promoted copies live in the local arena.
-	eng.SetPlacer(engine.NewLocalPlacer(eng))
-
 	s := &PoolServer{
 		cfg:    cfg,
 		eng:    eng,
@@ -218,6 +226,39 @@ func NewPoolServer(cfg ServerConfig) (*PoolServer, error) {
 	// ...) under the same names the simulated mount uses, distinguished
 	// by the transport label.
 	eng.RegisterTelemetry(s.telem, sl, telemetry.L("transport", "tcp"))
+	// Placement strategy: a lone daemon keeps promoted copies in its
+	// local arena; with peers configured the daemon joins the
+	// distributed DRAM cache and may spill copies into their arenas.
+	// Peers are indexed by their position in cfg.Peers for telemetry —
+	// the stable identity a link has before (and across) connects.
+	if len(cfg.Peers) > 0 && !cfg.NoCache {
+		s.peers = newPeerSet(cfg.Peers, cfg.ID, &s.frames, cfg.Nagle, cfg.KeepAlive)
+		for i, l := range s.peers.links {
+			l := l
+			pl := telemetry.L("peer", strconv.Itoa(i))
+			l.rtt = s.telem.Histogram("gengar_tcp_peer_rtt_seconds",
+				"peer-link round-trip latency (placement and copy I/O)", sl, pl)
+			s.telem.GaugeFunc("gengar_tcp_peer_spilled_bytes",
+				"arena bytes this daemon's copies occupy on the peer", func() int64 {
+					return l.spilled.Load()
+				}, sl, pl)
+			s.telem.GaugeFunc("gengar_tcp_peer_up",
+				"whether the peer link is connected", func() int64 {
+					if l.live() {
+						return 1
+					}
+					return 0
+				}, sl, pl)
+		}
+		s.telem.GaugeFunc("gengar_tcp_peers_live",
+			"peer links currently connected", func() int64 {
+				return int64(s.peers.liveCount())
+			}, sl)
+		eng.SetPlacer(newPeerPlacer(eng, engine.NewLocalPlacer(eng), s.peers))
+		s.peers.start()
+	} else {
+		eng.SetPlacer(engine.NewLocalPlacer(eng))
+	}
 	// The span tracer: stage timestamps flow through the engine's
 	// clock seam (the wall mount's WallClock here), never raw time.Now,
 	// so the same marking code traces identically under virtual time.
@@ -315,6 +356,9 @@ func (s *PoolServer) Close() {
 	}
 	s.wg.Wait()
 	s.eng.Close()
+	if s.peers != nil {
+		s.peers.close()
+	}
 }
 
 // session is one connection's server-side state: its lock-session
@@ -538,14 +582,19 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 	case OpHello:
 		feat := uint8(featureTrace) // this daemon parses the trace extension
 		if s.eng.Features().Cache {
-			feat |= featureCache
+			// A caching daemon also hosts peer copies; the peer-cache bit
+			// extends the reply with the arena capacity peers may budget.
+			feat |= featureCache | featurePeerCache
 		}
 		if s.eng.Features().Proxy {
 			feat |= featureProxy
 		}
 		var w payloadWriter
-		f := s.frames.newFrame(&w, 11)
+		f := s.frames.newFrame(&w, 19)
 		w.U16(s.cfg.ID).I64(s.cfg.PoolBytes).U8(feat)
+		if feat&featurePeerCache != 0 {
+			w.I64(s.cfg.CacheBytes)
+		}
 		return finishResp(f, &w), nil
 
 	case OpMalloc:
@@ -592,7 +641,7 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 		if frameHeader+4+n+1 > maxFrame {
 			return nil, fmt.Errorf("tcpnet: read of %d bytes exceeds max frame", n)
 		}
-		// The reply layout is blob(len u32, data) + hit u8; the engine
+		// The reply layout is blob(len u32, data) + source u8; the engine
 		// fills the pool bytes directly into the frame that hits the
 		// socket — no intermediate payload copy.
 		f := s.frames.get(frameHeader + 4 + int(n) + 1)
@@ -600,7 +649,7 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 		binary.BigEndian.PutUint32(b[frameHeader:], uint32(n))
 		out := b[frameHeader+4 : frameHeader+4+int(n)]
 		sp.Mark(span.StageDispatch)
-		_, hit, err := s.eng.ReadAt(s.eng.Now(), addr, out)
+		_, src, err := s.eng.ReadAt(s.eng.Now(), addr, out)
 		if err != nil {
 			s.frames.put(f)
 			return nil, err
@@ -610,11 +659,13 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 		if sess.writer != nil {
 			sess.writer.ApplyPending(addr, out)
 		}
-		if hit {
-			b[frameHeader+4+int(n)] = 1
+		b[frameHeader+4+int(n)] = byte(src)
+		switch src {
+		case engine.ReadHitLocal:
 			sp.Mark(span.StageCacheHit)
-		} else {
-			b[frameHeader+4+int(n)] = 0
+		case engine.ReadHitPeer:
+			sp.Mark(span.StagePeerRead)
+		default:
 			sp.Mark(span.StageNVMCopy)
 		}
 		sess.observe(addr, false)
@@ -622,7 +673,7 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 		if sp == nil {
 			s.flight.Record(telemetry.Event{
 				TimeNanos: start.UnixNano(), Op: "read", Addr: uint64(addr),
-				Len: int(n), Path: readPath(hit), LatNanos: int64(time.Since(start)),
+				Len: int(n), Path: readPath(src), LatNanos: int64(time.Since(start)),
 			})
 		}
 		return f, nil
@@ -740,14 +791,90 @@ func (s *PoolServer) handle(sess *session, op Op, req *payloadReader, sp *span.S
 
 	case OpStats:
 		st := s.eng.Stats()
+		var spilled, live int64
+		if s.peers != nil {
+			spilled = s.peers.spilledBytes()
+			live = int64(s.peers.liveCount())
+		}
 		var w payloadWriter
-		f := s.frames.newFrame(&w, 12*8)
+		f := s.frames.newFrame(&w, 18*8)
 		w.I64(int64(st.Objects)).I64(st.PoolUsed).I64(s.ops.Load()).
 			I64(st.Hits).I64(st.Misses).
 			I64(st.Proxy.Staged).I64(st.Proxy.Flushed).
 			I64(st.Promotions).I64(st.Demotions).I64(int64(st.Promoted)).
-			I64(st.Digests).U64(st.RemapEpoch)
+			I64(st.Digests).U64(st.RemapEpoch).
+			I64(st.PeerHits).I64(st.PeerErrors).
+			I64(int64(st.HostedCopies)).I64(st.HostedBytes).
+			I64(spilled).I64(live)
 		return finishResp(f, &w), nil
+
+	case OpPeerPlace:
+		gen := req.U64()
+		size := req.I64()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if !s.eng.Features().Cache {
+			return nil, errors.New("tcpnet: peer placement refused: cache disabled")
+		}
+		off, err := s.eng.HostCopy(gen, size)
+		if err != nil {
+			return nil, err
+		}
+		var w payloadWriter
+		f := s.frames.newFrame(&w, 8)
+		w.I64(off)
+		return finishResp(f, &w), nil
+
+	case OpPeerInstall:
+		off := req.I64()
+		gen := req.U64()
+		data := req.Blob()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.eng.HostedInstall(s.eng.Now(), off, gen, data)
+
+	case OpPeerWrite:
+		off := req.I64()
+		gen := req.U64()
+		delta := req.I64()
+		data := req.Blob()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.eng.HostedWrite(s.eng.Now(), off, gen, delta, data)
+
+	case OpPeerRead:
+		off := req.I64()
+		gen := req.U64()
+		delta := req.I64()
+		n := int64(req.U32())
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || frameHeader+4+n > maxFrame {
+			return nil, fmt.Errorf("tcpnet: peer read of %d bytes exceeds max frame", n)
+		}
+		// Like OpRead: the hosted copy's bytes land directly in the reply
+		// frame, generation-checked against the hosted-copy table first.
+		f := s.frames.get(frameHeader + 4 + int(n))
+		b := *f
+		binary.BigEndian.PutUint32(b[frameHeader:], uint32(n))
+		if err := s.eng.HostedRead(s.eng.Now(), off, gen, delta, b[frameHeader+4:frameHeader+4+int(n)]); err != nil {
+			s.frames.put(f)
+			return nil, err
+		}
+		s.txBytes.Add(n)
+		return f, nil
+
+	case OpPeerRelease:
+		off := req.I64()
+		gen := req.U64()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.eng.HostedRelease(off, gen)
 
 	default:
 		return nil, fmt.Errorf("tcpnet: unknown op %d", op)
@@ -813,11 +940,15 @@ func (s *PoolServer) writeBatch(sess *session, reqs []proxy.StageReq, sp *span.S
 	return nil
 }
 
-func readPath(hit bool) string {
-	if hit {
+func readPath(src engine.ReadSource) string {
+	switch src {
+	case engine.ReadHitLocal:
 		return "tcp/cache"
+	case engine.ReadHitPeer:
+		return "tcp/peer"
+	default:
+		return "tcp/nvm"
 	}
-	return "tcp/nvm"
 }
 
 // homeAddr decodes an address operand and checks it is homed here.

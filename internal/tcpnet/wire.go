@@ -44,13 +44,25 @@ const (
 	OpWriteBatch               // n u32, n x (gaddr u64, blob)
 	OpDigest                   // n u32, n x (gaddr u64, reads u32, writes u32) -> epoch u64
 	OpVersion                  // gaddr u64 -> version u64
+
+	// Daemon-to-daemon ops: a home server under arena pressure spills a
+	// hot object's copy into a peer's DRAM and drives it through these.
+	// The generation is home-minted (node-id-salted, cluster-unique) and
+	// checked at the holder on every touch, so a slot the holder demoted
+	// or recycled fails cleanly instead of serving another home's bytes.
+	OpPeerPlace   // gen u64, size i64 -> off i64
+	OpPeerInstall // off i64, gen u64, blob
+	OpPeerWrite   // off i64, gen u64, delta i64, blob
+	OpPeerRead    // off i64, gen u64, delta i64, len u32 -> blob
+	OpPeerRelease // off i64, gen u64
 )
 
 // OpHello feature bits.
 const (
-	featureCache = 1 << 0 // hotness tracking + DRAM cache serving reads
-	featureProxy = 1 << 1 // staged writes acknowledged before NVM flush
-	featureTrace = 1 << 2 // understands the trace frame-header extension
+	featureCache     = 1 << 0 // hotness tracking + DRAM cache serving reads
+	featureProxy     = 1 << 1 // staged writes acknowledged before NVM flush
+	featureTrace     = 1 << 2 // understands the trace frame-header extension
+	featurePeerCache = 1 << 3 // hosts peer copies; hello reply carries cacheBytes i64
 )
 
 // String returns the op's wire name, for telemetry labels and errors.
@@ -82,6 +94,16 @@ func (o Op) String() string {
 		return "digest"
 	case OpVersion:
 		return "version"
+	case OpPeerPlace:
+		return "peer_place"
+	case OpPeerInstall:
+		return "peer_install"
+	case OpPeerWrite:
+		return "peer_write"
+	case OpPeerRead:
+		return "peer_read"
+	case OpPeerRelease:
+		return "peer_release"
 	default:
 		return fmt.Sprintf("op%d", uint8(o))
 	}

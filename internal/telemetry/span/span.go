@@ -68,6 +68,10 @@ const (
 	StageNetWait
 	// StageDecode is the client decoding the response payload.
 	StageDecode
+	// StagePeerRead is a read proxied through the daemon-to-daemon link
+	// to the peer arena holding the spilled copy — the round trip to the
+	// holder, including its generation check.
+	StagePeerRead
 
 	numStages
 )
@@ -97,6 +101,8 @@ func (s Stage) String() string {
 		return "netWait"
 	case StageDecode:
 		return "decode"
+	case StagePeerRead:
+		return "peerRead"
 	}
 	return "unknown"
 }
