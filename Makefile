@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race race-short bench bench-full bench-wire bench-scale bench-cluster fuzz-wire e2e e2e-cluster trace-e2e quick tidy clean
+.PHONY: all build vet lint lint-fast test race race-short bench bench-full bench-wire bench-scale bench-cluster bench-interference fuzz-wire e2e e2e-cluster trace-e2e quick tidy clean
 
 all: vet lint build test
 
@@ -60,6 +60,13 @@ bench-scale:
 # (1..4 daemons) writes results/e20.csv via GENGAR_E20_CSV.
 bench-cluster:
 	$(GO) test ./internal/tcpnet -run=^$$ -bench=BenchmarkTCPDistributedCache -short -benchtime=500x
+
+# Interference-aware flushing smoke (experiment E21): an aggressor
+# staging overwrite-heavy bursts against a latency-sensitive reader,
+# greedy vs adaptive pacing. The recorded run writes results/e21.csv
+# plus the telemetry snapshot via `gengar-bench -exp E21 -outdir results`.
+bench-interference:
+	$(GO) run ./cmd/gengar-bench -exp E21 -quick
 
 # Short coverage-guided pass over the frame reader's fuzz target; the
 # checked-in corpus under internal/tcpnet/testdata/fuzz always runs as

@@ -69,6 +69,7 @@ func run() error {
 		}
 		render(os.Stdout, snap, prev, now.Sub(prevAt), *filter)
 		renderShards(os.Stdout, snap)
+		renderFlush(os.Stdout, snap)
 		renderPeers(os.Stdout, snap)
 		renderStages(os.Stdout, snap)
 		if *traceN > 0 {
@@ -231,6 +232,91 @@ func renderShards(w io.Writer, snap telemetry.Snapshot) {
 		}
 	}
 	fmt.Fprintf(w, "seqlock: %d hits, %d retries, %d locked fallbacks\n", hits, retries, fallbacks)
+}
+
+// renderFlush prints the adaptive-flushing pane: what the proxy flush
+// path persisted and how much the coalescer merged (merge ratio =
+// flushed records per NVM device write), the pacer's current backoff
+// level and the effective NVM write bandwidth its meter sees, and the
+// staged-to-applied flush-lag quantiles the -flush-max-lag bound
+// governs. Shown only when the daemon runs with -proxy.
+func renderFlush(w io.Writer, snap telemetry.Snapshot) {
+	var staged, flushed, bytes, writes, coalesced, gateWaits int64
+	seen := false
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "gengar_proxy_staged_total":
+			staged += c.Value
+			seen = true
+		case "gengar_proxy_flushed_total":
+			flushed += c.Value
+			seen = true
+		case "gengar_proxy_flushed_bytes_total":
+			bytes += c.Value
+		case "gengar_proxy_nvm_writes_total":
+			writes += c.Value
+		case "gengar_proxy_coalesced_records_total":
+			coalesced += c.Value
+		case "gengar_proxy_flush_gate_waits_total":
+			gateWaits += c.Value
+		}
+	}
+	if !seen {
+		return
+	}
+	var inflight, level, bw int64
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "gengar_proxy_inflight":
+			inflight += g.Value
+		case "gengar_proxy_flush_backoff_level":
+			if g.Value > level {
+				level = g.Value
+			}
+		case "gengar_proxy_flush_bw_bytes_per_sec":
+			if g.Value > bw {
+				bw = g.Value
+			}
+		}
+	}
+	merge := "-"
+	if writes > 0 {
+		merge = fmt.Sprintf("%.2fx", float64(flushed)/float64(writes))
+	}
+	bwStr := "-"
+	if bw > 0 {
+		bwStr = humanBytes(bw) + "/s"
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "flush: %d staged, %d flushed (%d inflight), %d nvm writes, merge %s (%d records coalesced), %s persisted\n",
+		staged, flushed, inflight, writes, merge, coalesced, humanBytes(bytes))
+	fmt.Fprintf(w, "pacer: backoff level %d, effective nvm write bw %s, %d gate waits\n",
+		level, bwStr, gateWaits)
+	for _, h := range snap.Histograms {
+		if h.Name != "gengar_proxy_flush_lag_seconds" || h.Count == 0 {
+			continue
+		}
+		suffix := ""
+		if len(h.Labels) > 0 {
+			suffix = " [" + labelString(h.Labels) + "]"
+		}
+		fmt.Fprintf(w, "flush lag%s: p50 %s  p95 %s  p99 %s  max %s (%d flushes)\n",
+			suffix, time.Duration(h.P50Nanos), time.Duration(h.P95Nanos),
+			time.Duration(h.P99Nanos), time.Duration(h.MaxNanos), h.Count)
+	}
+}
+
+// humanBytes renders a byte count with a binary-prefix unit.
+func humanBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(v)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", v)
 }
 
 // renderPeers prints the distributed-cache pane: per-peer link state,

@@ -33,6 +33,10 @@ var raceExcludeAllowlist = map[string]raceSibling{
 		file:    "internal/tcpnet/wire_path_test.go",
 		symbols: []string{"Read", "ReadMulti", "WriteMulti"},
 	},
+	"internal/proxy/flush_alloc_test.go": {
+		file:    "internal/proxy/coalesce_test.go",
+		symbols: []string{"sortByNVMOff", "runSpan", "assembleRun"},
+	},
 }
 
 // TestRaceGuardAudit walks every Go file in the module and fails if a

@@ -54,6 +54,7 @@ func traceOp(tr *span.Tracer, peer string, v verb, code int) {
 	tr.StartRemote(1, peer)                          // want "unbounded span op peer"
 	tr.ObserveStage(peer, span.StageFlushPersist, 1) // want "unbounded span op peer"
 	tr.ObserveStage("write", span.StageFlushPersist, 1)
+	tr.ObserveStage("write", span.StageFlushGate, 1) // pacer gate waits: in-vocabulary stage constant
 
 	sp := tr.StartRemote(1, "read")
 	sp.Mark(span.StageDispatch)

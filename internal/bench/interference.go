@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"time"
+
+	"gengar/internal/config"
+	"gengar/internal/core"
+	"gengar/internal/metrics"
+	"gengar/internal/region"
+	"gengar/internal/server"
+)
+
+// E21 workload geometry. The aggressor stages rounds of overwrite-heavy
+// bursts: e21Targets distinct 4 KiB objects, each written e21Repeats
+// times per burst (target-major, so every drained batch holds repeats
+// for the coalescer to merge). One round is one burst staged
+// concurrently with the reader's zipfian NVM reads; everything lands on
+// a single server so the whole burst contends with every read on one
+// pool controller.
+const (
+	e21Targets       = 64
+	e21Repeats       = 8
+	e21BurstSize     = 4096
+	e21ReadsPerRound = 16
+
+	// e21MaxLag is the adaptive run's flush-lag bound (the gengard
+	// -flush-max-lag knob).
+	e21MaxLag = 10 * time.Millisecond
+)
+
+// E21Interference: the adaptive-flushing experiment — an aggressor
+// staging overwrite-heavy write bursts through the proxy ring while a
+// latency-sensitive reader pays the same NVM pool. Greedy flushing
+// drains every staged burst at full throttle, so the pool controller's
+// write backlog inflates the reader's tail; the adaptive pacer watches
+// that inflation, shrinks flush batches, and yields until the
+// controller watermark falls back within the level's budget — trading
+// bounded flush lag for reader latency. Both systems stage the same
+// bursts and end with a drain barrier, so they compare at equal
+// eventual flush throughput; the overwrite-heavy bursts also exercise
+// the coalescer, visible as merge_ratio > 1.
+func E21Interference(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E21",
+		Title: "Interference-aware flushing: aggressor writer vs latency-sensitive reader",
+		Columns: []string{"system", "reads", "reader_p50_us", "reader_p99_us",
+			"writer_ack_p50_us", "writer_ack_p99_us",
+			"flush_lag_p99_us", "flush_lag_max_us",
+			"merge_ratio", "flushed", "nvm_writes"},
+	}
+	if err := e21Run(t, s, "quiet", false, false); err != nil {
+		return nil, fmt.Errorf("E21 quiet: %w", err)
+	}
+	if err := e21Run(t, s, "greedy", true, false); err != nil {
+		return nil, fmt.Errorf("E21 greedy: %w", err)
+	}
+	if err := e21Run(t, s, "adaptive", true, true); err != nil {
+		return nil, fmt.Errorf("E21 adaptive: %w", err)
+	}
+	t.Note("shape: with the aggressor running, adaptive reader p99 < greedy reader p99 "+
+		"(target >=2x) at equal flushed counts; merge_ratio > 1 under the "+
+		"overwrite-heavy bursts; adaptive flush lag stays within -flush-max-lag "+
+		"(%v) plus one gated batch while greedy lag is bounded only by ring capacity", e21MaxLag)
+	return t, nil
+}
+
+// e21Run drives one system: a reader paying the NVM pool (cache off)
+// while an aggressor client stages bursts from its own goroutine. The
+// reader never blocks on the writer — it keeps reading while a burst
+// stages, which is the closed loop the pacer manages (foreground reads
+// advance the frontier the gate waits on). Each round ends when the
+// burst is fully staged and the reader has taken at least
+// e21ReadsPerRound samples. Flush counters are reset after load and
+// warm-up, so the reported totals cover exactly the measured rounds.
+func e21Run(t *Table, s Scale, name string, aggress, adaptive bool) error {
+	cfg := baseConfig(s, 0.125)
+	cfg.Servers = 1 // one pool controller: every read contends with the flusher
+	cfg.Features = config.Features{Proxy: true}
+	cfg.Proxy.FlushAdaptive = adaptive
+	cfg.Proxy.FlushMaxLag = e21MaxLag
+	cl, err := server.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	reader, err := core.Connect(cl, "e21-reader")
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	writer, err := core.Connect(cl, "e21-writer")
+	if err != nil {
+		return err
+	}
+	defer writer.Close()
+
+	objects := e13Objects(s, s.RecordSize)
+	addrs, err := e13Load(reader, objects, s.RecordSize)
+	if err != nil {
+		return err
+	}
+	burstAddrs := make([]region.GAddr, 0, e21Targets*e21Repeats)
+	burstBufs := make([][]byte, 0, e21Targets*e21Repeats)
+	for i := 0; i < e21Targets; i++ {
+		a, err := writer.Malloc(e21BurstSize)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < e21Repeats; r++ {
+			buf := make([]byte, e21BurstSize)
+			for j := range buf {
+				buf[j] = byte(i + j + r)
+			}
+			burstAddrs = append(burstAddrs, a)
+			burstBufs = append(burstBufs, buf)
+		}
+	}
+	if err := e13ReadLoop(nil, reader, addrs, s.RecordSize, 32, 2101); err != nil {
+		return err // warm scratch pools and sessions
+	}
+	if err := e18Quiesce(cl, reader); err != nil {
+		return err
+	}
+	// Scope every flush counter (and the flush-lag histogram) to the
+	// measured rounds: the loader's writes are not the workload.
+	cl.Telemetry().Reset()
+
+	rounds := s.OpsPerClient / e21ReadsPerRound
+	if rounds < 6 {
+		rounds = 6
+	}
+	var readHist, ackHist metrics.Histogram
+	rng := rand.New(rand.NewSource(2102))
+	zipf := rand.NewZipf(rng, 1.1, 8, uint64(len(addrs)-1))
+	buf := make([]byte, s.RecordSize)
+	for round := 0; round < rounds; round++ {
+		staged := make(chan error, 1)
+		if aggress {
+			go func() {
+				before := writer.Now()
+				err := writer.WriteMulti(burstAddrs, burstBufs)
+				if err == nil {
+					ackHist.Record(writer.Now().Sub(before))
+				}
+				staged <- err
+			}()
+		} else {
+			staged <- nil
+		}
+		// Read while the burst stages and drains; the round ends only
+		// once the burst is fully staged, so a throttled flusher keeps
+		// seeing foreground progress instead of a frozen frontier.
+		burstDone := false
+		for reads := 0; reads < e21ReadsPerRound || !burstDone; reads++ {
+			if !burstDone {
+				select {
+				case err := <-staged:
+					if err != nil {
+						return err
+					}
+					burstDone = true
+				default:
+					// Share the CPU with the writer goroutine and the flush
+					// workers: a reader spinning unyielded on a small machine
+					// takes thousands of unloaded samples per burst and dilutes
+					// the interfered reads out of its own p99.
+					runtime.Gosched()
+				}
+			}
+			a := addrs[zipf.Uint64()]
+			before := reader.Now()
+			if err := reader.Read(a, buf); err != nil {
+				return err
+			}
+			readHist.Record(reader.Now().Sub(before))
+		}
+	}
+	// Drain every flusher: both systems end having persisted every staged
+	// record, so the comparison is at equal eventual flush throughput.
+	if err := e18Quiesce(cl, reader); err != nil {
+		return err
+	}
+
+	var flushed, writes int64
+	// Flush lag is a per-server histogram; report the worst server's
+	// quantiles — the bound must hold on every flusher.
+	var lag metrics.Summary
+	for _, srv := range cl.Registry().Servers() {
+		st := srv.Stats().Proxy
+		flushed += st.Flushed
+		writes += st.NVMWrites
+		if st.FlushLag.P99 > lag.P99 {
+			lag.P99 = st.FlushLag.P99
+		}
+		if st.FlushLag.Max > lag.Max {
+			lag.Max = st.FlushLag.Max
+		}
+	}
+	merge := "n/a"
+	if writes > 0 {
+		merge = fmt.Sprintf("%.2f", float64(flushed)/float64(writes))
+	}
+	if adaptive {
+		// The attached telemetry snapshot comes from the adaptive run: its
+		// counters show the coalescer and pacer at work (nvm_writes,
+		// coalesced records, gate waits, backoff level, flush bandwidth).
+		snap := cl.Telemetry().Snapshot()
+		t.Telemetry = &snap
+	}
+	reads, acks := readHist.Summarize(), ackHist.Summarize()
+	t.AddRow(name, strconv.FormatInt(reads.Count, 10),
+		us(reads.P50), us(reads.P99),
+		us(acks.P50), us(acks.P99),
+		us(lag.P99), us(lag.Max),
+		merge, strconv.FormatInt(flushed, 10), strconv.FormatInt(writes, 10))
+	return nil
+}

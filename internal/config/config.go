@@ -47,6 +47,13 @@ type Proxy struct {
 	RingSlotSize int
 	// PollCost is the server CPU charge per flushed record.
 	PollCost time.Duration
+	// FlushAdaptive enables interference-aware flushing: flush workers
+	// coalesce harder and back off when foreground NVM read latency
+	// climbs. Off by default so baselines measure greedy flushing.
+	FlushAdaptive bool
+	// FlushMaxLag bounds flush lag under adaptive backoff (the proxy's
+	// default when zero). Ignored unless FlushAdaptive is set.
+	FlushMaxLag time.Duration
 }
 
 // Cluster is the full deployment description.
@@ -172,6 +179,9 @@ func (c Cluster) Validate() error {
 	}
 	if c.Proxy.RingSlots <= 0 || c.Proxy.RingSlotSize <= 12 {
 		return errors.New("config: proxy ring geometry invalid")
+	}
+	if c.Proxy.FlushMaxLag < 0 {
+		return errors.New("config: proxy FlushMaxLag must be non-negative")
 	}
 	if int64(c.Proxy.RingSlots)*int64(c.Proxy.RingSlotSize) > c.RingBytes {
 		return fmt.Errorf("config: one ring (%d B) exceeds RingBytes %d",

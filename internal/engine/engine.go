@@ -199,7 +199,15 @@ func New(ec Config) (*Engine, error) {
 	// one-sided protocol uses: an exclusive lease release bumps the slot's
 	// version so readers observe that the object changed.
 	e.leases.OnWriterRelease(func(addr region.GAddr) { _ = e.lockTbl.BumpVersionRaw(addr) })
-	if e.flusher, err = proxy.NewEngine(ringDev, nvm, e.cpu, cfg.Proxy.PollCost, e.ApplyToCache); err != nil {
+	if e.flusher, err = proxy.NewEngine(proxy.Config{
+		RingDev:       ringDev,
+		NVM:           nvm,
+		CPU:           e.cpu,
+		PollCost:      cfg.Proxy.PollCost,
+		CacheApply:    e.ApplyToCache,
+		FlushAdaptive: cfg.Proxy.FlushAdaptive,
+		FlushMaxLag:   cfg.Proxy.FlushMaxLag,
+	}); err != nil {
 		return nil, err
 	}
 	return e, nil

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gengar/internal/simnet"
 )
@@ -22,8 +23,32 @@ type Device struct {
 	profile MediaProfile
 	ctrl    *simnet.Resource
 
+	// readObserver, when set, sees every timed Read's instants and size.
+	// The proxy pacer installs it on the NVM pool to watch foreground
+	// read pressure — including one-sided RDMA reads that never pass
+	// through the engine. It runs on the reader with no device locks
+	// held, so it must be cheap and never block.
+	readObserver atomic.Value // of ReadObserver
+
+	// Write accounting for the bandwidth meter: totals of bytes written,
+	// controller occupancy charged, and timed write ops.
+	wrBytes atomic.Int64
+	wrBusy  atomic.Int64
+	wrOps   atomic.Int64
+
 	mu  sync.RWMutex // guards buf contents
 	buf []byte
+}
+
+// ReadObserver receives one timed read: its arrival and completion
+// instants and the byte count.
+type ReadObserver func(at, end simnet.Time, n int)
+
+// WriteStats is a snapshot of a device's timed-write accounting.
+type WriteStats struct {
+	Bytes int64           // payload bytes written
+	Busy  simnet.Duration // controller occupancy charged
+	Ops   int64           // timed write operations
 }
 
 // RangeError reports an access outside a device's address range.
@@ -74,6 +99,28 @@ func (d *Device) Profile() MediaProfile { return d.profile }
 // useful for measuring bandwidth saturation in experiments.
 func (d *Device) ControllerStats() simnet.ResourceStats { return d.ctrl.Stats() }
 
+// ControllerBusyUntil returns the device controller's watermark: the
+// instant its already-accepted work completes. The proxy pacer bounds
+// how far flushing may push this past the foreground.
+func (d *Device) ControllerBusyUntil() simnet.Time { return d.ctrl.BusyUntil() }
+
+// SetReadObserver installs the hook invoked after every timed Read.
+// Pass nil-safe functions only; the hook runs on the reading goroutine.
+func (d *Device) SetReadObserver(fn ReadObserver) {
+	if fn != nil {
+		d.readObserver.Store(fn)
+	}
+}
+
+// WriteStats returns a snapshot of the device's timed-write accounting.
+func (d *Device) WriteStats() WriteStats {
+	return WriteStats{
+		Bytes: d.wrBytes.Load(),
+		Busy:  simnet.Duration(d.wrBusy.Load()),
+		Ops:   d.wrOps.Load(),
+	}
+}
+
 func (d *Device) check(off int64, n int) error {
 	if off < 0 || n < 0 || off+int64(n) > int64(len(d.buf)) {
 		return &RangeError{Device: d.name, Off: off, Len: n, Size: int64(len(d.buf))}
@@ -92,7 +139,11 @@ func (d *Device) Read(at simnet.Time, off int64, dst []byte) (simnet.Time, error
 	d.mu.RLock()
 	copy(dst, d.buf[off:off+int64(len(dst))])
 	d.mu.RUnlock()
-	return end.Add(d.profile.ReadLatency), nil
+	done := end.Add(d.profile.ReadLatency)
+	if fn, ok := d.readObserver.Load().(ReadObserver); ok {
+		fn(at, done, len(dst))
+	}
+	return done, nil
 }
 
 // Write copies src into the device starting at off, charging the device's
@@ -102,10 +153,14 @@ func (d *Device) Write(at simnet.Time, off int64, src []byte) (simnet.Time, erro
 	if err := d.check(off, len(src)); err != nil {
 		return at, err
 	}
-	_, end := d.ctrl.Acquire(at, d.profile.WriteOccupancy(len(src)))
+	occ := d.profile.WriteOccupancy(len(src))
+	_, end := d.ctrl.Acquire(at, occ)
 	d.mu.Lock()
 	copy(d.buf[off:off+int64(len(src))], src)
 	d.mu.Unlock()
+	d.wrBytes.Add(int64(len(src)))
+	d.wrBusy.Add(int64(occ))
+	d.wrOps.Add(1)
 	return end.Add(d.profile.WriteLatency), nil
 }
 

@@ -10,6 +10,13 @@
 // of flush workers drains them to NVM) and Writer (client side: stages
 // writes, tracks credits for backpressure, buffers pending updates so
 // the client observes its own writes before they flush).
+//
+// Flushing is batched and interference-aware. Each worker drains its
+// queue into a batch, coalesces records targeting adjacent or
+// overlapping NVM ranges into single large writes (coalesce.go), and —
+// when adaptive flushing is enabled — defers to the pacer (pacer.go)
+// before spending NVM controller occupancy that foreground reads would
+// queue behind.
 package proxy
 
 import (
@@ -78,11 +85,40 @@ type record struct {
 // EngineStats is a snapshot of flusher activity.
 type EngineStats struct {
 	Staged         int64
-	Flushed        int64
+	Flushed        int64           // staged records applied to NVM
 	FlushLag       metrics.Summary // staged->applied simulated delay
-	BytesFlushed   int64
-	Barriers       int64 // drain barriers executed
-	QueueHighWater int64 // deepest flusher queue observed
+	BytesFlushed   int64           // bytes written to NVM, after coalescing
+	NVMWrites      int64           // coalesced NVM device writes
+	Coalesced      int64           // records merged into another record's NVM write
+	Barriers       int64           // drain barriers executed
+	QueueHighWater int64           // deepest flusher queue observed
+	BackoffLevel   int64           // current pacer backoff level (0 = full throttle)
+	FlushBW        int64           // EWMA effective NVM flush bandwidth, bytes/sec
+	GateWaits      int64           // wall-clock quanta flush workers spent gated
+}
+
+// Config configures an Engine.
+type Config struct {
+	// RingDev is the DRAM device holding the staging rings.
+	RingDev *hmem.Device
+	// NVM is the server's NVM pool the flushers drain into.
+	NVM *hmem.Device
+	// CPU is the server CPU resource charged PollCost per record.
+	CPU *simnet.Resource
+	// PollCost is the per-record poll/dispatch CPU cost
+	// (DefaultPollCost if non-positive).
+	PollCost time.Duration
+	// CacheApply writes flushed data through to promoted DRAM copies.
+	// May be nil.
+	CacheApply CacheApply
+	// FlushAdaptive enables the interference-aware pacer: flush batch
+	// size and inter-batch delay track foreground NVM read pressure.
+	// When false the flushers still coalesce but never back off.
+	FlushAdaptive bool
+	// FlushMaxLag bounds how far flushing may lag behind staging under
+	// backoff (DefaultFlushMaxLag if non-positive). Ignored unless
+	// FlushAdaptive is set.
+	FlushMaxLag time.Duration
 }
 
 // Engine is one server's proxy flusher pool: it drains staged records
@@ -94,6 +130,7 @@ type Engine struct {
 	cpu        *simnet.Resource
 	pollCost   time.Duration
 	cacheApply CacheApply
+	pacer      *pacer
 
 	workers []chan any // record or func() per worker
 	wg      sync.WaitGroup
@@ -110,41 +147,56 @@ type Engine struct {
 	//gengar:lint-ignore lock-across-blocking Submit's quiesce holds taskMu across worker handshakes by design: it serializes exclusive tasks, and concurrent Submits must wait for the whole quiesce anyway
 	taskMu sync.Mutex // serializes quiescent tasks
 
-	staged   metrics.Counter
-	flushed  metrics.Counter
-	bytes    metrics.Counter
-	barriers metrics.Counter
-	queueHW  metrics.Gauge // flusher-queue depth high-water mark
-	flushLag metrics.Histogram
+	staged    metrics.Counter
+	flushed   metrics.Counter
+	bytes     metrics.Counter // bytes written to NVM, after coalescing
+	nvmWrites metrics.Counter // coalesced NVM device writes
+	coalesced metrics.Counter // records merged into another record's write
+	barriers  metrics.Counter
+	queueHW   metrics.Gauge // flusher-queue depth high-water mark
+	flushLag  metrics.Histogram
 
 	// flushObserver, when set, receives each flushed record's staged-to-
 	// applied lag in nanoseconds. It runs on the flush worker, so it must
 	// be cheap and never block.
 	flushObserver atomic.Value // of func(lagNanos int64)
+	// gateObserver, when set, receives each batch's pacer gate wait in
+	// nanoseconds (only when the gate actually waited). Same contract.
+	gateObserver atomic.Value // of func(gateNanos int64)
 }
 
-// NewEngine starts the flush workers draining records into nvm. ringDev
-// is the DRAM device holding staging rings; cpu is the server CPU
-// resource charged pollCost per record (DefaultPollCost if
-// non-positive). cacheApply may be nil. Call Close to stop the workers.
-func NewEngine(ringDev, nvm *hmem.Device, cpu *simnet.Resource, pollCost time.Duration, cacheApply CacheApply) (*Engine, error) {
-	if ringDev == nil || nvm == nil || cpu == nil {
+// NewEngine starts the flush workers draining records into cfg.NVM.
+// Call Close to stop the workers.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.RingDev == nil || cfg.NVM == nil || cfg.CPU == nil {
 		return nil, errors.New("proxy: nil device or cpu")
 	}
-	if ringDev.Kind() != hmem.KindDRAM {
-		return nil, fmt.Errorf("proxy: staging rings must live in DRAM, got %v", ringDev.Kind())
+	if cfg.RingDev.Kind() != hmem.KindDRAM {
+		return nil, fmt.Errorf("proxy: staging rings must live in DRAM, got %v", cfg.RingDev.Kind())
 	}
-	if pollCost <= 0 {
-		pollCost = DefaultPollCost
+	if cfg.PollCost <= 0 {
+		cfg.PollCost = DefaultPollCost
 	}
+	nvm := cfg.NVM
 	e := &Engine{
-		ringDev:    ringDev,
+		ringDev:    cfg.RingDev,
 		nvm:        nvm,
-		cpu:        cpu,
-		pollCost:   pollCost,
-		cacheApply: cacheApply,
-		workers:    make([]chan any, flushWorkers),
+		cpu:        cfg.CPU,
+		pollCost:   cfg.PollCost,
+		cacheApply: cfg.CacheApply,
+		pacer: newPacer(cfg.FlushAdaptive, cfg.FlushMaxLag, func() simnet.Time {
+			return nvm.ControllerBusyUntil()
+		}),
+		workers: make([]chan any, flushWorkers),
 	}
+	// The pacer's pressure signal is every foreground NVM read — wired at
+	// the device so one-sided RDMA reads, which never pass through the
+	// engine, are seen too. The flushers themselves only read ring DRAM,
+	// so they never feed their own backoff.
+	profile := nvm.Profile()
+	nvm.SetReadObserver(func(at, end simnet.Time, n int) {
+		e.pacer.observeRead(end, profile.ReadTime(n), end.Sub(at))
+	})
 	for i := range e.workers {
 		// Shallow queues keep the flush workers tightly coupled to their
 		// producers in wall-clock time: a worker that falls far behind
@@ -163,64 +215,150 @@ func NewEngine(ringDev, nvm *hmem.Device, cpu *simnet.Resource, pollCost time.Du
 }
 
 func (e *Engine) workerLoop(ch chan any) {
-	buf := make([]byte, 0, 64<<10)
+	b := &flushBatch{}
 	for item := range ch {
 		if task, ok := item.(func()); ok {
 			task()
 			continue
 		}
-		buf = e.flushRecord(item.(record), buf)
+		b.reset()
+		b.add(item.(record))
+		pending := e.drainInto(b, ch)
+		e.flushSweep(b)
+		// An exclusive task encountered mid-drain runs only after the
+		// batch it interrupted is fully applied: Submit's mutual
+		// exclusion and Barrier's all-enqueued-before-the-call contract
+		// both survive batching.
+		if pending != nil {
+			pending()
+		}
 	}
 }
 
-func (e *Engine) flushRecord(rec record, buf []byte) []byte {
-	// Discover the record and copy it out of the ring: the poll loop's
-	// per-record CPU share plus the copy itself, charged to the server
-	// CPU. (The copy is a local cached load by the polling core; charging
-	// it to the ring DRAM's contended timeline would stall clients'
-	// incoming stage DMAs behind the flusher's batched catch-up reads.)
-	copyCost := e.ringDev.Profile().ReadTime(rec.size)
-	_, tRead := e.cpu.Acquire(rec.stagedAt, e.pollCost+copyCost)
-
-	if cap(buf) < rec.size {
-		buf = make([]byte, rec.size)
+// drainInto opportunistically drains queued records into b, up to the
+// pacer's current batch cap. It stops at an empty queue, a closed
+// channel, or an exclusive task — which is returned, not run.
+func (e *Engine) drainInto(b *flushBatch, ch chan any) func() {
+	limit := e.pacer.batchLimit()
+	for len(b.recs) < limit {
+		select {
+		case item, ok := <-ch:
+			if !ok {
+				return nil
+			}
+			if task, ok := item.(func()); ok {
+				return task
+			}
+			b.add(item.(record))
+		default:
+			return nil
+		}
 	}
-	data := buf[:rec.size]
-	err := e.ringDev.ReadRaw(rec.ringOff, data)
-	// The slot is reusable the moment its payload has been copied out,
-	// well before the NVM apply completes — real proxies free ring space
-	// the same way, which keeps staging from stalling behind slow media.
-	rec.slotFree <- struct{}{}
-	if err != nil {
-		// A ring-read failure is a wiring bug (offsets are engine-
-		// controlled); ack anyway so clients never deadlock.
-		rec.acks <- Ack{Seq: rec.seq, AppliedAt: tRead}
-		return buf
-	}
+	return nil
+}
 
-	// Apply to NVM.
-	tApply, err := e.nvm.Write(tRead, rec.nvmOff, data)
-	if err != nil {
-		rec.acks <- Ack{Seq: rec.seq, AppliedAt: tRead}
-		return buf
-	}
-
-	// Write through to the DRAM copy, if promoted.
-	end := tApply
-	if e.cacheApply != nil {
-		if t := e.cacheApply(tApply, rec.addr, data); t > end {
-			end = t
+// flushSweep applies one drained batch: copy every payload out of its
+// ring (freeing the slot immediately), coalesce records into runs of
+// adjacent/overlapping NVM ranges, persist each run with a single NVM
+// write, write through to promoted DRAM copies, and ack — in the exact
+// order records were drained, so every client still sees FIFO acks.
+//
+//gengar:hotpath
+func (e *Engine) flushSweep(b *flushBatch) {
+	// Phase 1 — copy-out. The poll loop's per-record CPU share plus the
+	// copy itself, charged to the server CPU. (The copy is a local cached
+	// load by the polling core; charging it to the ring DRAM's contended
+	// timeline would stall clients' incoming stage DMAs behind the
+	// flusher's batched catch-up reads.) A slot is reusable the moment
+	// its payload has been copied out, well before the NVM apply
+	// completes — real proxies free ring space the same way, which keeps
+	// staging from stalling behind slow media. Releasing before the whole
+	// batch persists is safe: credits are anonymous and copy-out is FIFO
+	// per ring, so at most Slots records per ring are staged-not-copied.
+	for i := range b.recs {
+		rec := &b.recs[i]
+		copyCost := e.ringDev.Profile().ReadTime(rec.size)
+		_, tRead := e.cpu.Acquire(rec.stagedAt, e.pollCost+copyCost)
+		b.tRead = append(b.tRead, tRead)
+		b.ackAt = append(b.ackAt, tRead)
+		b.ok = append(b.ok, false)
+		dst := b.payload(rec.size)
+		err := e.ringDev.ReadRaw(rec.ringOff, dst)
+		rec.slotFree <- struct{}{}
+		if err != nil {
+			// A ring-read failure is a wiring bug (offsets are engine-
+			// controlled); the record is acked anyway in phase 3 so
+			// clients never deadlock.
+			b.off = append(b.off, -1)
+			b.data = b.data[:len(b.data)-rec.size]
+		} else {
+			b.off = append(b.off, len(b.data)-rec.size)
 		}
 	}
 
-	e.flushed.Inc()
-	e.bytes.Add(int64(rec.size))
-	e.flushLag.Record(end.Sub(rec.stagedAt))
-	if fn, ok := e.flushObserver.Load().(func(int64)); ok {
-		fn(int64(end.Sub(rec.stagedAt)))
+	// Phase 2 — gate, coalesce, persist. The gate runs after copy-out so
+	// a backed-off flusher delays persists, never credit returns: the
+	// ring cannot wedge behind the pacer.
+	if waited := e.pacer.gate(b.oldestStaged()); waited > 0 {
+		if fn, ok := e.gateObserver.Load().(func(int64)); ok {
+			fn(int64(waited))
+		}
 	}
-	rec.acks <- Ack{Seq: rec.seq, AppliedAt: end}
-	return buf
+	b.sortByNVMOff()
+	for lo := 0; lo < len(b.idx); {
+		if b.off[b.idx[lo]] < 0 {
+			lo++ // ring read failed; acked at tRead in phase 3
+			continue
+		}
+		hi, runOff, runEnd := b.runSpan(lo)
+		b.assembleRun(lo, hi, runOff, runEnd)
+		// The NVM write departs when its latest member finished copy-out.
+		arrival := b.tRead[b.memb[0]]
+		for _, ri := range b.memb[1:] {
+			if b.tRead[ri] > arrival {
+				arrival = b.tRead[ri]
+			}
+		}
+		tApply, err := e.nvm.Write(arrival, runOff, b.run)
+		if err != nil {
+			lo = hi // members ack at tRead in phase 3
+			continue
+		}
+		e.nvmWrites.Inc()
+		e.bytes.Add(int64(len(b.run)))
+		e.coalesced.Add(int64(hi - lo - 1))
+		e.pacer.recordPersist(int64(len(b.run)), e.nvm.Profile().WriteOccupancy(len(b.run)))
+		// Write through to promoted DRAM copies, member by member in
+		// batch order (a later overwrite must land last there too).
+		for _, ri := range b.memb {
+			rec := &b.recs[ri]
+			end := tApply
+			if e.cacheApply != nil {
+				if t := e.cacheApply(tApply, rec.addr, b.data[b.off[ri]:b.off[ri]+rec.size]); t > end {
+					end = t
+				}
+			}
+			b.ackAt[ri] = end
+			b.ok[ri] = true
+		}
+		lo = hi
+	}
+
+	// Phase 3 — account and ack, in batch order. Acks only leave after
+	// every run has persisted, so a client that has seen ack N knows
+	// records 1..N are all in NVM regardless of how runs reordered them.
+	for i := range b.recs {
+		rec := &b.recs[i]
+		if b.ok[i] {
+			lag := b.ackAt[i].Sub(rec.stagedAt)
+			e.flushed.Inc()
+			e.flushLag.Record(lag)
+			if fn, ok := e.flushObserver.Load().(func(int64)); ok {
+				fn(int64(lag))
+			}
+		}
+		rec.acks <- Ack{Seq: rec.seq, AppliedAt: b.ackAt[i]}
+	}
 }
 
 // SetFlushObserver installs a hook invoked on each flushed record with
@@ -231,6 +369,15 @@ func (e *Engine) flushRecord(rec record, buf []byte) []byte {
 func (e *Engine) SetFlushObserver(fn func(lagNanos int64)) {
 	if fn != nil {
 		e.flushObserver.Store(fn)
+	}
+}
+
+// SetGateObserver installs a hook invoked with the wall-clock
+// nanoseconds a flush batch spent waiting at the pacer gate (only for
+// batches that waited). Same contract as SetFlushObserver.
+func (e *Engine) SetGateObserver(fn func(gateNanos int64)) {
+	if fn != nil {
+		e.gateObserver.Store(fn)
 	}
 }
 
@@ -247,6 +394,7 @@ func (e *Engine) enqueue(rec record) error {
 	e.queueHW.SetMax(int64(len(ch)) + 1)
 	e.inflight.Add(1)
 	e.mu.Unlock()
+	e.pacer.observeStaged(rec.stagedAt)
 	// The send happens outside e.mu: a backed-up worker queue must stall
 	// only this producer, never Close/Submit/Barrier or other rings.
 	ch <- rec
@@ -317,8 +465,13 @@ func (e *Engine) Stats() EngineStats {
 		Flushed:        e.flushed.Load(),
 		FlushLag:       e.flushLag.Summarize(),
 		BytesFlushed:   e.bytes.Load(),
+		NVMWrites:      e.nvmWrites.Load(),
+		Coalesced:      e.coalesced.Load(),
 		Barriers:       e.barriers.Load(),
 		QueueHighWater: e.queueHW.Load(),
+		BackoffLevel:   e.pacer.level.Load(),
+		FlushBW:        e.pacer.ewmaBW.Load(),
+		GateWaits:      e.pacer.gateWaits.Load(),
 	}
 }
 
@@ -328,12 +481,21 @@ func (e *Engine) Stats() EngineStats {
 func (e *Engine) RegisterTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
 	reg.RegisterCounter("gengar_proxy_staged_total", "writes staged into rings", &e.staged, labels...)
 	reg.RegisterCounter("gengar_proxy_flushed_total", "staged records applied to NVM", &e.flushed, labels...)
-	reg.RegisterCounter("gengar_proxy_flushed_bytes_total", "payload bytes applied to NVM", &e.bytes, labels...)
+	reg.RegisterCounter("gengar_proxy_flushed_bytes_total", "bytes written to NVM after coalescing", &e.bytes, labels...)
+	reg.RegisterCounter("gengar_proxy_nvm_writes_total", "coalesced NVM device writes", &e.nvmWrites, labels...)
+	reg.RegisterCounter("gengar_proxy_coalesced_records_total", "records merged into another record's NVM write", &e.coalesced, labels...)
+	reg.RegisterCounter("gengar_proxy_flush_gate_waits_total", "wall-clock quanta flush workers spent gated", &e.pacer.gateWaits, labels...)
 	reg.RegisterCounter("gengar_proxy_barriers_total", "drain barriers executed", &e.barriers, labels...)
 	reg.RegisterGauge("gengar_proxy_queue_high_water", "deepest flusher queue observed", &e.queueHW, labels...)
 	reg.RegisterHistogram("gengar_proxy_flush_lag_seconds", "staged-to-applied simulated delay", &e.flushLag, labels...)
 	reg.GaugeFunc("gengar_proxy_inflight", "records staged but not yet flushed", func() int64 {
 		return e.staged.Load() - e.flushed.Load()
+	}, labels...)
+	reg.GaugeFunc("gengar_proxy_flush_backoff_level", "pacer backoff level (0 = full throttle)", func() int64 {
+		return e.pacer.level.Load()
+	}, labels...)
+	reg.GaugeFunc("gengar_proxy_flush_bw_bytes_per_sec", "EWMA effective NVM flush bandwidth", func() int64 {
+		return e.pacer.ewmaBW.Load()
 	}, labels...)
 }
 

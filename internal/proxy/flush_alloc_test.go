@@ -1,0 +1,38 @@
+//go:build !race
+
+package proxy
+
+import "testing"
+
+// TestCoalesceAllocFree pins the zero-allocation contract of the
+// coalescing flush path: once the batch scratch has grown to its
+// high-water mark, sorting, run discovery, and run assembly allocate
+// nothing per batch. Race-mode coverage of the same entry points lives
+// in coalesce_test.go (see raceguard_test.go).
+func TestCoalesceAllocFree(t *testing.T) {
+	b := &flushBatch{}
+	sweep := func() {
+		b.reset()
+		for i := 0; i < 32; i++ {
+			// Overlapping pattern: 128-byte records every 96 bytes, so
+			// every run merges several records.
+			off := int64((i % 8) * 96)
+			b.add(record{nvmOff: off, size: 128, stagedAt: 1})
+			p := b.payload(128)
+			for j := range p {
+				p[j] = byte(i)
+			}
+			b.off = append(b.off, len(b.data)-128)
+		}
+		b.sortByNVMOff()
+		for lo := 0; lo < len(b.idx); {
+			hi, runOff, runEnd := b.runSpan(lo)
+			b.assembleRun(lo, hi, runOff, runEnd)
+			lo = hi
+		}
+	}
+	sweep() // grow every scratch slice to its high-water mark
+	if allocs := testing.AllocsPerRun(100, sweep); allocs != 0 {
+		t.Fatalf("coalescing allocates %v allocs per batch on the flush path, want 0", allocs)
+	}
+}

@@ -1,0 +1,262 @@
+package proxy
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengar/internal/metrics"
+	"gengar/internal/simnet"
+)
+
+// The pacer closes the loop between foreground read latency and flush
+// aggressiveness. The interference the loop manages is the one "Analysis
+// of Interference between RDMA and Local Access on Hybrid Memory
+// System" measures on real hardware: proxy flushers are local NVM write
+// traffic, and every occupancy slot they take on the pool controller is
+// a slot a client-serving read queues behind.
+//
+// Inputs:
+//
+//   - every NVM pool read reports its modeled latency against the
+//     unloaded expectation (observeRead, wired through the hmem read
+//     observer) — the pressure signal;
+//   - every staged record reports its staging instant (observeStaged) —
+//     together with read instants this maintains the *frontier*, the
+//     most recent instant any foreground actor has reached.
+//
+// Output: a backoff level in [0, pacerMaxLevel]. The flush engine asks
+// the pacer two questions per drained batch: how many records it may
+// coalesce into one sweep (batchLimit), and whether it must yield
+// before persisting (gate). Gating bounds the NVM controller's
+// watermark *lead* over the frontier: the watermark model serializes
+// Acquire calls in wall-clock order, so a flusher that has pushed the
+// controller far past the instants foreground reads arrive at is
+// exactly a flusher whose writes those reads will queue behind. While
+// the lead exceeds the level's budget the flush worker waits in wall
+// time, letting reader Acquires land first.
+//
+// Two guarantees temper the backoff:
+//
+//   - anti-starvation: when the oldest drained record's staging instant
+//     trails the frontier by more than MaxLag, the pacer forces full
+//     throttle until the backlog halves that distance — flush lag is
+//     bounded, acks always arrive;
+//   - the ring never wedges: gating delays persists, never ring
+//     copy-out, so credits keep returning and Stage keeps admitting.
+const (
+	// pacerMaxLevel is the deepest backoff step. Each level halves the
+	// batch cap and the controller-lead budget.
+	pacerMaxLevel = 7
+
+	// pacerCalmRatio is the read latency inflation (actual/unloaded)
+	// below which pressure decays toward level 0. Unloaded reads sit at
+	// 1.0; queueing behind one flushed 4 KiB run roughly doubles it.
+	pacerCalmRatio = 1.5
+
+	// pacerAlpha is the EWMA weight of one read observation, as a
+	// rational (alphaNum/alphaDen) so the update stays in fixed point.
+	pacerAlphaNum, pacerAlphaDen = 1, 8
+
+	// pacerLeadBudget anchors the bound on how far the NVM controller
+	// watermark may lead the foreground frontier before the flusher
+	// yields: level 1 allows half of it, each further level halves it
+	// again. It is a few multiples of one max-coalesced run's occupancy
+	// (64 x 4 KiB at 2 GB/s is ~131 us), so level 1 already forces the
+	// flusher to interleave with foreground reads instead of draining a
+	// whole burst ahead of them.
+	pacerLeadBudget = 64 * time.Microsecond
+
+	// pacerMinBatch floors the backed-off batch cap: coalescing needs a
+	// few records in hand to merge overwrites, and the gate — not batch
+	// shrinking — is what bounds the controller lead at deep levels.
+	pacerMinBatch = 8
+
+	// pacerGateQuantum is one wall-clock yield while gated; the gate
+	// re-checks the lead after each quantum.
+	pacerGateQuantum = 20 * time.Microsecond
+
+	// pacerGateMaxWaits bounds a single gate so a stalled frontier
+	// (foreground went idle between observations) cannot wedge a
+	// flusher; pressure then decays and the gate stops engaging.
+	pacerGateMaxWaits = 64
+
+	// DefaultFlushMaxLag bounds flush lag (frontier minus the oldest
+	// unflushed record's staging instant) when the deployment enables
+	// adaptive flushing without choosing a bound.
+	DefaultFlushMaxLag = 10 * time.Millisecond
+)
+
+// pacer holds the adaptive-flushing control state. All methods are safe
+// for concurrent use: flush workers, device read observers and staging
+// producers all feed it.
+type pacer struct {
+	adaptive bool
+	maxLag   simnet.Duration
+
+	// wait yields wall-clock time while gated; injectable for the
+	// deterministic pacer tests. Defaults to time.Sleep.
+	wait func(time.Duration)
+	// lead reports the NVM controller watermark; injectable for tests.
+	lead func() simnet.Time
+
+	// frontier is the latest foreground instant observed (reads and
+	// staging acks), i.e. "now" as the workload experiences it.
+	frontier atomic.Int64
+	// level is the current backoff step, derived from ewmaMilli.
+	level atomic.Int64
+	// starving is set while anti-starvation overrides the backoff.
+	starving atomic.Bool
+	// ewmaBW is the smoothed effective NVM flush bandwidth in bytes/sec.
+	ewmaBW atomic.Int64
+	// gateWaits counts wall-clock quanta spent gated (telemetry).
+	gateWaits metrics.Counter
+
+	mu        sync.Mutex
+	ewmaMilli int64 // read-latency inflation ratio EWMA, in thousandths
+}
+
+// newPacer builds a pacer. lead reports the paced device's controller
+// watermark (nil only in tests that never gate).
+func newPacer(adaptive bool, maxLag time.Duration, lead func() simnet.Time) *pacer {
+	if maxLag <= 0 {
+		maxLag = DefaultFlushMaxLag
+	}
+	return &pacer{
+		adaptive: adaptive,
+		maxLag:   simnet.Duration(maxLag),
+		wait:     time.Sleep,
+		lead:     lead,
+	}
+}
+
+// observeRead feeds one foreground NVM read: its completion instant and
+// how its modeled latency compares to the unloaded expectation. Ratios
+// are clamped to [1, 1000].
+func (p *pacer) observeRead(end simnet.Time, expected, actual simnet.Duration) {
+	p.advanceFrontier(end)
+	if !p.adaptive || expected <= 0 {
+		return
+	}
+	ratioMilli := int64(actual) * 1000 / int64(expected)
+	if ratioMilli < 1000 {
+		ratioMilli = 1000
+	}
+	if ratioMilli > 1000_000 {
+		ratioMilli = 1000_000
+	}
+	p.mu.Lock()
+	if p.ewmaMilli == 0 {
+		p.ewmaMilli = 1000
+	}
+	p.ewmaMilli += (ratioMilli - p.ewmaMilli) * pacerAlphaNum / pacerAlphaDen
+	ewma := p.ewmaMilli
+	p.mu.Unlock()
+	p.level.Store(levelFor(ewma))
+}
+
+// levelFor maps the pressure EWMA (ratio in thousandths) to a backoff
+// level: calm below pacerCalmRatio, one level per doubling above it.
+func levelFor(ewmaMilli int64) int64 {
+	const calmMilli = int64(pacerCalmRatio * 1000)
+	if ewmaMilli <= calmMilli {
+		return 0
+	}
+	level := int64(1)
+	for bound := calmMilli * 2; ewmaMilli > bound && level < pacerMaxLevel; bound *= 2 {
+		level++
+	}
+	return level
+}
+
+// observeStaged advances the frontier to a record's staging instant.
+func (p *pacer) observeStaged(at simnet.Time) { p.advanceFrontier(at) }
+
+// advanceFrontier lifts the frontier to at (monotonic max).
+func (p *pacer) advanceFrontier(at simnet.Time) {
+	for {
+		cur := p.frontier.Load()
+		if int64(at) <= cur || p.frontier.CompareAndSwap(cur, int64(at)) {
+			return
+		}
+	}
+}
+
+// batchLimit returns how many drained records one flush sweep may
+// coalesce under the current backoff level.
+func (p *pacer) batchLimit() int {
+	if !p.adaptive || p.starving.Load() {
+		return maxFlushBatch
+	}
+	limit := maxFlushBatch >> p.level.Load()
+	if limit < pacerMinBatch {
+		limit = pacerMinBatch
+	}
+	return limit
+}
+
+// gate is called with the oldest staging instant of a drained batch,
+// before its records are persisted. It enforces anti-starvation and —
+// when backed off — yields wall-clock time until the NVM controller's
+// watermark lead over the frontier fits the level's budget. It returns
+// the wall-clock time spent waiting.
+func (p *pacer) gate(oldestStaged simnet.Time) time.Duration {
+	if !p.adaptive {
+		return 0
+	}
+	frontier := simnet.Time(p.frontier.Load())
+	lag := frontier.Sub(oldestStaged)
+	if p.starving.Load() {
+		// Full throttle until the backlog recovers to half the bound.
+		if lag <= p.maxLag/2 {
+			p.starving.Store(false)
+		}
+		return 0
+	}
+	if lag > p.maxLag {
+		p.starving.Store(true)
+		return 0
+	}
+	level := p.level.Load()
+	if level == 0 || p.lead == nil {
+		return 0
+	}
+	budget := simnet.Duration(pacerLeadBudget) >> level
+	var waited time.Duration
+	for i := 0; i < pacerGateMaxWaits; i++ {
+		frontier = simnet.Time(p.frontier.Load())
+		if p.lead().Sub(frontier) <= budget {
+			return waited
+		}
+		// Re-check starvation while yielding: the frontier moves under
+		// us, and a gated flusher must never hold the backlog past the
+		// lag bound.
+		if frontier.Sub(oldestStaged) > p.maxLag {
+			p.starving.Store(true)
+			return waited
+		}
+		p.gateWaits.Inc()
+		waited += pacerGateQuantum
+		p.wait(pacerGateQuantum)
+	}
+	return waited
+}
+
+// recordPersist feeds one coalesced NVM sweep into the bandwidth meter:
+// bytes written and the controller occupancy they charged.
+func (p *pacer) recordPersist(bytes int64, occupancy simnet.Duration) {
+	if occupancy <= 0 || bytes <= 0 {
+		return
+	}
+	bw := bytes * int64(time.Second) / int64(occupancy)
+	for {
+		cur := p.ewmaBW.Load()
+		next := cur + (bw-cur)*pacerAlphaNum/pacerAlphaDen
+		if cur == 0 {
+			next = bw
+		}
+		if p.ewmaBW.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"gengar/internal/simnet"
+)
+
+const usec = simnet.Duration(time.Microsecond)
+
+// calmReads feeds n unloaded reads ending at successive instants,
+// returning the last instant.
+func calmReads(p *pacer, from simnet.Time, n int) simnet.Time {
+	at := from
+	for i := 0; i < n; i++ {
+		at = at.Add(10 * usec)
+		p.observeRead(at, time.Microsecond, time.Microsecond)
+	}
+	return at
+}
+
+// pressedReads feeds n reads inflated by the given factor.
+func pressedReads(p *pacer, from simnet.Time, n, factor int) simnet.Time {
+	at := from
+	for i := 0; i < n; i++ {
+		at = at.Add(10 * usec)
+		p.observeRead(at, time.Microsecond, time.Duration(factor)*time.Microsecond)
+	}
+	return at
+}
+
+func TestPacerPressureReducesFlushRate(t *testing.T) {
+	p := newPacer(true, 10*time.Millisecond, nil)
+	if got := p.batchLimit(); got != maxFlushBatch {
+		t.Fatalf("unpressed batch limit %d, want %d", got, maxFlushBatch)
+	}
+	at := pressedReads(p, 0, 64, 8)
+	if p.level.Load() == 0 {
+		t.Fatal("8x read inflation did not raise the backoff level")
+	}
+	pressed := p.batchLimit()
+	if pressed >= maxFlushBatch {
+		t.Fatalf("pressed batch limit %d did not drop below %d", pressed, maxFlushBatch)
+	}
+	// Recovery: pressure subsides, the level decays back to zero and the
+	// batch limit recovers.
+	calmReads(p, at, 200)
+	if p.level.Load() != 0 {
+		t.Fatalf("level %d after pressure subsided, want 0", p.level.Load())
+	}
+	if got := p.batchLimit(); got != maxFlushBatch {
+		t.Fatalf("recovered batch limit %d, want %d", got, maxFlushBatch)
+	}
+}
+
+func TestPacerDisabledNeverBacksOff(t *testing.T) {
+	p := newPacer(false, 0, nil)
+	pressedReads(p, 0, 64, 100)
+	if p.level.Load() != 0 || p.batchLimit() != maxFlushBatch {
+		t.Fatal("greedy pacer reacted to pressure")
+	}
+	if waited := p.gate(0); waited != 0 {
+		t.Fatal("greedy pacer gated a flush")
+	}
+}
+
+func TestPacerGateYieldsWhileControllerLeads(t *testing.T) {
+	// Virtual clock: wait() advances the foreground frontier, modeling
+	// readers making progress while the flusher yields. The gate must
+	// wait while the NVM controller watermark leads the frontier beyond
+	// the level's budget, and release once the frontier catches up.
+	lead := simnet.Time(0)
+	p := newPacer(true, time.Second, func() simnet.Time { return lead })
+	var waits int
+	p.wait = func(d time.Duration) {
+		waits++
+		p.advanceFrontier(simnet.Time(p.frontier.Load()).Add(simnet.Duration(d) * 10))
+	}
+	at := pressedReads(p, 0, 64, 8)
+	lead = at.Add(5 * simnet.Duration(time.Millisecond)) // controller far ahead
+	waited := p.gate(at)
+	if waits == 0 || waited == 0 {
+		t.Fatal("gate did not yield while the controller led the frontier")
+	}
+	if waits >= pacerGateMaxWaits {
+		t.Fatalf("gate never released: %d waits", waits)
+	}
+	budget := simnet.Duration(pacerLeadBudget) >> p.level.Load()
+	if gap := lead.Sub(simnet.Time(p.frontier.Load())); gap > budget {
+		t.Fatalf("gate released with lead %v over budget %v", gap, budget)
+	}
+	// With the controller already close, the gate is free.
+	waits = 0
+	if waited := p.gate(simnet.Time(p.frontier.Load())); waited != 0 || waits != 0 {
+		t.Fatal("gate yielded with the controller within budget")
+	}
+}
+
+func TestPacerGateBoundedWhenFrontierStalls(t *testing.T) {
+	// If the foreground goes idle (frontier frozen) the gate must give
+	// up after pacerGateMaxWaits quanta rather than wedge the flusher.
+	lead := simnet.Time(simnet.Duration(time.Second))
+	p := newPacer(true, time.Minute, func() simnet.Time { return lead })
+	var waits int
+	p.wait = func(time.Duration) { waits++ } // frontier never moves
+	pressedReads(p, 0, 64, 8)
+	p.gate(simnet.Time(p.frontier.Load()))
+	if waits != pacerGateMaxWaits {
+		t.Fatalf("stalled gate spun %d quanta, want exactly %d", waits, pacerGateMaxWaits)
+	}
+}
+
+func TestPacerAntiStarvationBoundsFlushLag(t *testing.T) {
+	const maxLag = 2 * time.Millisecond
+	lead := simnet.Time(simnet.Duration(10 * time.Second))
+	p := newPacer(true, maxLag, func() simnet.Time { return lead })
+	p.wait = func(time.Duration) {}
+	at := pressedReads(p, 0, 64, 64)
+	if p.level.Load() == 0 {
+		t.Fatal("no backoff to override")
+	}
+
+	// Oldest staged record lags the frontier past the bound: the gate
+	// must wave the batch through at full throttle, never waiting.
+	oldest := at.Add(-simnet.Duration(maxLag) - usec)
+	if waited := p.gate(oldest); waited != 0 {
+		t.Fatal("gated a starving batch")
+	}
+	if !p.starving.Load() {
+		t.Fatal("starvation override did not engage")
+	}
+	if got := p.batchLimit(); got != maxFlushBatch {
+		t.Fatalf("starving batch limit %d, want full %d", got, maxFlushBatch)
+	}
+
+	// Still behind half the bound: the override holds.
+	if waited := p.gate(at.Add(-simnet.Duration(maxLag))); waited != 0 {
+		t.Fatal("gated while still starving")
+	}
+	if !p.starving.Load() {
+		t.Fatal("override released before the backlog halved the bound")
+	}
+
+	// Backlog recovered to half the bound: the override releases and —
+	// with pressure still high — the gate engages again.
+	var waits int
+	p.wait = func(time.Duration) { waits++ }
+	p.gate(at.Add(-simnet.Duration(maxLag) / 2))
+	if p.starving.Load() {
+		t.Fatal("override held after the backlog recovered")
+	}
+	p.gate(at)
+	if waits == 0 {
+		t.Fatal("gate idle after recovery despite sustained pressure")
+	}
+}
+
+func TestPacerFlushLagNeverExceedsBoundInLoop(t *testing.T) {
+	// Closed-loop virtual-time run under sustained heavy pressure: a
+	// producer stages continuously, the flusher gates before each batch.
+	// At every gate entry whose lag exceeds the bound, the pacer must
+	// not add a single quantum of delay (full throttle), so flush lag is
+	// bounded by maxLag plus at most one fully-gated batch.
+	const maxLag = 2 * time.Millisecond
+	lead := simnet.Time(0)
+	p := newPacer(true, maxLag, func() simnet.Time { return lead })
+	vnow := simnet.Time(0)
+	p.wait = func(d time.Duration) { vnow = vnow.Add(simnet.Duration(d)) }
+
+	worst := simnet.Duration(0)
+	oldest := simnet.Time(0)
+	for step := 0; step < 3000; step++ {
+		vnow = vnow.Add(5 * usec)
+		p.observeRead(vnow, time.Microsecond, 64*time.Microsecond)
+		lead = vnow.Add(simnet.Duration(10 * time.Millisecond))
+		lag := simnet.Time(p.frontier.Load()).Sub(oldest)
+		if lag > worst {
+			worst = lag
+		}
+		if waited := p.gate(oldest); waited > 0 && lag > simnet.Duration(maxLag) {
+			t.Fatalf("step %d: gated %v with lag %v past the %v bound", step, waited, lag, maxLag)
+		}
+		oldest = vnow // batch flushed; the next batch starts fresh
+	}
+	bound := simnet.Duration(maxLag) + pacerGateMaxWaits*simnet.Duration(pacerGateQuantum) + 10*usec
+	if worst > bound {
+		t.Fatalf("flush lag reached %v, bound is %v", worst, bound)
+	}
+	if p.gateWaits.Load() == 0 {
+		t.Fatal("pressure never gated a batch; the loop tested nothing")
+	}
+}
+
+func TestPacerBandwidthMeter(t *testing.T) {
+	p := newPacer(true, 0, nil)
+	// 4 KiB per 2 µs of occupancy = 2 GB/s.
+	for i := 0; i < 16; i++ {
+		p.recordPersist(4096, 2*usec)
+	}
+	bw := p.ewmaBW.Load()
+	if bw < 1_900_000_000 || bw > 2_100_000_000 {
+		t.Fatalf("EWMA bandwidth %d, want ~2 GB/s", bw)
+	}
+	p.recordPersist(0, usec) // ignored
+	p.recordPersist(4096, 0) // ignored
+	if p.ewmaBW.Load() != bw {
+		t.Fatal("degenerate persists perturbed the meter")
+	}
+}

@@ -47,7 +47,7 @@ func newHarness(t *testing.T, slots, slotSize int, cacheApply CacheApply) *harne
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewEngine(ramDev, nvm, simnet.NewResource("cpu"), 0, cacheApply)
+	eng, err := NewEngine(Config{RingDev: ramDev, NVM: nvm, CPU: simnet.NewResource("cpu"), CacheApply: cacheApply})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +78,13 @@ func TestNewEngineValidation(t *testing.T) {
 	nvm, _ := hmem.NewDevice("nvm", 1<<12, hmem.OptaneProfile())
 	dram, _ := hmem.NewDevice("dram", 1<<12, hmem.DRAMProfile())
 	cpu := simnet.NewResource("cpu")
-	if _, err := NewEngine(nil, nvm, cpu, 0, nil); err == nil {
+	if _, err := NewEngine(Config{NVM: nvm, CPU: cpu}); err == nil {
 		t.Fatal("nil ring device accepted")
 	}
-	if _, err := NewEngine(nvm, nvm, cpu, 0, nil); err == nil {
+	if _, err := NewEngine(Config{RingDev: nvm, NVM: nvm, CPU: cpu}); err == nil {
 		t.Fatal("NVM ring device accepted")
 	}
-	if _, err := NewEngine(dram, nvm, nil, 0, nil); err == nil {
+	if _, err := NewEngine(Config{RingDev: dram, NVM: nvm}); err == nil {
 		t.Fatal("nil cpu accepted")
 	}
 }

@@ -150,8 +150,9 @@ func newWriter(engine *Engine, qp *rdma.QP, localDev *hmem.Device, ring Ring) (*
 		// The flusher must never block sending an ack (deadlock freedom
 		// of the whole pipeline rests on it), so the channel holds a
 		// full ring plus everything that can sit inside the flush
-		// pipeline.
-		ackCh: make(chan Ack, ring.Slots+2*flushWorkers+4),
+		// pipeline: with batched flushing, a worker can hold one whole
+		// copied-out-but-unacked batch on top of the staged records.
+		ackCh: make(chan Ack, ring.Slots+maxFlushBatch+2*flushWorkers+4),
 		quit:  make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.pendMu)
